@@ -1,0 +1,58 @@
+"""Scale configuration shared by all benchmark modules.
+
+Every benchmark regenerates one of the paper's figures (or an ablation) at a
+reduced scale and checks the *qualitative shape* reported in the paper — who
+wins each metric, in which direction a curve moves — rather than absolute
+numbers (the substrate is a synthetic simulator, not the authors'
+Helsinki/ONE setup; see EXPERIMENTS.md).
+
+Two scales are supported, selected with the ``REPRO_BENCH_SCALE`` environment
+variable:
+
+* ``quick`` (default) — small node counts and short runs so the whole harness
+  finishes in a few minutes on a laptop.
+* ``full``  — the paper's node counts (40-240) and 10 000 s runs; expect hours.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from repro.experiments.scenario import ScenarioConfig
+
+#: benchmark scale selected via the environment
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+
+def bench_base() -> ScenarioConfig:
+    """The base scenario every figure benchmark starts from."""
+    if SCALE == "full":
+        return ScenarioConfig.paper_scale()
+    return ScenarioConfig.bench_scale(sim_time=2000.0)
+
+
+def node_counts() -> Tuple[int, ...]:
+    """Node counts swept by the figure benchmarks (paper: 40..240)."""
+    if SCALE == "full":
+        return (40, 80, 120, 160, 200, 240)
+    return (40, 80)
+
+
+def lambda_values() -> Tuple[int, ...]:
+    """Replica quotas swept by Figures 3 and 4 (paper: 6, 8, 10, 12)."""
+    if SCALE == "full":
+        return (6, 8, 10, 12)
+    return (6, 12)
+
+
+def seeds() -> Tuple[int, ...]:
+    """Seeds averaged per point (paper: 10 runs per point)."""
+    if SCALE == "full":
+        return tuple(range(1, 11))
+    return (1, 2)
+
+
+def ablation_nodes() -> int:
+    """Node count used by the single-parameter ablation sweeps."""
+    return 80 if SCALE == "full" else 48

@@ -1,0 +1,21 @@
+"""Fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def figure_store(tmp_path_factory):
+    """Directory where benchmarks drop their regenerated figure data (JSON/CSV).
+
+    Set ``REPRO_BENCH_OUTPUT`` to keep the files in a known place; otherwise a
+    session temporary directory is used.
+    """
+    out = os.environ.get("REPRO_BENCH_OUTPUT")
+    if out:
+        os.makedirs(out, exist_ok=True)
+        return out
+    return str(tmp_path_factory.mktemp("figures"))

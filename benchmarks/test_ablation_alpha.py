@@ -1,0 +1,40 @@
+"""Ablation A1: effect of the horizon scaling parameter alpha on EER.
+
+The paper fixes alpha = 0.28 ("a reasonable value from the preliminary
+simulations") and omits the sweep for space; this regenerates it.  Expected
+shape: the delivery ratio is fairly flat in alpha (the proportional split only
+depends on the *ratio* of the two EEVs, which changes slowly with the
+horizon), and extreme alphas do not beat the paper's operating point by much.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import ablation_nodes, bench_base, seeds
+from repro.analysis.render import figure_to_json
+from repro.experiments.figures import ablation_alpha
+from repro.experiments.tables import format_figure
+
+
+def test_alpha_sweep_on_eer(benchmark, figure_store):
+    alphas = (0.1, 0.28, 0.6, 1.0)
+    figure = benchmark.pedantic(
+        ablation_alpha,
+        kwargs=dict(alphas=alphas, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(),
+                    base=bench_base()),
+        rounds=1, iterations=1)
+
+    figure_to_json(figure, os.path.join(figure_store, "ablation_alpha.json"))
+    print()
+    print(format_figure(figure))
+
+    series = dict(figure.series("delivery_ratio", "eer"))
+    assert set(series) == set(float(a) for a in alphas)
+    values = list(series.values())
+    # every alpha yields a functioning protocol
+    assert all(v > 0 for v in values)
+    # the spread across alphas is modest: the paper's 0.28 is not a knife edge
+    assert max(values) - min(values) <= 0.35
+    # goodput stays positive everywhere
+    assert all(v > 0 for v in figure.values("goodput", "eer"))

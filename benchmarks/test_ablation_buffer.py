@@ -1,0 +1,37 @@
+"""Ablation A3: effect of the per-node buffer capacity on EER.
+
+Expected shape: delivery ratio does not decrease as buffers grow (fewer
+replicas are evicted before they can be forwarded); with the paper's light
+traffic load the curve saturates once the buffer stops being the bottleneck.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import ablation_nodes, bench_base, seeds
+from repro.analysis.render import figure_to_json
+from repro.analysis.series import is_monotonic
+from repro.experiments.figures import ablation_buffer
+from repro.experiments.tables import format_figure
+
+
+def test_buffer_sweep_on_eer(benchmark, figure_store):
+    buffers = (128 * 1024, 256 * 1024, 1024 * 1024)
+    # a heavier traffic load than the default so small buffers actually hurt
+    base = bench_base().with_overrides(message_interval=(10.0, 15.0))
+    figure = benchmark.pedantic(
+        ablation_buffer,
+        kwargs=dict(buffers=buffers, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(),
+                    base=base),
+        rounds=1, iterations=1)
+
+    figure_to_json(figure, os.path.join(figure_store, "ablation_buffer.json"))
+    print()
+    print(format_figure(figure))
+
+    delivery = figure.series("delivery_ratio", "eer")
+    assert len(delivery) == len(buffers)
+    assert is_monotonic(delivery, increasing=True, tolerance=0.05)
+    by_buffer = dict(delivery)
+    assert by_buffer[float(max(buffers))] >= by_buffer[float(min(buffers))]

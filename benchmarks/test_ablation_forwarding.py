@@ -1,0 +1,59 @@
+"""Ablation A4: the single-copy forwarding rule (DESIGN.md design decisions).
+
+Two questions the paper's text raises but does not quantify:
+
+1. How much does the single-replica forwarding phase (MEMD comparison)
+   contribute on top of the quota-splitting phase?  Disabling it turns EER
+   into an EBR-like "spray then wait" protocol.
+2. How sensitive is EER to the forwarding-damping margin this reproduction
+   adds (``forward_margin``, see DESIGN.md)?  The strictly faithful margin 0
+   forwards on any MEMD improvement; larger margins trade a few deliveries
+   for far fewer relays (better goodput).
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import ablation_nodes, bench_base, seeds
+from repro.analysis.render import figure_to_json
+from repro.experiments.runner import run_averaged
+from repro.experiments.figures import FigureResult
+from repro.experiments.tables import format_figure
+
+
+def _run_margins(margins, num_nodes=None):
+    base = bench_base()
+    figure = FigureResult("ablation-forwarding",
+                          "EER forwarding-damping margin", "forward_margin")
+    for margin in margins:
+        config = base.with_overrides(
+            protocol="eer", num_nodes=num_nodes or ablation_nodes(),
+            router_params={"forward_margin": float(margin)})
+        result = run_averaged(config, seeds())
+        figure.add_point("delivery_ratio", "eer", margin, result.mean("delivery_ratio"))
+        figure.add_point("average_latency", "eer", margin, result.mean("average_latency"))
+        figure.add_point("goodput", "eer", margin, result.mean("goodput"))
+        figure.add_point("relayed", "eer", margin, result.mean("relayed"), extra=True)
+    return figure
+
+
+def test_forward_margin_trades_relays_for_little_delivery(benchmark, figure_store):
+    margins = (0.0, 0.35, 0.7)
+    figure = benchmark.pedantic(_run_margins, args=(margins,), rounds=1, iterations=1)
+
+    figure_to_json(figure, os.path.join(figure_store, "ablation_forwarding.json"))
+    print()
+    print(format_figure(figure))
+
+    relays = dict(figure.extra["relayed"]["eer"])
+    delivery = dict(figure.series("delivery_ratio", "eer"))
+    goodput = dict(figure.series("goodput", "eer"))
+
+    # damping strictly reduces the number of relays ...
+    assert relays[0.35] <= relays[0.0]
+    assert relays[0.7] <= relays[0.35]
+    # ... which shows up as better goodput ...
+    assert goodput[0.35] >= goodput[0.0]
+    # ... while the delivery ratio stays in the same ballpark at the default
+    assert delivery[0.35] >= delivery[0.0] - 0.1

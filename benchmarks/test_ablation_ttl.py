@@ -1,0 +1,40 @@
+"""Ablation A2: effect of the message TTL on EER.
+
+Expected shape: longer TTLs give messages more chances to be delivered, so the
+delivery ratio rises (and the average latency of delivered messages rises with
+it, because late deliveries are no longer censored by expiry).
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import ablation_nodes, bench_base, seeds
+from repro.analysis.render import figure_to_json
+from repro.analysis.series import is_monotonic
+from repro.experiments.figures import ablation_ttl
+from repro.experiments.tables import format_figure
+
+
+def test_ttl_sweep_on_eer(benchmark, figure_store):
+    ttls = (300.0, 600.0, 1200.0)
+    figure = benchmark.pedantic(
+        ablation_ttl,
+        kwargs=dict(ttls=ttls, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(),
+                    base=bench_base()),
+        rounds=1, iterations=1)
+
+    figure_to_json(figure, os.path.join(figure_store, "ablation_ttl.json"))
+    print()
+    print(format_figure(figure))
+
+    delivery = figure.series("delivery_ratio", "eer")
+    assert len(delivery) == len(ttls)
+    # delivery ratio rises with TTL (small tolerance for seed noise)
+    assert is_monotonic(delivery, increasing=True, tolerance=0.04)
+    # the longest TTL must do strictly better than the shortest
+    by_ttl = dict(delivery)
+    assert by_ttl[max(ttls)] > by_ttl[min(ttls)]
+    # latency of delivered messages grows (or stays) with TTL
+    latency = dict(figure.series("average_latency", "eer"))
+    assert latency[max(ttls)] >= latency[min(ttls)] * 0.9

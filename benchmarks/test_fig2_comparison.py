@@ -1,0 +1,68 @@
+"""Figure 2: protocol comparison (delivery ratio, latency, goodput vs. nodes).
+
+Paper's reported shape (Section V-B):
+
+* MaxProp attains the highest delivery ratio and the shortest latency but by
+  far the lowest goodput (about 20 % of EER's and CR's).
+* EBR attains the best goodput but the lowest delivery ratio and (almost) the
+  highest latency.
+* EER and CR deliver more than Spray-and-Wait and EBR while keeping goodput
+  several times MaxProp's; CR additionally exchanges far less routing state
+  than EER.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import bench_base, node_counts, seeds
+from repro.analysis.render import figure_to_csv, figure_to_json
+from repro.analysis.series import rank_series, relative_factor
+from repro.experiments.figures import FIGURE2_PROTOCOLS, figure2_comparison
+from repro.experiments.tables import format_figure
+
+
+def test_figure2_protocol_comparison(benchmark, figure_store):
+    figure = benchmark.pedantic(
+        figure2_comparison,
+        kwargs=dict(node_counts=node_counts(), protocols=FIGURE2_PROTOCOLS,
+                    seeds=seeds(), base=bench_base()),
+        rounds=1, iterations=1)
+
+    # persist and print the regenerated figure
+    figure_to_json(figure, os.path.join(figure_store, "fig2.json"))
+    figure_to_csv(figure, "delivery_ratio", os.path.join(figure_store, "fig2_delivery.csv"))
+    print()
+    print(format_figure(figure))
+
+    dr = {p: figure.mean_value("delivery_ratio", p) for p in FIGURE2_PROTOCOLS}
+    gp = {p: figure.mean_value("goodput", p) for p in FIGURE2_PROTOCOLS}
+    lat = {p: figure.mean_value("average_latency", p) for p in FIGURE2_PROTOCOLS}
+    rows = {p: figure.extra["control_rows_exchanged"][p] for p in FIGURE2_PROTOCOLS}
+
+    # --- delivery ratio: MaxProp on top, EER/CR above the quota baselines
+    assert dr["maxprop"] >= max(dr.values()) - 1e-9
+    assert dr["eer"] >= dr["ebr"] - 0.05
+    assert dr["eer"] >= dr["spray-and-wait"] - 0.05
+    assert dr["cr"] >= dr["ebr"] - 0.05
+    assert dr["cr"] >= dr["spray-and-wait"] - 0.05
+
+    # --- goodput: MaxProp clearly the worst; EBR at or near the top;
+    #     EER and CR land in between, well above MaxProp
+    assert gp["maxprop"] <= min(gp[p] for p in FIGURE2_PROTOCOLS if p != "maxprop")
+    ranking = rank_series(figure.metrics["goodput"], higher_is_better=True)
+    assert ranking[0] in ("ebr", "spray-and-wait")
+    assert gp["eer"] >= 1.5 * gp["maxprop"]
+    assert gp["cr"] >= 1.5 * gp["maxprop"]
+
+    # --- latency: MaxProp is never the slowest of the pack
+    assert lat["maxprop"] <= max(lat.values())
+
+    # --- control overhead: CR exchanges much less routing state than EER
+    cr_rows = sum(y for _, y in rows["cr"])
+    eer_rows = sum(y for _, y in rows["eer"])
+    assert cr_rows < eer_rows
+
+    # --- sanity: every protocol delivered something at every point
+    for protocol in FIGURE2_PROTOCOLS:
+        assert all(v > 0 for v in figure.values("delivery_ratio", protocol))

@@ -1,0 +1,46 @@
+"""Figure 3: effect of the replica quota lambda on EER.
+
+Paper's reported shape: raising lambda increases the delivery ratio, slightly
+reduces latency, and lowers goodput (more forwarding per delivered message).
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import bench_base, lambda_values, node_counts, seeds
+from repro.analysis.render import figure_to_json
+from repro.experiments.figures import figure3_lambda_eer
+from repro.experiments.tables import format_figure
+
+
+def test_figure3_lambda_effect_on_eer(benchmark, figure_store):
+    lambdas = lambda_values()
+    figure = benchmark.pedantic(
+        figure3_lambda_eer,
+        kwargs=dict(node_counts=node_counts(), lambdas=lambdas, seeds=seeds(),
+                    base=bench_base()),
+        rounds=1, iterations=1)
+
+    figure_to_json(figure, os.path.join(figure_store, "fig3.json"))
+    print()
+    print(format_figure(figure))
+
+    smallest = f"lambda={min(lambdas)}"
+    largest = f"lambda={max(lambdas)}"
+
+    # delivery ratio rises with lambda (allow a little seed noise)
+    assert (figure.mean_value("delivery_ratio", largest)
+            >= figure.mean_value("delivery_ratio", smallest) - 0.03)
+
+    # goodput falls with lambda
+    assert (figure.mean_value("goodput", largest)
+            <= figure.mean_value("goodput", smallest) + 0.005)
+
+    # latency does not increase substantially with lambda
+    assert (figure.mean_value("average_latency", largest)
+            <= 1.15 * figure.mean_value("average_latency", smallest))
+
+    # every sampled point produced a live network
+    for series in figure.metrics["delivery_ratio"].values():
+        assert all(v > 0 for _, v in series)

@@ -1,0 +1,39 @@
+"""Figure 4: effect of the replica quota lambda on CR.
+
+Same qualitative shape as Figure 3, but for the community-based protocol:
+delivery ratio rises with lambda while goodput falls.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import bench_base, lambda_values, node_counts, seeds
+from repro.analysis.render import figure_to_json
+from repro.experiments.figures import figure4_lambda_cr
+from repro.experiments.tables import format_figure
+
+
+def test_figure4_lambda_effect_on_cr(benchmark, figure_store):
+    lambdas = lambda_values()
+    figure = benchmark.pedantic(
+        figure4_lambda_cr,
+        kwargs=dict(node_counts=node_counts(), lambdas=lambdas, seeds=seeds(),
+                    base=bench_base()),
+        rounds=1, iterations=1)
+
+    figure_to_json(figure, os.path.join(figure_store, "fig4.json"))
+    print()
+    print(format_figure(figure))
+
+    smallest = f"lambda={min(lambdas)}"
+    largest = f"lambda={max(lambdas)}"
+
+    assert (figure.mean_value("delivery_ratio", largest)
+            >= figure.mean_value("delivery_ratio", smallest) - 0.03)
+    assert (figure.mean_value("goodput", largest)
+            <= figure.mean_value("goodput", smallest) + 0.005)
+    assert (figure.mean_value("average_latency", largest)
+            <= 1.15 * figure.mean_value("average_latency", smallest))
+    for series in figure.metrics["delivery_ratio"].values():
+        assert all(v > 0 for _, v in series)

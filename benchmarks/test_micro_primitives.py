@@ -1,0 +1,138 @@
+"""Micro-benchmarks of the per-contact primitives.
+
+These measure the cost of the operations the protocols execute at every
+contact or world tick — the quantities that determine how far the simulator
+scales: Theorem 1/2/4 evaluations, the MD build + Dijkstra (MEMD), MI row
+exchange, connectivity detection and path advancement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.contacts.history import ContactHistory
+from repro.contacts.md_matrix import build_delay_matrix
+from repro.contacts.memd import dijkstra_delays
+from repro.contacts.mi_matrix import MeetingIntervalMatrix
+from repro.core.expectation import (
+    expected_encounter_value,
+    expected_num_encountering_communities,
+)
+from repro.mobility.path import Path
+from repro.world.connectivity import GridConnectivity, KDTreeConnectivity
+
+N = 240  # the paper's largest node count
+
+
+def make_history(num_peers=60, contacts_per_peer=15, seed=3):
+    rng = random.Random(seed)
+    history = ContactHistory(owner_id=0, window_size=20)
+    for peer in range(1, num_peers + 1):
+        t = rng.uniform(0, 100)
+        for _ in range(contacts_per_peer):
+            t += rng.uniform(50, 400)
+            history.record_contact(peer, t)
+    return history
+
+
+def make_mi(n=N, known_fraction=0.6, seed=7):
+    rng = np.random.default_rng(seed)
+    mi = MeetingIntervalMatrix(n, owner_id=0)
+    mi._values[:] = np.where(rng.random((n, n)) < known_fraction,
+                             rng.uniform(50, 2000, (n, n)), np.inf)
+    np.fill_diagonal(mi._values, 0.0)
+    mi._row_updated[:] = rng.uniform(0, 1000, n)
+    return mi
+
+
+@pytest.fixture(scope="module")
+def history():
+    return make_history()
+
+
+@pytest.fixture(scope="module")
+def mi():
+    return make_mi()
+
+
+def test_bench_expected_encounter_value(benchmark, history):
+    result = benchmark(expected_encounter_value, history, 6000.0, 336.0)
+    assert result >= 0.0
+
+
+def test_bench_enec(benchmark, history):
+    communities = {c: list(range(c * 15 + 1, (c + 1) * 15 + 1)) for c in range(4)}
+    result = benchmark(expected_num_encountering_communities,
+                       history, 6000.0, 336.0, communities, 0)
+    assert result >= 0.0
+
+
+def test_bench_build_delay_matrix(benchmark, history, mi):
+    md = benchmark(build_delay_matrix, history, mi, 6000.0)
+    assert md.shape == (N, N)
+
+
+def test_bench_memd_dijkstra(benchmark, mi):
+    md = mi.values.copy()
+    result = benchmark(dijkstra_delays, md, 0)
+    assert result.shape == (N,)
+
+
+def test_bench_mi_merge(benchmark):
+    ours = make_mi(seed=1)
+    theirs = make_mi(seed=2)
+
+    def merge():
+        clone = ours.copy()
+        return clone.merge_from(theirs)
+
+    copied = benchmark(merge)
+    assert copied >= 0
+
+
+def test_bench_connectivity_kdtree(benchmark):
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0, 4500, size=(N, 2))
+    ranges = np.full(N, 10.0)
+    detector = KDTreeConnectivity()
+    pairs = benchmark(detector.find_pairs, positions, ranges)
+    assert isinstance(pairs, set)
+
+
+def test_bench_connectivity_grid(benchmark):
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0, 4500, size=(N, 2))
+    ranges = np.full(N, 10.0)
+    detector = GridConnectivity()
+    pairs = benchmark(detector.find_pairs, positions, ranges)
+    assert isinstance(pairs, set)
+
+
+def test_bench_path_advance(benchmark):
+    rng = np.random.default_rng(4)
+    waypoints = rng.uniform(0, 1000, size=(20, 2))
+
+    def advance_path():
+        path = Path(waypoints, speed=10.0)
+        while not path.done:
+            path.advance(1.0)
+        return path.position
+
+    position = benchmark(advance_path)
+    assert np.all(np.isfinite(position))
+
+
+def test_bench_contact_history_recording(benchmark):
+    def record():
+        history = ContactHistory(owner_id=0, window_size=20)
+        t = 0.0
+        for step in range(2000):
+            t += 7.0
+            history.record_contact(1 + step % 50, t)
+        return history.total_intervals()
+
+    total = benchmark(record)
+    assert total > 0

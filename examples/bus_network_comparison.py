@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare EER, CR and the paper's baselines on the bus scenario (Figure 2).
+
+Reproduces a reduced-scale version of the paper's Figure 2: delivery ratio,
+latency and goodput versus the number of buses, for EER, CR, EBR, MaxProp,
+Spray-and-Wait and Spray-and-Focus.
+
+Run with::
+
+    python examples/bus_network_comparison.py            # quick (a few minutes)
+    python examples/bus_network_comparison.py --full     # the paper's scale (hours)
+"""
+
+import argparse
+
+from repro.analysis.render import render_ascii_chart
+from repro.experiments import ScenarioConfig, figure2_comparison
+from repro.experiments.figures import FIGURE2_PROTOCOLS
+from repro.experiments.tables import format_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's node counts and run length")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="number of seeds to average per point")
+    args = parser.parse_args()
+
+    if args.full:
+        base = ScenarioConfig.paper_scale()
+        node_counts = (40, 80, 120, 160, 200, 240)
+    else:
+        base = ScenarioConfig.bench_scale(sim_time=1500.0)
+        node_counts = (24, 48, 72)
+    seeds = tuple(range(1, args.seeds + 1))
+
+    print(f"Figure 2 at {'paper' if args.full else 'reduced'} scale: "
+          f"nodes={node_counts}, seeds={seeds}")
+    figure = figure2_comparison(node_counts=node_counts,
+                                protocols=FIGURE2_PROTOCOLS,
+                                seeds=seeds, base=base)
+
+    print()
+    print(format_figure(figure))
+    for metric, title in (("delivery_ratio", "Delivery ratio vs number of nodes"),
+                          ("goodput", "Goodput vs number of nodes")):
+        print(render_ascii_chart(figure.metrics[metric], title=title))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Community-structured scenario: detect communities, then route with CR.
+
+This example exercises the full community tool-chain the paper builds on:
+
+1. generate a synthetic contact trace with strong community structure
+   (intra-community pairs meet ~10x more often than inter-community pairs),
+2. detect the communities from the observed contacts with the three
+   algorithms the paper cites (k-clique percolation, Newman modularity,
+   Clauset's local method) and compare them with the ground truth,
+3. replay the same trace under the CR protocol using the detected communities
+   and under Spray-and-Wait as a community-oblivious baseline.
+
+Run with::
+
+    python examples/community_routing.py
+"""
+
+import networkx as nx
+
+from repro.community import (
+    CommunityAssignment,
+    aggregate_contact_graph,
+    k_clique_communities,
+    local_community,
+    newman_modularity_communities,
+)
+from repro.metrics.events import ContactRecord
+from repro.net.generators import MessageEventGenerator, TrafficSpec
+from repro.traces.generators import community_structured_trace
+from repro.traces.replay import build_trace_world
+
+NUM_NODES = 24
+NUM_COMMUNITIES = 4
+DURATION = 6000.0
+
+
+def detect_communities(trace):
+    """Detect communities from the trace's aggregate contact graph."""
+    records = (ContactRecord(pair[0], pair[1], start, end)
+               for pair, start, end in trace.contacts())
+    graph = aggregate_contact_graph(records, num_nodes=NUM_NODES)
+    # keep only "strong" edges (frequent contacts) before detection
+    strong = nx.Graph()
+    strong.add_nodes_from(graph.nodes)
+    strong.add_edges_from((u, v, d) for u, v, d in graph.edges(data=True)
+                          if d["weight"] >= 8)
+    newman = newman_modularity_communities(strong, max_communities=NUM_COMMUNITIES)
+    kclique = k_clique_communities(strong, k=3)
+    local = local_community(strong, seed=0)
+    return graph, newman, kclique, local
+
+
+def accuracy(assignment: CommunityAssignment, truth: dict) -> float:
+    """Fraction of node pairs whose same-community relation matches the truth."""
+    nodes = sorted(truth)
+    agree = total = 0
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            total += 1
+            if (truth[a] == truth[b]) == assignment.same_community(a, b):
+                agree += 1
+    return agree / total if total else 1.0
+
+
+def run_protocol(trace, protocol, communities):
+    simulator, world = build_trace_world(
+        trace, protocol=protocol, communities=communities, seed=7,
+        buffer_capacity=20 * 1024 * 1024)
+    spec = TrafficSpec(interval=(30.0, 50.0), size=25 * 1024, ttl=1800.0, copies=8)
+    MessageEventGenerator(simulator, world, spec)
+    simulator.run(until=DURATION)
+    return world.stats
+
+
+def main() -> None:
+    print("Generating a community-structured contact trace "
+          f"({NUM_NODES} nodes, {NUM_COMMUNITIES} communities)...")
+    trace, truth = community_structured_trace(
+        num_nodes=NUM_NODES, num_communities=NUM_COMMUNITIES, duration=DURATION,
+        intra_period=150.0, inter_period=1800.0, seed=11)
+    print(f"  {len(trace)} contact events, {len(trace.contacts())} contacts")
+
+    graph, newman, kclique, local = detect_communities(trace)
+    detected = CommunityAssignment.from_groups(newman)
+    print("\nCommunity detection on the observed contact graph:")
+    print(f"  Newman modularity : {len(newman)} communities, "
+          f"pairwise accuracy {accuracy(detected, truth):.2%}")
+    print(f"  k-clique (k=3)    : {len(kclique)} communities")
+    print(f"  local (seed 0)    : community of node 0 has {len(local)} members")
+
+    print("\nRouting on the same trace (detected communities drive CR):")
+    cr_stats = run_protocol(trace, "cr", detected.as_dict())
+    snw_stats = run_protocol(trace, "spray-and-wait", detected.as_dict())
+    for name, stats in (("CR", cr_stats), ("Spray-and-Wait", snw_stats)):
+        print(f"  {name:15s} delivery={stats.delivery_ratio:.2f} "
+              f"latency={stats.average_latency:6.1f} s goodput={stats.goodput:.3f} "
+              f"control rows={stats.control_rows_exchanged}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Write, register and evaluate a custom DTN routing protocol.
+
+The library's router API is small: subclass
+:class:`repro.routing.base.Router` (or
+:class:`repro.routing.active.ContactAwareRouter` if you need per-peer contact
+history), implement ``on_update`` and optionally the contact hooks, register
+the class, and the whole experiment stack (scenarios, sweeps, figures) can use
+it by name.
+
+The example implements "Spray-and-Expect": binary spraying like
+Spray-and-Wait, but the *last* replica is forwarded to an encounter whose
+expected encounter value over the message's residual TTL is higher — a small
+remix of the paper's ingredients — and compares it against Spray-and-Wait and
+EER on the same scenario.
+
+Run with::
+
+    python examples/custom_router.py
+"""
+
+from repro.core.expectation import expected_encounter_value
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments.tables import format_report_table
+from repro.routing.active import ContactAwareRouter
+from repro.routing.registry import register_router
+
+
+class SprayAndExpectRouter(ContactAwareRouter):
+    """Binary spray + EEV-guided forwarding of the last replica."""
+
+    name = "spray-and-expect"
+
+    def __init__(self, alpha: float = 0.28, window_size: int = 20) -> None:
+        super().__init__(window_size=window_size)
+        self.alpha = alpha
+
+    def expected_ev(self, now: float, horizon: float) -> float:
+        assert self.history is not None
+        return expected_encounter_value(self.history, now, horizon)
+
+    def on_update(self, now: float) -> None:
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            if not self.is_first_evaluation(connection):
+                continue
+            peer = connection.other(self.node)
+            peer_router = peer.router
+            if not isinstance(peer_router, SprayAndExpectRouter):
+                continue
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue
+                if self.peer_has(connection, message.message_id):
+                    continue
+                if self.has_pending_transfer(message.message_id):
+                    continue
+                if message.copies > 1:
+                    # spray phase: binary split, as in Spray-and-Wait
+                    self.send(connection, message, copies=message.copies // 2)
+                else:
+                    # "expect" phase: hand the last replica to a node that is
+                    # about to meet more nodes within the residual TTL
+                    horizon = self.alpha * max(0.0, message.residual_ttl(now))
+                    if (peer_router.expected_ev(now, horizon)
+                            > 1.25 * self.expected_ev(now, horizon)):
+                        self.send(connection, message, copies=1, forwarding=True)
+
+
+def main() -> None:
+    register_router("spray-and-expect", SprayAndExpectRouter)
+
+    reports = []
+    for protocol in ("spray-and-wait", "spray-and-expect", "eer"):
+        config = ScenarioConfig.bench_scale(protocol=protocol, num_nodes=48,
+                                            sim_time=2000.0, seed=2)
+        print(f"Running {protocol} ...")
+        reports.append(run_scenario(config))
+
+    print()
+    print(format_report_table(reports))
+    print("\n'spray-and-expect' shows how little code a new protocol needs; "
+          "see repro/routing/ for the full-fledged implementations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The replica-quota trade-off (Figures 3 and 4).
+
+Sweeps the initial replica count lambda for EER and CR and prints how the
+delivery ratio, latency and goodput move — the paper's conclusion is that a
+larger lambda buys delivery ratio and a little latency at the cost of
+goodput, so picking lambda is a tradeoff.
+
+Run with::
+
+    python examples/lambda_tradeoff.py
+    python examples/lambda_tradeoff.py --protocol cr --nodes 64
+"""
+
+import argparse
+
+from repro.experiments import ScenarioConfig
+from repro.experiments.figures import figure3_lambda_eer, figure4_lambda_cr
+from repro.experiments.tables import format_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--protocol", choices=("eer", "cr"), default="eer")
+    parser.add_argument("--nodes", type=int, default=48)
+    parser.add_argument("--lambdas", type=int, nargs="+", default=[6, 8, 10, 12])
+    parser.add_argument("--seeds", type=int, default=1)
+    args = parser.parse_args()
+
+    base = ScenarioConfig.bench_scale(sim_time=1800.0)
+    seeds = tuple(range(1, args.seeds + 1))
+    driver = figure3_lambda_eer if args.protocol == "eer" else figure4_lambda_cr
+    print(f"Sweeping lambda={args.lambdas} for {args.protocol.upper()} "
+          f"at {args.nodes} nodes...")
+    figure = driver(node_counts=(args.nodes,), lambdas=args.lambdas,
+                    seeds=seeds, base=base)
+
+    print()
+    print(format_figure(figure))
+
+    print("Summary (averaged over node counts):")
+    for lam in args.lambdas:
+        label = f"lambda={lam}"
+        print(f"  {label:10s} delivery={figure.mean_value('delivery_ratio', label):.3f} "
+              f"latency={figure.mean_value('average_latency', label):6.1f} s "
+              f"goodput={figure.mean_value('goodput', label):.4f}")
+
+
+if __name__ == "__main__":
+    main()

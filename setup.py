@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+legacy installation paths (``python setup.py develop``) keep working in
+offline environments that lack the ``wheel`` package required by PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

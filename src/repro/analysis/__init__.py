@@ -1,0 +1,24 @@
+"""Analysis helpers: summary statistics, series utilities and text rendering."""
+
+from repro.analysis.stats import mean_confidence_interval, summarize
+from repro.analysis.series import (
+    series_to_arrays,
+    is_monotonic,
+    crossover_points,
+    relative_factor,
+    rank_series,
+)
+from repro.analysis.render import render_ascii_chart, figure_to_json, figure_to_csv
+
+__all__ = [
+    "mean_confidence_interval",
+    "summarize",
+    "series_to_arrays",
+    "is_monotonic",
+    "crossover_points",
+    "relative_factor",
+    "rank_series",
+    "render_ascii_chart",
+    "figure_to_json",
+    "figure_to_csv",
+]

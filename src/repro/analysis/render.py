@@ -1,0 +1,77 @@
+"""Rendering figure results: ASCII charts, JSON and CSV exports."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.figures import FigureResult
+
+
+def render_ascii_chart(series_by_label: Dict[str, Sequence[Tuple[float, float]]],
+                       width: int = 60, height: int = 16,
+                       title: str = "") -> str:
+    """Render one metric's curves as a simple ASCII scatter chart.
+
+    Each series gets a distinct marker; the chart is meant for quick terminal
+    inspection of shapes (who is on top, does a curve rise or fall), not for
+    publication.
+    """
+    markers = "ox+*#@%&"
+    points: List[Tuple[float, float, str]] = []
+    for index, (label, series) in enumerate(series_by_label.items()):
+        marker = markers[index % len(markers)]
+        for x, y in series:
+            points.append((float(x), float(y), marker))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    legend = ", ".join(f"{markers[i % len(markers)]}={label}"
+                       for i, label in enumerate(series_by_label))
+    lines.append(f"y: [{min_y:.3g}, {max_y:.3g}]   x: [{min_x:.3g}, {max_x:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def figure_to_json(figure: FigureResult, path: Optional[str] = None) -> str:
+    """Serialise a figure to JSON (optionally writing it to *path*)."""
+    payload = json.dumps(figure.as_dict(), indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return payload
+
+
+def figure_to_csv(figure: FigureResult, metric: str,
+                  path: Optional[str] = None) -> str:
+    """Serialise one metric of a figure to CSV (series per column)."""
+    series_map = figure.metrics.get(metric, {})
+    xs = sorted({x for points in series_map.values() for x, _ in points})
+    labels = list(series_map)
+    lines = [",".join([figure.x_label] + labels)]
+    for x in xs:
+        row = [f"{x:g}"]
+        for label in labels:
+            by_x = dict(series_map[label])
+            row.append(f"{by_x[x]:.6g}" if x in by_x else "")
+        lines.append(",".join(row))
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

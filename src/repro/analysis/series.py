@@ -1,0 +1,94 @@
+"""Series utilities used to assert figure *shapes*.
+
+The reproduction cannot match the paper's absolute numbers (different
+substrate, synthetic map), but the qualitative shapes — which protocol wins a
+metric, by roughly what factor, whether a curve rises or falls with the swept
+parameter, where two curves cross — are checkable.  These helpers turn
+figure series into those checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def series_to_arrays(points: Sequence[Tuple[float, float]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``[(x, y), ...]`` into sorted x and y arrays."""
+    if not points:
+        return np.array([]), np.array([])
+    ordered = sorted(points)
+    xs = np.array([x for x, _ in ordered], dtype=float)
+    ys = np.array([y for _, y in ordered], dtype=float)
+    return xs, ys
+
+
+def is_monotonic(points: Sequence[Tuple[float, float]], increasing: bool = True,
+                 tolerance: float = 0.0) -> bool:
+    """Whether the series is (weakly) monotonic in the given direction.
+
+    Parameters
+    ----------
+    points:
+        ``(x, y)`` pairs.
+    increasing:
+        Direction to check.
+    tolerance:
+        Allowed violation per step (absolute), to absorb seed noise.
+    """
+    _, ys = series_to_arrays(points)
+    if ys.size < 2:
+        return True
+    deltas = np.diff(ys)
+    if increasing:
+        return bool(np.all(deltas >= -tolerance))
+    return bool(np.all(deltas <= tolerance))
+
+
+def crossover_points(series_a: Sequence[Tuple[float, float]],
+                     series_b: Sequence[Tuple[float, float]]) -> List[float]:
+    """x positions where series A and B cross (linear interpolation).
+
+    Both series must be sampled at the same x values; points present in only
+    one series are ignored.
+    """
+    a = dict(series_a)
+    b = dict(series_b)
+    xs = sorted(set(a) & set(b))
+    crossings: List[float] = []
+    for x0, x1 in zip(xs[:-1], xs[1:]):
+        d0 = a[x0] - b[x0]
+        d1 = a[x1] - b[x1]
+        if d0 == 0:
+            crossings.append(x0)
+        elif d0 * d1 < 0:
+            # linear interpolation of the sign change
+            frac = abs(d0) / (abs(d0) + abs(d1))
+            crossings.append(x0 + frac * (x1 - x0))
+    if xs and (a[xs[-1]] - b[xs[-1]]) == 0:
+        crossings.append(xs[-1])
+    return crossings
+
+
+def relative_factor(series_a: Sequence[Tuple[float, float]],
+                    series_b: Sequence[Tuple[float, float]]) -> float:
+    """Mean of A/B over the common x values (``nan`` if no overlap).
+
+    Used for claims like "MaxProp's goodput is about 20 % of EER's".
+    """
+    a = dict(series_a)
+    b = dict(series_b)
+    ratios = [a[x] / b[x] for x in set(a) & set(b) if b[x] not in (0.0, float("inf"))]
+    if not ratios:
+        return float("nan")
+    return float(np.mean(ratios))
+
+
+def rank_series(series_by_label: dict, higher_is_better: bool = True) -> List[str]:
+    """Order series labels by their mean y value (best first)."""
+    means = {}
+    for label, points in series_by_label.items():
+        _, ys = series_to_arrays(points)
+        means[label] = float(np.mean(ys)) if ys.size else float("-inf")
+    return sorted(means, key=lambda label: means[label], reverse=higher_is_better)

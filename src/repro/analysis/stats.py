@@ -1,0 +1,71 @@
+"""Summary statistics for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             confidence: float = 0.95) -> Tuple[float, float]:
+    """Mean and half-width of the Student-t confidence interval.
+
+    The paper plots the average of 10 simulation runs per point; the half
+    width quantifies how much those averages can be trusted.
+
+    Returns ``(mean, half_width)``; the half width is 0 for fewer than two
+    samples.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        return float("nan"), 0.0
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, arr.size - 1))
+    return mean, t_value * sem
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a metric sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` over the finite entries of *values*."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

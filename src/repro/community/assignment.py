@@ -1,0 +1,83 @@
+"""Community assignments.
+
+A :class:`CommunityAssignment` is an explicit node -> community mapping with
+the handful of queries the CR protocol and its tests need.  It can be built
+directly (predefined communities, as the paper does), from a detection
+algorithm's output (a list of member sets), or round-robin for synthetic
+scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+class CommunityAssignment:
+    """An explicit partition of node ids into communities."""
+
+    def __init__(self, mapping: Mapping[int, int]) -> None:
+        if not mapping:
+            raise ValueError("community assignment cannot be empty")
+        self._community_of: Dict[int, int] = {int(k): int(v) for k, v in mapping.items()}
+        self._members: Dict[int, List[int]] = {}
+        for node, community in sorted(self._community_of.items()):
+            self._members.setdefault(community, []).append(node)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def round_robin(cls, num_nodes: int, num_communities: int) -> "CommunityAssignment":
+        """Assign ``num_nodes`` nodes to communities cyclically."""
+        if num_nodes < 1 or num_communities < 1:
+            raise ValueError("need at least one node and one community")
+        return cls({node: node % num_communities for node in range(num_nodes)})
+
+    @classmethod
+    def from_groups(cls, groups: Sequence[Iterable[int]]) -> "CommunityAssignment":
+        """Build from a list of member collections (one per community).
+
+        Overlapping membership (possible with k-clique percolation) is
+        resolved in favour of the first group listing the node, matching the
+        paper's single-community-per-node simplification.
+        """
+        mapping: Dict[int, int] = {}
+        for community, members in enumerate(groups):
+            for node in members:
+                mapping.setdefault(int(node), community)
+        return cls(mapping)
+
+    # ----------------------------------------------------------------- queries
+    def community_of(self, node_id: int) -> int:
+        """Community of *node_id* (raises ``KeyError`` if unknown)."""
+        return self._community_of[int(node_id)]
+
+    def members(self, community_id: int) -> List[int]:
+        """Members of *community_id* (empty list if unknown)."""
+        return list(self._members.get(int(community_id), []))
+
+    def communities(self) -> Dict[int, List[int]]:
+        """Mapping community id -> member list."""
+        return {cid: list(members) for cid, members in self._members.items()}
+
+    def nodes(self) -> List[int]:
+        """All assigned node ids."""
+        return sorted(self._community_of)
+
+    @property
+    def num_communities(self) -> int:
+        """Number of distinct communities."""
+        return len(self._members)
+
+    def same_community(self, a: int, b: int) -> bool:
+        """Whether nodes *a* and *b* share a community."""
+        return self.community_of(a) == self.community_of(b)
+
+    def as_dict(self) -> Dict[int, int]:
+        """Plain node -> community dictionary (copy)."""
+        return dict(self._community_of)
+
+    def __len__(self) -> int:
+        return len(self._community_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CommunityAssignment({len(self._community_of)} nodes, "
+                f"{self.num_communities} communities)")

@@ -1,0 +1,87 @@
+"""Contact graphs for community detection.
+
+Community detection works on an *aggregate contact graph*: nodes are DTN
+nodes, edge weights summarise how strongly two nodes are connected over the
+observation window (number of contacts or total contact duration).  Two
+builders are provided: one from a node's own contact history (local view) and
+one from the collector's global contact records (oracle view used by the
+examples and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+
+from repro.contacts.history import ContactHistory
+from repro.metrics.events import ContactRecord
+
+
+def contact_graph_from_history(histories: Iterable[ContactHistory],
+                               min_contacts: int = 1) -> nx.Graph:
+    """Build an aggregate contact graph from per-node contact histories.
+
+    Parameters
+    ----------
+    histories:
+        One :class:`~repro.contacts.history.ContactHistory` per node.
+    min_contacts:
+        Minimum number of recorded contacts for an edge to appear.
+
+    Returns
+    -------
+    networkx.Graph
+        Undirected graph with ``weight`` = number of contacts and
+        ``mean_interval`` = average recorded meeting interval (``None`` when
+        fewer than two contacts were recorded).
+    """
+    graph = nx.Graph()
+    for history in histories:
+        graph.add_node(history.owner_id)
+        for peer in history.peers():
+            count = history.contact_count(peer)
+            if count < min_contacts:
+                continue
+            mean = history.mean_interval(peer)
+            if graph.has_edge(history.owner_id, peer):
+                # keep the larger of the two (histories should agree, but
+                # sliding windows may have trimmed one side differently)
+                existing = graph[history.owner_id][peer]
+                existing["weight"] = max(existing["weight"], count)
+                if mean is not None:
+                    if existing.get("mean_interval") is None:
+                        existing["mean_interval"] = mean
+                    else:
+                        existing["mean_interval"] = min(existing["mean_interval"], mean)
+            else:
+                graph.add_edge(history.owner_id, peer, weight=count,
+                               mean_interval=mean)
+    return graph
+
+
+def aggregate_contact_graph(records: Iterable[ContactRecord],
+                            num_nodes: Optional[int] = None,
+                            use_duration: bool = False) -> nx.Graph:
+    """Build an aggregate contact graph from the collector's contact records.
+
+    Parameters
+    ----------
+    records:
+        Closed contacts recorded by the statistics collector.
+    num_nodes:
+        If given, nodes ``0..num_nodes-1`` are added even when isolated.
+    use_duration:
+        Weight edges by total contact duration instead of contact count.
+    """
+    graph = nx.Graph()
+    if num_nodes is not None:
+        graph.add_nodes_from(range(num_nodes))
+    weights: Dict[tuple, float] = {}
+    for record in records:
+        key = (record.node_a, record.node_b)
+        amount = (record.duration or 0.0) if use_duration else 1.0
+        weights[key] = weights.get(key, 0.0) + amount
+    for (a, b), weight in weights.items():
+        graph.add_edge(a, b, weight=weight)
+    return graph

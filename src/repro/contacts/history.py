@@ -1,0 +1,116 @@
+"""Per-node contact histories.
+
+Each node keeps, for every peer it has ever met, a bounded sliding window of
+*meeting intervals* (the time between the starts of consecutive contacts) and
+the time of the last contact.  This is exactly the state the paper's
+Theorems 1, 2 and 4 consume: the recorded set
+:math:`R_{ij} = \\{\\Delta t^{ij}_1, ..., \\Delta t^{ij}_{r_{ij}}\\}` and
+:math:`t^{ij}_0`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+
+class ContactHistory:
+    """Sliding-window record of meeting intervals with every peer.
+
+    Parameters
+    ----------
+    owner_id:
+        The node this history belongs to (used only for error messages and
+        sanity checks).
+    window_size:
+        Maximum number of meeting intervals kept per peer; older intervals
+        fall out of the window (the paper's "set of sliding windows").
+    """
+
+    def __init__(self, owner_id: int, window_size: int = 20) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be at least 1")
+        self.owner_id = int(owner_id)
+        self.window_size = int(window_size)
+        self._intervals: Dict[int, Deque[float]] = {}
+        self._last_contact: Dict[int, float] = {}
+        self._contact_counts: Dict[int, int] = {}
+
+    # ---------------------------------------------------------------- record
+    def record_contact(self, peer_id: int, now: float) -> Optional[float]:
+        """Record a contact with *peer_id* starting at time *now*.
+
+        Returns the meeting interval added to the window (``None`` for the
+        very first contact with this peer, which only sets
+        :math:`t^{ij}_0`).
+        """
+        peer_id = int(peer_id)
+        if peer_id == self.owner_id:
+            raise ValueError("a node cannot record a contact with itself")
+        if now < 0:
+            raise ValueError("contact time must be non-negative")
+        last = self._last_contact.get(peer_id)
+        interval: Optional[float] = None
+        if last is not None:
+            if now < last:
+                raise ValueError(
+                    f"contact at t={now} precedes the last recorded contact at t={last}")
+            interval = now - last
+            window = self._intervals.setdefault(
+                peer_id, deque(maxlen=self.window_size))
+            window.append(interval)
+        self._last_contact[peer_id] = float(now)
+        self._contact_counts[peer_id] = self._contact_counts.get(peer_id, 0) + 1
+        return interval
+
+    # ----------------------------------------------------------------- query
+    def peers(self) -> List[int]:
+        """Peers this node has met at least once."""
+        return list(self._last_contact)
+
+    def has_met(self, peer_id: int) -> bool:
+        """Whether the node has ever met *peer_id*."""
+        return int(peer_id) in self._last_contact
+
+    def contact_count(self, peer_id: int) -> int:
+        """Number of contacts recorded with *peer_id*."""
+        return self._contact_counts.get(int(peer_id), 0)
+
+    def intervals(self, peer_id: int) -> List[float]:
+        """The recorded meeting intervals with *peer_id* (may be empty)."""
+        window = self._intervals.get(int(peer_id))
+        return list(window) if window is not None else []
+
+    def last_contact(self, peer_id: int) -> Optional[float]:
+        """Start time of the most recent contact with *peer_id*, or ``None``."""
+        return self._last_contact.get(int(peer_id))
+
+    def elapsed_since(self, peer_id: int, now: float) -> Optional[float]:
+        """Elapsed time since the last contact with *peer_id*, or ``None``."""
+        last = self._last_contact.get(int(peer_id))
+        if last is None:
+            return None
+        return max(0.0, now - last)
+
+    def mean_interval(self, peer_id: int) -> Optional[float]:
+        """Average recorded meeting interval with *peer_id*.
+
+        This is the value :math:`I_{ij}` that populates the node's own row of
+        the MI matrix.  ``None`` if fewer than one interval is recorded.
+        """
+        window = self._intervals.get(int(peer_id))
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def total_intervals(self) -> int:
+        """Total number of recorded intervals across all peers."""
+        return sum(len(w) for w in self._intervals.values())
+
+    def snapshot(self) -> Dict[int, List[float]]:
+        """A copy of all windows (peer -> interval list), for inspection."""
+        return {peer: list(window) for peer, window in self._intervals.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ContactHistory(owner={self.owner_id}, peers={len(self._last_contact)}, "
+                f"intervals={self.total_intervals()})")

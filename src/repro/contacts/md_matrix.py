@@ -1,0 +1,79 @@
+"""Building the expected-meeting-delay matrix (MD).
+
+Section III-B.2 of the paper: when node :math:`u_i` needs to make a
+single-replica forwarding decision it builds an ``n x n`` matrix ``MD`` whose
+own row holds the elapsed-time-conditioned expected meeting delays
+:math:`D_{ij}` (Theorem 2) and whose remaining entries are approximated by the
+average meeting intervals :math:`I_{jk}` taken from the exchanged MI matrix.
+The minimum expected meeting delay (MEMD, Theorem 3) is then the Dijkstra
+shortest path over ``MD``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.contacts.history import ContactHistory
+from repro.contacts.mi_matrix import MeetingIntervalMatrix
+from repro.core.expectation import OverduePolicy, expected_meeting_delay
+
+
+def build_delay_matrix(history: ContactHistory, mi: MeetingIntervalMatrix,
+                       now: float,
+                       overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                       node_filter: Optional[np.ndarray] = None) -> np.ndarray:
+    """Build node ``owner``'s MD matrix at time *now*.
+
+    Parameters
+    ----------
+    history:
+        The owner's contact history (provides Theorem 2 inputs for its row).
+    mi:
+        The owner's meeting-interval matrix (provides all other rows).
+    now:
+        Current simulation time.
+    overdue_policy:
+        How to handle peers whose elapsed time exceeds every recorded
+        interval (see :class:`repro.core.expectation.OverduePolicy`).
+    node_filter:
+        Optional boolean mask of length ``n``; nodes outside the mask are
+        disconnected (used for the CR protocol's *intra-community* MD, which
+        is restricted to the destination community's members).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` matrix with ``inf`` for unknown links and 0 on the
+        diagonal.
+    """
+    n = mi.num_nodes
+    owner = mi.owner_id
+    if history.owner_id != owner:
+        raise ValueError("history and MI matrix belong to different nodes")
+    md = mi.values.copy()
+    # Owner's row: Theorem 2 conditioned on the elapsed time since last contact.
+    own_row = np.full(n, np.inf)
+    own_row[owner] = 0.0
+    for peer in history.peers():
+        if not 0 <= peer < n:
+            continue
+        intervals = history.intervals(peer)
+        elapsed = history.elapsed_since(peer, now)
+        if elapsed is None:
+            continue
+        emd = expected_meeting_delay(intervals, elapsed, overdue_policy)
+        if emd is not None:
+            own_row[peer] = emd
+    md[owner, :] = own_row
+    np.fill_diagonal(md, 0.0)
+    if node_filter is not None:
+        mask = np.asarray(node_filter, dtype=bool)
+        if mask.shape != (n,):
+            raise ValueError("node_filter must have one entry per node")
+        excluded = ~mask
+        md[excluded, :] = np.inf
+        md[:, excluded] = np.inf
+        np.fill_diagonal(md, 0.0)
+    return md

@@ -1,0 +1,121 @@
+"""The meeting-interval matrix (MI).
+
+Every EER node maintains an ``n x n`` matrix of average meeting intervals
+:math:`I_{ij}`.  A node is authoritative only for its own row; the rest of the
+matrix is learned by exchanging rows with encountered peers.  Each row carries
+a *last update time*; during an exchange only rows with fresher timestamps are
+copied (the paper's footnote 1), which is what the control-overhead metric of
+the CR comparison counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class MeetingIntervalMatrix:
+    """An exchangeable matrix of average pairwise meeting intervals.
+
+    Unknown entries are ``inf`` (never-met pairs have no finite expected
+    meeting interval); diagonal entries are 0 by definition.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total number of nodes ``n`` in the network (node ids ``0..n-1``).
+    owner_id:
+        The node this instance belongs to.
+    """
+
+    def __init__(self, num_nodes: int, owner_id: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        if not 0 <= owner_id < num_nodes:
+            raise ValueError(f"owner_id {owner_id} out of range for n={num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.owner_id = int(owner_id)
+        self._values = np.full((num_nodes, num_nodes), np.inf)
+        np.fill_diagonal(self._values, 0.0)
+        self._row_updated = np.full(num_nodes, -np.inf)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def values(self) -> np.ndarray:
+        """The ``(n, n)`` matrix (a live view; treat as read-only)."""
+        return self._values
+
+    @property
+    def row_update_times(self) -> np.ndarray:
+        """Per-row last-update timestamps (``-inf`` for never-updated rows)."""
+        return self._row_updated
+
+    def interval(self, i: int, j: int) -> float:
+        """The stored average meeting interval between nodes *i* and *j*."""
+        return float(self._values[i, j])
+
+    def known_rows(self) -> int:
+        """Number of rows that have been updated at least once."""
+        return int(np.sum(np.isfinite(self._row_updated)))
+
+    # -------------------------------------------------------------- own row
+    def update_own_row(self, averages: Dict[int, float], now: float) -> None:
+        """Refresh the owner's row from its contact history.
+
+        Parameters
+        ----------
+        averages:
+            Mapping peer id -> average meeting interval (:math:`I_{ij}`).
+            Peers absent from the mapping keep their previous value.
+        now:
+            Timestamp recorded for the row.
+        """
+        i = self.owner_id
+        for peer, value in averages.items():
+            peer = int(peer)
+            if peer == i:
+                continue
+            if not 0 <= peer < self.num_nodes:
+                raise IndexError(f"peer id {peer} out of range")
+            if value <= 0:
+                raise ValueError(f"average meeting interval must be positive, got {value}")
+            self._values[i, peer] = float(value)
+        self._row_updated[i] = float(now)
+
+    # -------------------------------------------------------------- exchange
+    def merge_from(self, other: "MeetingIntervalMatrix") -> int:
+        """Copy every row of *other* that is fresher than ours.
+
+        The owner's own row is never overwritten (a node is authoritative for
+        its own measurements).  Returns the number of rows copied, which the
+        routers report as control-plane exchange overhead.
+        """
+        if other.num_nodes != self.num_nodes:
+            raise ValueError("cannot merge MI matrices of different sizes")
+        fresher = other._row_updated > self._row_updated
+        fresher[self.owner_id] = False
+        rows = np.nonzero(fresher)[0]
+        if rows.size:
+            self._values[rows, :] = other._values[rows, :]
+            self._row_updated[rows] = other._row_updated[rows]
+        return int(rows.size)
+
+    def rows_fresher_than(self, other: "MeetingIntervalMatrix") -> int:
+        """How many of our rows are fresher than *other*'s (exchange size)."""
+        if other.num_nodes != self.num_nodes:
+            raise ValueError("cannot compare MI matrices of different sizes")
+        fresher = self._row_updated > other._row_updated
+        fresher[other.owner_id] = False
+        return int(np.count_nonzero(fresher))
+
+    def copy(self) -> "MeetingIntervalMatrix":
+        """Deep copy (used by tests and the trace tooling)."""
+        clone = MeetingIntervalMatrix(self.num_nodes, self.owner_id)
+        clone._values = self._values.copy()
+        clone._row_updated = self._row_updated.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MeetingIntervalMatrix(n={self.num_nodes}, owner={self.owner_id}, "
+                f"known_rows={self.known_rows()})")

@@ -1,0 +1,48 @@
+"""The paper's contribution: contact-expectation routing.
+
+* :mod:`repro.core.expectation` — Theorem 1 (expected encounter value),
+  Theorem 2 (expected meeting delay) and Theorem 4 (expected number of
+  encountering communities), plus the conditional encounter probability they
+  all share.
+* :mod:`repro.core.replication` — the proportional replica-splitting rule.
+* :mod:`repro.core.eer` — the Expected Encounter based Routing protocol
+  (Algorithm 1).
+* :mod:`repro.core.cr` — the Community based Routing protocol
+  (Algorithms 2-4).
+
+The two router classes are exported lazily (PEP 562) so that the substrate
+packages (``repro.contacts`` uses Theorem 2 when building MD matrices) can
+import the expectation primitives without pulling in the full routing stack.
+"""
+
+from repro.core.expectation import (
+    OverduePolicy,
+    conditional_encounter_probability,
+    expected_encounter_value,
+    expected_meeting_delay,
+    community_encounter_probability,
+    expected_num_encountering_communities,
+)
+from repro.core.replication import split_replicas
+
+__all__ = [
+    "OverduePolicy",
+    "conditional_encounter_probability",
+    "expected_encounter_value",
+    "expected_meeting_delay",
+    "community_encounter_probability",
+    "expected_num_encountering_communities",
+    "split_replicas",
+    "EERRouter",
+    "CommunityRouter",
+]
+
+
+def __getattr__(name):
+    if name == "EERRouter":
+        from repro.core.eer import EERRouter
+        return EERRouter
+    if name == "CommunityRouter":
+        from repro.core.cr import CommunityRouter
+        return CommunityRouter
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

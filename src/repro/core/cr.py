@@ -1,0 +1,319 @@
+"""The Community based Routing protocol (CR, Algorithms 2-4).
+
+CR assumes the nodes are partitioned into communities with much higher
+intra-community contact rates than inter-community ones, and routes in two
+regimes:
+
+* **Inter-community routing** (the holder is outside the destination's
+  community, Algorithm 3): replicas are pushed toward the destination
+  community.  If the encountered node *is* in the destination community it
+  receives all replicas.  Otherwise quotas are split proportionally to the two
+  nodes' expected numbers of encountering communities (``ENEC``, Theorem 4),
+  and a lone replica is forwarded to the node with the higher probability
+  ``P_ic`` of meeting the destination community within the horizon.
+* **Intra-community routing** (the holder is already inside the destination's
+  community, Algorithm 4): EER-style behaviour restricted to the community —
+  quota splits by intra-community EEV', single-copy forwarding by
+  intra-community MEMD' — and messages are never handed back outside the
+  community.
+
+Because only the *intra-community* MI rows are exchanged (a community is much
+smaller than the whole network) and the inter-community phase exchanges only
+two scalars per contact, CR's control overhead is a fraction of EER's; the
+collector's ``control_rows_exchanged`` captures exactly this difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.contacts.md_matrix import build_delay_matrix
+from repro.contacts.memd import dijkstra_delays
+from repro.contacts.mi_matrix import MeetingIntervalMatrix
+from repro.core.expectation import (
+    OverduePolicy,
+    community_encounter_probability,
+    expected_encounter_value,
+    expected_num_encountering_communities,
+)
+from repro.core.replication import split_replicas
+from repro.net.connection import Connection
+from repro.net.message import Message
+from repro.routing.active import ContactAwareRouter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world.node import DTNNode
+
+
+class CommunityRouter(ContactAwareRouter):
+    """Community based Routing.
+
+    Parameters
+    ----------
+    alpha:
+        Horizon scaling factor applied to the residual TTL, as in EER.
+    window_size:
+        Sliding-window size of the contact history.
+    overdue_policy:
+        Fallback for overdue contacts (see
+        :class:`repro.core.expectation.OverduePolicy`).
+    memd_refresh:
+        Maximum staleness (seconds) of the cached intra-community MEMD vector
+        (see :class:`repro.core.eer.EERRouter`).
+    forward_margin:
+        Relative improvement required before the single replica is handed
+        over (applies to the inter-community ``P_ic`` comparison and the
+        intra-community MEMD' comparison); see
+        :class:`repro.core.eer.EERRouter` for the rationale.
+
+    Notes
+    -----
+    Every node in the world must have a community id assigned (the paper
+    predefines communities, footnote 2).  The scenario builder assigns
+    district-based communities for the bus scenario.
+    """
+
+    name = "cr"
+
+    def __init__(self, alpha: float = 0.28, window_size: int = 20,
+                 overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                 memd_refresh: float = 5.0, forward_margin: float = 0.35) -> None:
+        super().__init__(window_size=window_size)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if memd_refresh < 0:
+            raise ValueError("memd_refresh must be non-negative")
+        if not 0.0 <= forward_margin < 1.0:
+            raise ValueError("forward_margin must be in [0, 1)")
+        self.alpha = float(alpha)
+        self.overdue_policy = overdue_policy
+        self.memd_refresh = float(memd_refresh)
+        self.forward_margin = float(forward_margin)
+        self._intra_mi: Optional[MeetingIntervalMatrix] = None
+        self._communities: Optional[Dict[int, List[int]]] = None
+        self._community_of: Optional[Dict[int, int]] = None
+        self._memd_cache: Optional[np.ndarray] = None
+        self._memd_cache_time: float = -np.inf
+        self._memd_cache_revision: int = -1
+        self._revision = 0
+
+    # ----------------------------------------------------------- community map
+    @property
+    def community(self) -> int:
+        """This node's community id."""
+        assert self.node is not None
+        cid = self.node.community
+        if cid is None:
+            raise RuntimeError(
+                f"node {self.node.node_id} has no community; CommunityRouter "
+                "requires every node to have a community id")
+        return int(cid)
+
+    def _ensure_membership(self) -> None:
+        if self._communities is not None:
+            return
+        assert self.world is not None
+        communities: Dict[int, List[int]] = {}
+        community_of: Dict[int, int] = {}
+        for node in self.world.nodes:
+            if node.community is None:
+                raise RuntimeError(
+                    f"node {node.node_id} has no community; CommunityRouter "
+                    "requires a full community assignment")
+            communities.setdefault(int(node.community), []).append(node.node_id)
+            community_of[node.node_id] = int(node.community)
+        self._communities = communities
+        self._community_of = community_of
+
+    def communities(self) -> Dict[int, List[int]]:
+        """Mapping community id -> member node ids (network-wide, predefined)."""
+        self._ensure_membership()
+        assert self._communities is not None
+        return self._communities
+
+    def community_of(self, node_id: int) -> int:
+        """Community id of *node_id*."""
+        self._ensure_membership()
+        assert self._community_of is not None
+        return self._community_of[node_id]
+
+    def community_members(self, community_id: int) -> List[int]:
+        """Members of *community_id*."""
+        return self.communities().get(int(community_id), [])
+
+    # ------------------------------------------------------------ intra-MI state
+    @property
+    def intra_mi(self) -> MeetingIntervalMatrix:
+        """The intra-community meeting-interval matrix (lazily created)."""
+        if self._intra_mi is None:
+            assert self.world is not None
+            n = self.world.num_nodes
+            if self.node_id >= n:
+                raise RuntimeError("node ids must be 0..n-1 for the MI matrix")
+            self._intra_mi = MeetingIntervalMatrix(n, self.node_id)
+        return self._intra_mi
+
+    def _invalidate(self) -> None:
+        self._revision += 1
+
+    # --------------------------------------------------------------- predictions
+    def horizon_for(self, residual_ttl: float) -> float:
+        """Prediction horizon :math:`\\alpha \\cdot TTL_k`."""
+        return self.alpha * max(0.0, residual_ttl)
+
+    def enec(self, now: float, horizon: float) -> float:
+        """Expected number of encountering communities (Theorem 4)."""
+        assert self.history is not None
+        return expected_num_encountering_communities(
+            self.history, now, horizon, self.communities(), self.community,
+            self.overdue_policy)
+
+    def community_probability(self, community_id: int, now: float, horizon: float) -> float:
+        """Probability ``P_ic`` of meeting a member of *community_id* in the horizon."""
+        assert self.history is not None
+        return community_encounter_probability(
+            self.history, now, horizon, self.community_members(community_id),
+            self.overdue_policy)
+
+    def intra_expected_ev(self, now: float, horizon: float) -> float:
+        """Intra-community expected encounter value ``EEV'``."""
+        assert self.history is not None
+        own = self.community
+        return expected_encounter_value(
+            self.history, now, horizon, self.overdue_policy,
+            peer_filter=lambda peer: self.community_of(peer) == own)
+
+    def intra_memd_to(self, destination: int) -> float:
+        """Intra-community MEMD' from this node to *destination*."""
+        now = self.now
+        stale = (self._memd_cache is None
+                 or self._memd_cache_revision != self._revision
+                 or now - self._memd_cache_time > self.memd_refresh)
+        if stale:
+            assert self.history is not None
+            mask = np.zeros(self.intra_mi.num_nodes, dtype=bool)
+            for member in self.community_members(self.community):
+                if member < mask.shape[0]:
+                    mask[member] = True
+            md = build_delay_matrix(self.history, self.intra_mi, now,
+                                    self.overdue_policy, node_filter=mask)
+            self._memd_cache = dijkstra_delays(md, self.node_id)
+            self._memd_cache_time = now
+            self._memd_cache_revision = self._revision
+        assert self._memd_cache is not None
+        if not 0 <= destination < len(self._memd_cache):
+            return float("inf")
+        return float(self._memd_cache[destination])
+
+    # ------------------------------------------------------------------ contacts
+    def on_contact_recorded(self, connection: Connection, peer: "DTNNode") -> None:
+        assert self.history is not None
+        peer_router = peer.router
+        same_community = (peer.community is not None
+                          and int(peer.community) == self.community)
+        if same_community:
+            mean = self.history.mean_interval(peer.node_id)
+            updates: Dict[int, float] = {}
+            if mean is not None:
+                updates[peer.node_id] = mean
+            self.intra_mi.update_own_row(updates, self.now)
+            self._invalidate()
+        if not isinstance(peer_router, CommunityRouter):
+            return
+        if not self.is_exchange_initiator(peer):
+            return
+        if same_community:
+            # intra-community MI exchange, restricted to community members
+            to_me = self.intra_mi.merge_from(peer_router.intra_mi)
+            to_peer = peer_router.intra_mi.merge_from(self.intra_mi)
+            row_bytes = 8 * len(self.community_members(self.community))
+            self.stats.control_exchange(rows=to_me + to_peer,
+                                        size_bytes=(to_me + to_peer) * row_bytes)
+            self._invalidate()
+            peer_router._invalidate()
+        else:
+            # inter-community contacts exchange only two scalars
+            # (ENEC / P_ic summaries), counted as two rows of overhead
+            self.stats.control_exchange(rows=2, size_bytes=16)
+
+    # -------------------------------------------------------------------- update
+    def _destination_community(self, message: Message) -> int:
+        if message.dest_community is not None:
+            return int(message.dest_community)
+        return self.community_of(message.destination)
+
+    def on_update(self, now: float) -> None:
+        # Algorithm 2 is triggered "when ui meets uj": the buffer is evaluated
+        # once per meeting event (see EERRouter for the rationale).
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            peer = connection.other(self.node)
+            peer_router = peer.router
+            if not isinstance(peer_router, CommunityRouter):
+                continue
+            if not self.is_first_evaluation(connection):
+                continue
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue
+                if self.has_pending_transfer(message.message_id):
+                    continue
+                residual = message.residual_ttl(now)
+                if residual <= 0:
+                    continue
+                dest_community = self._destination_community(message)
+                if self.community != dest_community:
+                    self._inter_community_step(connection, peer, peer_router,
+                                               message, dest_community, now, residual)
+                else:
+                    self._intra_community_step(connection, peer, peer_router,
+                                               message, now, residual)
+
+    # ------------------------------------------------------------ Algorithm 3
+    def _inter_community_step(self, connection: Connection, peer: "DTNNode",
+                              peer_router: "CommunityRouter", message: Message,
+                              dest_community: int, now: float, residual: float) -> None:
+        if self.peer_has(connection, message.message_id):
+            return
+        peer_community = peer.community
+        if peer_community is not None and int(peer_community) == dest_community:
+            # the peer belongs to the destination community: hand everything over
+            self.send(connection, message, copies=message.copies, forwarding=True)
+            return
+        horizon = self.horizon_for(residual)
+        if message.copies > 1:
+            mine = self.enec(now, horizon)
+            theirs = peer_router.enec(now, horizon)
+            _, passed = split_replicas(message.copies, mine, theirs)
+            if passed >= 1:
+                self.send(connection, message, copies=passed, forwarding=False)
+        else:
+            mine = self.community_probability(dest_community, now, horizon)
+            theirs = peer_router.community_probability(dest_community, now, horizon)
+            if mine < (1.0 - self.forward_margin) * theirs:
+                self.send(connection, message, copies=1, forwarding=True)
+
+    # ------------------------------------------------------------ Algorithm 4
+    def _intra_community_step(self, connection: Connection, peer: "DTNNode",
+                              peer_router: "CommunityRouter", message: Message,
+                              now: float, residual: float) -> None:
+        peer_community = peer.community
+        if peer_community is None or int(peer_community) != self.community:
+            # never push a message back outside its destination community
+            return
+        if self.peer_has(connection, message.message_id):
+            return
+        horizon = self.horizon_for(residual)
+        if message.copies > 1:
+            mine = self.intra_expected_ev(now, horizon)
+            theirs = peer_router.intra_expected_ev(now, horizon)
+            _, passed = split_replicas(message.copies, mine, theirs)
+            if passed >= 1:
+                self.send(connection, message, copies=passed, forwarding=False)
+        else:
+            mine = self.intra_memd_to(message.destination)
+            theirs = peer_router.intra_memd_to(message.destination)
+            if theirs < (1.0 - self.forward_margin) * mine:
+                self.send(connection, message, copies=1, forwarding=True)

@@ -1,0 +1,211 @@
+"""Contact-expectation primitives (Theorems 1, 2 and 4 of the paper).
+
+All three theorems share one empirical building block: given the sliding
+window of recorded meeting intervals :math:`R_{ij}` with a peer and the
+elapsed time since the last contact, the probability that the *next* meeting
+falls within the coming horizon :math:`\\tau` is
+
+.. math::
+
+    P(\\Delta t^{ij} \\le t + \\tau - t^{ij}_0 \\mid \\Delta t^{ij} > t - t^{ij}_0)
+        = \\frac{m^{\\tau}_{ij}}{m_{ij}},
+
+where :math:`m_{ij}` counts recorded intervals longer than the elapsed time
+and :math:`m^{\\tau}_{ij}` counts those that additionally end within the
+horizon (Eq. 4 in the paper's appendix).
+
+The paper leaves one empirical corner case undefined: when the elapsed time
+since the last contact exceeds *every* recorded interval, :math:`m_{ij} = 0`
+and the conditional probability is 0/0.  :class:`OverduePolicy` makes the
+choice explicit; the default ``REFRESH`` treats the overdue meeting as a fresh
+renewal drawn from the full window, which is the standard empirical-renewal
+fallback and is what the reference experiments use.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a runtime cycle with repro.contacts,
+    # whose MD builder uses Theorem 2 from this module
+    from repro.contacts.history import ContactHistory
+
+
+class OverduePolicy(enum.Enum):
+    """What to assume when the elapsed time exceeds every recorded interval."""
+
+    #: treat the next meeting as a fresh renewal drawn from the full window
+    REFRESH = "refresh"
+    #: assume the meeting is imminent (probability 1, zero expected delay)
+    OPTIMISTIC = "optimistic"
+    #: assume nothing can be said (probability 0, unknown expected delay)
+    PESSIMISTIC = "pessimistic"
+
+
+# --------------------------------------------------------------------------- Theorem 1
+def conditional_encounter_probability(intervals: Sequence[float], elapsed: float,
+                                      horizon: float,
+                                      overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                                      ) -> float:
+    """Probability of meeting the peer within the next *horizon* seconds.
+
+    Parameters
+    ----------
+    intervals:
+        Recorded meeting intervals :math:`R_{ij}` (the sliding window).
+    elapsed:
+        Time since the last contact, :math:`t - t^{ij}_0` (non-negative).
+    horizon:
+        Prediction horizon :math:`\\tau` (non-negative).
+    overdue_policy:
+        Fallback when no recorded interval exceeds *elapsed*.
+
+    Returns
+    -------
+    float
+        :math:`m^{\\tau}_{ij} / m_{ij}` per Theorem 1, in ``[0, 1]``.
+        0 when there is no usable history.
+    """
+    if elapsed < 0:
+        raise ValueError(f"elapsed time must be non-negative, got {elapsed}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if not intervals:
+        return 0.0
+    conditioned = [dt for dt in intervals if dt > elapsed]
+    if conditioned:
+        within = sum(1 for dt in conditioned if dt <= elapsed + horizon)
+        return within / len(conditioned)
+    # overdue: every recorded interval is shorter than the elapsed time
+    if overdue_policy is OverduePolicy.OPTIMISTIC:
+        return 1.0
+    if overdue_policy is OverduePolicy.PESSIMISTIC:
+        return 0.0
+    within = sum(1 for dt in intervals if dt <= horizon)
+    return within / len(intervals)
+
+
+def expected_encounter_value(history: ContactHistory, now: float, horizon: float,
+                             overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                             peer_filter: Optional[Callable[[int], bool]] = None,
+                             ) -> float:
+    """Theorem 1: the expected encounter value ``EEV_i(t, tau)``.
+
+    The number of distinct peers the node expects to meet within
+    ``(now, now + horizon]``, i.e. the sum of the per-peer conditional
+    encounter probabilities.
+
+    Parameters
+    ----------
+    history:
+        The node's contact history.
+    now:
+        Current time :math:`t`.
+    horizon:
+        Horizon :math:`\\tau`; the EER protocol uses
+        :math:`\\alpha \\cdot TTL_k` of the message being routed.
+    overdue_policy:
+        See :class:`OverduePolicy`.
+    peer_filter:
+        Optional predicate restricting which peers count; the CR protocol's
+        intra-community EEV' passes a same-community filter.
+    """
+    total = 0.0
+    for peer in history.peers():
+        if peer_filter is not None and not peer_filter(peer):
+            continue
+        elapsed = history.elapsed_since(peer, now)
+        if elapsed is None:
+            continue
+        total += conditional_encounter_probability(
+            history.intervals(peer), elapsed, horizon, overdue_policy)
+    return total
+
+
+# --------------------------------------------------------------------------- Theorem 2
+def expected_meeting_delay(intervals: Sequence[float], elapsed: float,
+                           overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                           ) -> Optional[float]:
+    """Theorem 2: the expected meeting delay ``EMD_ij(t)``.
+
+    The expected remaining time until the next meeting, conditioned on the
+    elapsed time since the last contact:
+
+    .. math:: EMD_{ij}(t) = \\frac{1}{m_{ij}} \\sum_{\\Delta t \\in M_{ij}} \\Delta t
+              \\;-\\; (t - t^{ij}_0).
+
+    Returns ``None`` when nothing can be predicted (no recorded intervals, or
+    the pessimistic overdue policy applies).
+    """
+    if elapsed < 0:
+        raise ValueError(f"elapsed time must be non-negative, got {elapsed}")
+    if not intervals:
+        return None
+    conditioned = [dt for dt in intervals if dt > elapsed]
+    if conditioned:
+        return sum(conditioned) / len(conditioned) - elapsed
+    if overdue_policy is OverduePolicy.OPTIMISTIC:
+        return 0.0
+    if overdue_policy is OverduePolicy.PESSIMISTIC:
+        return None
+    # REFRESH: the overdue meeting is treated as a fresh renewal, so the
+    # expected residual wait is the plain mean interval.
+    return sum(intervals) / len(intervals)
+
+
+# --------------------------------------------------------------------------- Theorem 4
+def community_encounter_probability(history: ContactHistory, now: float, horizon: float,
+                                    members: Iterable[int],
+                                    overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                                    ) -> float:
+    """Probability ``P_ic`` of meeting at least one member of a community.
+
+    ``P_ic = 1 - prod_{u_j in C_c} (1 - P_ij)`` where :math:`P_{ij}` is the
+    conditional encounter probability of Theorem 1.  Members the node has
+    never met contribute probability 0.
+    """
+    miss = 1.0
+    for member in members:
+        if member == history.owner_id:
+            continue
+        elapsed = history.elapsed_since(member, now)
+        if elapsed is None:
+            continue
+        p = conditional_encounter_probability(
+            history.intervals(member), elapsed, horizon, overdue_policy)
+        miss *= (1.0 - p)
+        if miss == 0.0:
+            break
+    return 1.0 - miss
+
+
+def expected_num_encountering_communities(history: ContactHistory, now: float,
+                                          horizon: float,
+                                          communities: Mapping[int, Iterable[int]],
+                                          own_community: Optional[int],
+                                          overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                                          ) -> float:
+    """Theorem 4: the expected number of encountering communities ``ENEC_i(t, tau)``.
+
+    Parameters
+    ----------
+    history:
+        The node's contact history.
+    now, horizon:
+        As in :func:`expected_encounter_value`.
+    communities:
+        Mapping community id -> iterable of member node ids.
+    own_community:
+        The node's own community, which is excluded from the sum (the paper
+        sums over :math:`k \\ne CID_{u_i}`).
+    overdue_policy:
+        See :class:`OverduePolicy`.
+    """
+    total = 0.0
+    for community_id, members in communities.items():
+        if own_community is not None and community_id == own_community:
+            continue
+        total += community_encounter_probability(
+            history, now, horizon, members, overdue_policy)
+    return total

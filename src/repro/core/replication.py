@@ -1,0 +1,54 @@
+"""Proportional replica splitting.
+
+Both EER and CR hand over ``floor(M_k * w_peer / (w_self + w_peer))`` replicas
+of a message when two nodes meet (Section III-A.2 and Algorithms 1, 3, 4),
+where the weights are expected encounter values (EER, intra-community CR) or
+expected numbers of encountering communities (inter-community CR).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def split_replicas(total: int, weight_self: float, weight_peer: float,
+                   keep_at_least_one: bool = True) -> Tuple[int, int]:
+    """Split *total* replicas between the holder and the encountered peer.
+
+    Parameters
+    ----------
+    total:
+        The holder's replica quota :math:`M_k`; must be at least 1.
+    weight_self, weight_peer:
+        Non-negative expectation weights (EEV or ENEC values).
+    keep_at_least_one:
+        If ``True`` (the protocols' behaviour), the holder always keeps at
+        least one replica, so at most ``total - 1`` are passed.
+
+    Returns
+    -------
+    (kept, passed)
+        Number of replicas kept by the holder and handed to the peer.
+        ``kept + passed == total`` always holds.
+
+    Notes
+    -----
+    * When both weights are zero (no usable history on either side) the
+      replicas are split as evenly as possible, mirroring the
+      Spray-and-Wait-style binary split the protocols degenerate to without
+      history.
+    * ``passed`` is the floor of the proportional share, per the paper.
+    """
+    if total < 1:
+        raise ValueError(f"total replicas must be >= 1, got {total}")
+    if weight_self < 0 or weight_peer < 0:
+        raise ValueError("expectation weights must be non-negative")
+    denominator = weight_self + weight_peer
+    if denominator <= 0:
+        passed = total // 2
+    else:
+        passed = math.floor(total * (weight_peer / denominator))
+    max_passed = total - 1 if keep_at_least_one else total
+    passed = max(0, min(passed, max_passed))
+    return total - passed, passed

@@ -1,0 +1,37 @@
+"""Experiment drivers: scenario configuration, builders, runners and figures."""
+
+from repro.experiments.scenario import ScenarioConfig, MobilityKind
+from repro.experiments.builder import build_scenario, BuiltScenario
+from repro.experiments.runner import run_scenario, run_averaged, AveragedResult
+from repro.experiments.sweep import sweep, SweepPoint
+from repro.experiments.figures import (
+    figure2_comparison,
+    figure3_lambda_eer,
+    figure4_lambda_cr,
+    ablation_alpha,
+    ablation_ttl,
+    ablation_buffer,
+    FigureResult,
+)
+from repro.experiments.tables import format_series_table, format_report_table
+
+__all__ = [
+    "ScenarioConfig",
+    "MobilityKind",
+    "build_scenario",
+    "BuiltScenario",
+    "run_scenario",
+    "run_averaged",
+    "AveragedResult",
+    "sweep",
+    "SweepPoint",
+    "figure2_comparison",
+    "figure3_lambda_eer",
+    "figure4_lambda_cr",
+    "ablation_alpha",
+    "ablation_ttl",
+    "ablation_buffer",
+    "FigureResult",
+    "format_series_table",
+    "format_report_table",
+]

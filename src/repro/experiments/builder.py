@@ -1,0 +1,166 @@
+"""Turn a :class:`~repro.experiments.scenario.ScenarioConfig` into a runnable world."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.scenario import MobilityKind, ScenarioConfig
+from repro.metrics.collector import StatsCollector
+from repro.mobility.base import MovementModel
+from repro.mobility.community import CommunityLayout, CommunityMovement
+from repro.mobility.map_generator import assign_districts, generate_downtown_map
+from repro.mobility.map_route import BusRoute, MapRouteMovement, generate_bus_routes
+from repro.mobility.random_waypoint import RandomWaypointMovement
+from repro.mobility.roadmap import RoadMap
+from repro.mobility.shortest_path import ShortestPathMapBasedMovement
+from repro.net.generators import MessageEventGenerator, TrafficSpec
+from repro.routing.registry import create_router
+from repro.sim.engine import Simulator
+from repro.world.interface import Interface
+from repro.world.node import DTNNode
+from repro.world.world import World
+
+
+@dataclass
+class BuiltScenario:
+    """Everything :func:`build_scenario` assembles for one run."""
+
+    config: ScenarioConfig
+    simulator: Simulator
+    world: World
+    stats: StatsCollector
+    traffic: MessageEventGenerator
+    roadmap: Optional[RoadMap] = None
+    routes: Optional[List[BusRoute]] = None
+
+    def run(self) -> float:
+        """Run the simulation to the configured horizon; returns the end time."""
+        return self.simulator.run(until=self.config.sim_time)
+
+
+def _bus_movements(config: ScenarioConfig, simulator: Simulator):
+    """Build the bus-line mobility pieces: road map, routes, per-node models."""
+    roadmap = generate_downtown_map(
+        width=config.map_width, height=config.map_height,
+        spacing=config.map_spacing, seed=config.seed)
+    districts = assign_districts(roadmap, config.num_communities)
+    routes = generate_bus_routes(
+        roadmap, districts,
+        lines_per_district=config.lines_per_district,
+        stops_per_line=config.stops_per_line,
+        express_lines=config.express_lines,
+        seed=config.seed + 1)
+    movements: List[MovementModel] = []
+    communities: List[int] = []
+    for index in range(config.num_nodes):
+        route = routes[index % len(routes)]
+        movements.append(MapRouteMovement(
+            route, min_speed=config.min_speed, max_speed=config.max_speed,
+            stop_wait=config.stop_wait))
+        # Express lines have no home district; spread their buses round-robin
+        # over the communities so every node has a community id (the paper
+        # predefines a community for every node).
+        if route.district is not None:
+            communities.append(route.district)
+        else:
+            communities.append(index % config.num_communities)
+    return roadmap, routes, movements, communities
+
+
+def _community_movements(config: ScenarioConfig):
+    layout = CommunityLayout(area=(config.map_width, config.map_height),
+                             num_communities=config.num_communities)
+    movements: List[MovementModel] = []
+    communities: List[int] = []
+    for index in range(config.num_nodes):
+        community = index % config.num_communities
+        movements.append(CommunityMovement(
+            layout, community, local_probability=config.local_probability,
+            min_speed=config.min_speed, max_speed=config.max_speed,
+            wait=config.stop_wait))
+        communities.append(community)
+    return movements, communities
+
+
+def _random_waypoint_movements(config: ScenarioConfig):
+    movements: List[MovementModel] = []
+    communities: List[int] = []
+    for index in range(config.num_nodes):
+        movements.append(RandomWaypointMovement(
+            area=(config.map_width, config.map_height),
+            min_speed=config.min_speed, max_speed=config.max_speed,
+            wait=config.stop_wait))
+        communities.append(index % config.num_communities)
+    return movements, communities
+
+
+def _shortest_path_movements(config: ScenarioConfig):
+    roadmap = generate_downtown_map(
+        width=config.map_width, height=config.map_height,
+        spacing=config.map_spacing, seed=config.seed)
+    districts = assign_districts(roadmap, config.num_communities)
+    movements: List[MovementModel] = []
+    communities: List[int] = []
+    by_district: dict = {}
+    for vertex, district in districts.items():
+        by_district.setdefault(district, []).append(vertex)
+    for index in range(config.num_nodes):
+        community = index % config.num_communities
+        allowed = by_district.get(community)
+        movements.append(ShortestPathMapBasedMovement(
+            roadmap, min_speed=config.min_speed, max_speed=config.max_speed,
+            wait=config.stop_wait, allowed_vertices=allowed))
+        communities.append(community)
+    return roadmap, movements, communities
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+    """Assemble the simulator, world, nodes, routers and traffic for *config*."""
+    simulator = Simulator(seed=config.seed, end_time=config.sim_time)
+    stats = StatsCollector(keep_records=config.keep_records)
+    world = World(simulator, update_interval=config.update_interval, stats=stats)
+
+    roadmap: Optional[RoadMap] = None
+    routes: Optional[List[BusRoute]] = None
+    if config.mobility is MobilityKind.BUS:
+        roadmap, routes, movements, communities = _bus_movements(config, simulator)
+    elif config.mobility is MobilityKind.COMMUNITY:
+        movements, communities = _community_movements(config)
+    elif config.mobility is MobilityKind.RANDOM_WAYPOINT:
+        movements, communities = _random_waypoint_movements(config)
+    elif config.mobility is MobilityKind.SHORTEST_PATH:
+        roadmap, movements, communities = _shortest_path_movements(config)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown mobility kind {config.mobility!r}")
+
+    interface = Interface(transmit_range=config.transmit_range,
+                          transmit_speed=config.transmit_speed)
+    router_params = dict(config.router_params)
+    for node_id in range(config.num_nodes):
+        movement = movements[node_id]
+        node_rng = simulator.random.python(f"mobility-{node_id}")
+        node = DTNNode(
+            node_id=node_id,
+            movement=movement,
+            rng=node_rng,
+            interface=interface,
+            buffer_capacity=config.buffer_capacity,
+            community=communities[node_id],
+        )
+        router = create_router(config.protocol, **router_params)
+        router.attach(node, world)
+        world.add_node(node)
+
+    spec = TrafficSpec(
+        interval=config.message_interval,
+        size=config.message_size,
+        ttl=config.message_ttl,
+        copies=config.message_copies,
+        start=config.traffic_start,
+        end=config.effective_traffic_end,
+    )
+    traffic = MessageEventGenerator(simulator, world, spec)
+    return BuiltScenario(config=config, simulator=simulator, world=world,
+                         stats=stats, traffic=traffic, roadmap=roadmap,
+                         routes=routes)

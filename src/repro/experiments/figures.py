@@ -1,0 +1,203 @@
+"""Per-figure experiment drivers.
+
+Each function regenerates the data behind one of the paper's evaluation
+figures (or one of the ablations the paper mentions but omits), returning a
+:class:`FigureResult` whose series can be rendered as text tables, asserted on
+by the benchmarks or dumped to JSON.
+
+The defaults are the reduced ``bench_scale`` settings so a figure regenerates
+in minutes; pass ``base=ScenarioConfig.paper_scale(...)`` (and more seeds) for
+a full-scale reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import run_averaged
+from repro.experiments.scenario import ScenarioConfig
+
+#: the protocols compared in Figure 2, in the paper's legend order
+FIGURE2_PROTOCOLS: Tuple[str, ...] = (
+    "eer", "cr", "ebr", "maxprop", "spray-and-wait", "spray-and-focus")
+
+#: the three metrics every figure reports, keyed by sub-figure letter
+FIGURE_METRICS: Dict[str, str] = {
+    "a": "delivery_ratio",
+    "b": "average_latency",
+    "c": "goodput",
+}
+
+
+@dataclass
+class FigureResult:
+    """Data reproducing one figure: three metrics, one series per curve."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    #: metric name -> series label -> list of (x, mean value)
+    metrics: Dict[str, Dict[str, List[Tuple[float, float]]]] = field(default_factory=dict)
+    #: free-form metadata (extra metrics such as control overhead)
+    extra: Dict[str, Dict[str, List[Tuple[float, float]]]] = field(default_factory=dict)
+
+    def add_point(self, metric: str, series: str, x: float, y: float,
+                  extra: bool = False) -> None:
+        """Append one (x, y) point to a series."""
+        target = self.extra if extra else self.metrics
+        target.setdefault(metric, {}).setdefault(series, []).append((float(x), float(y)))
+
+    def series(self, metric: str, label: str) -> List[Tuple[float, float]]:
+        """The points of one curve."""
+        return list(self.metrics.get(metric, {}).get(label, []))
+
+    def series_labels(self, metric: str) -> List[str]:
+        """All curve labels available for *metric*."""
+        return list(self.metrics.get(metric, {}))
+
+    def values(self, metric: str, label: str) -> List[float]:
+        """Just the y-values of one curve, in x order."""
+        return [y for _, y in sorted(self.series(metric, label))]
+
+    def mean_value(self, metric: str, label: str) -> float:
+        """Mean of a curve's y-values (used by shape assertions)."""
+        values = self.values(metric, label)
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "metrics": {m: {s: list(points) for s, points in series.items()}
+                        for m, series in self.metrics.items()},
+            "extra": {m: {s: list(points) for s, points in series.items()}
+                      for m, series in self.extra.items()},
+        }
+
+
+def _base_config(base: Optional[ScenarioConfig]) -> ScenarioConfig:
+    return base if base is not None else ScenarioConfig.bench_scale()
+
+
+def _record_run(figure: FigureResult, series: str, x: float, result) -> None:
+    figure.add_point("delivery_ratio", series, x, result.mean("delivery_ratio"))
+    figure.add_point("average_latency", series, x, result.mean("average_latency"))
+    figure.add_point("goodput", series, x, result.mean("goodput"))
+    figure.add_point("overhead_ratio", series, x, result.mean("overhead_ratio"), extra=True)
+    figure.add_point("control_rows_exchanged", series, x,
+                     result.mean("control_rows_exchanged"), extra=True)
+
+
+# --------------------------------------------------------------------------- Figure 2
+def figure2_comparison(node_counts: Sequence[int] = (40, 80, 120),
+                       protocols: Sequence[str] = FIGURE2_PROTOCOLS,
+                       seeds: Sequence[int] = (1,),
+                       base: Optional[ScenarioConfig] = None,
+                       copies: int = 10) -> FigureResult:
+    """Figure 2: protocol comparison vs. number of nodes.
+
+    Delivery ratio (a), latency (b) and goodput (c) for EER, CR and the four
+    baselines, with lambda = 10 replicas for the quota-based protocols.
+    """
+    config = _base_config(base)
+    figure = FigureResult("fig2", "Protocol comparison (lambda=10)", "num_nodes")
+    for protocol in protocols:
+        for n in node_counts:
+            point = config.with_overrides(protocol=protocol, num_nodes=int(n),
+                                          message_copies=copies)
+            result = run_averaged(point, seeds)
+            _record_run(figure, protocol, float(n), result)
+    return figure
+
+
+# --------------------------------------------------------------------- Figures 3 & 4
+def _lambda_sweep(figure_id: str, protocol: str, node_counts: Sequence[int],
+                  lambdas: Sequence[int], seeds: Sequence[int],
+                  base: Optional[ScenarioConfig]) -> FigureResult:
+    config = _base_config(base)
+    figure = FigureResult(figure_id,
+                          f"Effect of lambda on {protocol.upper()}", "num_nodes")
+    for lam in lambdas:
+        series = f"lambda={lam}"
+        for n in node_counts:
+            point = config.with_overrides(protocol=protocol, num_nodes=int(n),
+                                          message_copies=int(lam))
+            result = run_averaged(point, seeds)
+            _record_run(figure, series, float(n), result)
+    return figure
+
+
+def figure3_lambda_eer(node_counts: Sequence[int] = (40, 80, 120),
+                       lambdas: Sequence[int] = (6, 8, 10, 12),
+                       seeds: Sequence[int] = (1,),
+                       base: Optional[ScenarioConfig] = None) -> FigureResult:
+    """Figure 3: effect of the initial replica count lambda on EER."""
+    return _lambda_sweep("fig3", "eer", node_counts, lambdas, seeds, base)
+
+
+def figure4_lambda_cr(node_counts: Sequence[int] = (40, 80, 120),
+                      lambdas: Sequence[int] = (6, 8, 10, 12),
+                      seeds: Sequence[int] = (1,),
+                      base: Optional[ScenarioConfig] = None) -> FigureResult:
+    """Figure 4: effect of the initial replica count lambda on CR."""
+    return _lambda_sweep("fig4", "cr", node_counts, lambdas, seeds, base)
+
+
+# ------------------------------------------------------------------------- Ablations
+def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
+                   protocol: str = "eer", num_nodes: int = 60,
+                   seeds: Sequence[int] = (1,),
+                   base: Optional[ScenarioConfig] = None) -> FigureResult:
+    """Ablation A1: effect of the horizon scaling parameter alpha.
+
+    The paper fixes alpha = 0.28 "indicated to be a reasonable value from the
+    preliminary simulations" and omits the sweep; this regenerates it.
+    """
+    config = _base_config(base)
+    figure = FigureResult("ablation-alpha", f"Effect of alpha on {protocol.upper()}",
+                          "alpha")
+    for alpha in alphas:
+        point = config.with_overrides(
+            protocol=protocol, num_nodes=num_nodes,
+            router_params={**config.router_params, "alpha": float(alpha)})
+        result = run_averaged(point, seeds)
+        _record_run(figure, protocol, float(alpha), result)
+    return figure
+
+
+def ablation_ttl(ttls: Sequence[float] = (300.0, 600.0, 1200.0, 2400.0),
+                 protocol: str = "eer", num_nodes: int = 60,
+                 seeds: Sequence[int] = (1,),
+                 base: Optional[ScenarioConfig] = None) -> FigureResult:
+    """Ablation A2: effect of the message TTL."""
+    config = _base_config(base)
+    figure = FigureResult("ablation-ttl", f"Effect of TTL on {protocol.upper()}",
+                          "ttl_seconds")
+    for ttl in ttls:
+        point = config.with_overrides(protocol=protocol, num_nodes=num_nodes,
+                                      message_ttl=float(ttl))
+        result = run_averaged(point, seeds)
+        _record_run(figure, protocol, float(ttl), result)
+    return figure
+
+
+def ablation_buffer(buffers: Sequence[float] = (256 * 1024, 512 * 1024,
+                                                1024 * 1024, 2048 * 1024),
+                    protocol: str = "eer", num_nodes: int = 60,
+                    seeds: Sequence[int] = (1,),
+                    base: Optional[ScenarioConfig] = None) -> FigureResult:
+    """Ablation A3: effect of the per-node buffer capacity."""
+    config = _base_config(base)
+    figure = FigureResult("ablation-buffer", f"Effect of buffer size on {protocol.upper()}",
+                          "buffer_bytes")
+    for capacity in buffers:
+        point = config.with_overrides(protocol=protocol, num_nodes=num_nodes,
+                                      buffer_capacity=float(capacity))
+        result = run_averaged(point, seeds)
+        _record_run(figure, protocol, float(capacity), result)
+    return figure

@@ -1,0 +1,83 @@
+"""Running scenarios and averaging over seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.builder import build_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.reports import SimulationReport, build_report
+
+
+def run_scenario(config: ScenarioConfig) -> SimulationReport:
+    """Build, run and summarise one scenario."""
+    built = build_scenario(config)
+    built.run()
+    extra = {
+        "alpha": float(config.router_params.get("alpha", float("nan")))
+        if "alpha" in config.router_params else float("nan"),
+        "copies": float(config.message_copies),
+        "ttl": float(config.message_ttl),
+        "buffer": float(config.buffer_capacity),
+    }
+    return build_report(built.stats, protocol=config.protocol,
+                        num_nodes=config.num_nodes, sim_time=config.sim_time,
+                        seed=config.seed, extra=extra)
+
+
+@dataclass
+class AveragedResult:
+    """Mean metrics over several seeds of the same scenario."""
+
+    protocol: str
+    num_nodes: int
+    seeds: List[int]
+    reports: List[SimulationReport] = field(default_factory=list)
+
+    def mean(self, metric: str) -> float:
+        """Mean of *metric* over the seed runs."""
+        values = [report.metric(metric) for report in self.reports]
+        finite = [v for v in values if np.isfinite(v)]
+        if not finite:
+            return float("nan")
+        return float(np.mean(finite))
+
+    def std(self, metric: str) -> float:
+        """Sample standard deviation of *metric* over the seed runs."""
+        values = [report.metric(metric) for report in self.reports]
+        finite = [v for v in values if np.isfinite(v)]
+        if len(finite) < 2:
+            return 0.0
+        return float(np.std(finite, ddof=1))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (means of the headline metrics)."""
+        return {
+            "protocol": self.protocol,
+            "num_nodes": self.num_nodes,
+            "seeds": list(self.seeds),
+            "delivery_ratio": self.mean("delivery_ratio"),
+            "latency": self.mean("average_latency"),
+            "goodput": self.mean("goodput"),
+            "overhead_ratio": self.mean("overhead_ratio"),
+            "control_rows_exchanged": self.mean("control_rows_exchanged"),
+        }
+
+
+def run_averaged(config: ScenarioConfig, seeds: Sequence[int]) -> AveragedResult:
+    """Run *config* once per seed and collect the reports.
+
+    The paper averages every plotted point over 10 simulation runs; the
+    benchmark harness defaults to fewer seeds (see the benchmark modules).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    result = AveragedResult(protocol=config.protocol, num_nodes=config.num_nodes,
+                            seeds=list(seeds))
+    for seed in seeds:
+        run_config = config.with_overrides(seed=int(seed))
+        result.reports.append(run_scenario(run_config))
+    return result

@@ -1,0 +1,155 @@
+"""Scenario configuration.
+
+A :class:`ScenarioConfig` captures everything needed to build and run one
+simulation: the mobility scenario, radio/buffer parameters, traffic load and
+the routing protocol under test.  Two preset factories are provided:
+
+* :meth:`ScenarioConfig.paper_scale` — the paper's settings (Section V-A):
+  0.1 s update interval, 10 m range, 2 Mbit/s, 1 MB buffers, 25 KB messages,
+  20 min TTL, alpha = 0.28, lambda = 10, 10 000 s runs.
+* :meth:`ScenarioConfig.bench_scale` — a reduced-scale variant used by the
+  test-suite and the benchmark harness so a full figure regenerates in
+  minutes on a laptop.  The update interval is coarser (1 s) and the radio
+  range is widened to 40 m to keep the *contact rate per bus-hour* comparable
+  to the paper's fine-grained setting (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+
+class MobilityKind(enum.Enum):
+    """Which mobility scenario to build."""
+
+    #: bus lines over the synthetic downtown map (the paper's scenario)
+    BUS = "bus"
+    #: community-home random waypoint (used by community examples/ablations)
+    COMMUNITY = "community"
+    #: plain random waypoint over a rectangle
+    RANDOM_WAYPOINT = "random_waypoint"
+    #: pedestrians walking shortest paths on the road map
+    SHORTEST_PATH = "shortest_path"
+
+
+@dataclass
+class ScenarioConfig:
+    """Full description of one simulation run."""
+
+    # identity
+    name: str = "scenario"
+    seed: int = 1
+
+    # routing
+    protocol: str = "eer"
+    router_params: Dict[str, object] = field(default_factory=dict)
+
+    # population / time
+    num_nodes: int = 40
+    sim_time: float = 10_000.0
+    update_interval: float = 1.0
+
+    # mobility
+    mobility: MobilityKind = MobilityKind.BUS
+    map_width: float = 4500.0
+    map_height: float = 3400.0
+    map_spacing: float = 300.0
+    num_communities: int = 4
+    lines_per_district: int = 2
+    stops_per_line: int = 5
+    express_lines: int = 2
+    min_speed: float = 2.7
+    max_speed: float = 13.9
+    stop_wait: Tuple[float, float] = (10.0, 30.0)
+    local_probability: float = 0.85  # community mobility only
+
+    # radio / buffers
+    transmit_range: float = 10.0
+    transmit_speed: float = 2_000_000 / 8
+    buffer_capacity: float = 1024 * 1024
+
+    # traffic
+    message_interval: Tuple[float, float] = (25.0, 35.0)
+    message_size: int = 25 * 1024
+    message_ttl: float = 20 * 60.0
+    message_copies: int = 10
+    traffic_start: float = 0.0
+    traffic_end: Optional[float] = None
+
+    # bookkeeping
+    contact_window: int = 20
+    keep_records: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a scenario needs at least two nodes")
+        if self.sim_time <= 0:
+            raise ValueError("sim_time must be positive")
+        if self.update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        if self.message_copies < 1:
+            raise ValueError("message_copies (lambda) must be >= 1")
+        if self.num_communities < 1:
+            raise ValueError("num_communities must be >= 1")
+        if isinstance(self.mobility, str):
+            self.mobility = MobilityKind(self.mobility)
+
+    # ------------------------------------------------------------------ presets
+    @classmethod
+    def paper_scale(cls, protocol: str = "eer", num_nodes: int = 40,
+                    seed: int = 1, **overrides) -> "ScenarioConfig":
+        """The paper's simulation settings (Section V-A)."""
+        config = cls(
+            name=f"paper-{protocol}-{num_nodes}",
+            protocol=protocol,
+            num_nodes=num_nodes,
+            seed=seed,
+            sim_time=10_000.0,
+            update_interval=0.1,
+            transmit_range=10.0,
+            message_ttl=20 * 60.0,
+            message_copies=10,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def bench_scale(cls, protocol: str = "eer", num_nodes: int = 40,
+                    seed: int = 1, **overrides) -> "ScenarioConfig":
+        """Reduced-scale settings used by tests and benchmarks.
+
+        The map is smaller, the update interval coarser and the radio range
+        wider; the *shape* of the protocol comparison is preserved (see
+        EXPERIMENTS.md for the calibration notes).
+        """
+        config = cls(
+            name=f"bench-{protocol}-{num_nodes}",
+            protocol=protocol,
+            num_nodes=num_nodes,
+            seed=seed,
+            sim_time=3_000.0,
+            update_interval=1.0,
+            map_width=2400.0,
+            map_height=1800.0,
+            map_spacing=300.0,
+            transmit_range=40.0,
+            message_interval=(20.0, 30.0),
+            message_ttl=20 * 60.0,
+            message_copies=10,
+            stops_per_line=4,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    # ------------------------------------------------------------------ helpers
+    def with_overrides(self, **overrides) -> "ScenarioConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def effective_traffic_end(self) -> float:
+        """When traffic generation stops (defaults to the whole run, as in the
+        ONE simulator's default message event generator)."""
+        if self.traffic_end is not None:
+            return self.traffic_end
+        return self.sim_time

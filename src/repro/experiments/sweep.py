@@ -1,0 +1,71 @@
+"""Parameter sweeps.
+
+A sweep runs a base scenario once per point of a parameter grid (optionally
+crossed with several seeds) and returns the per-point averaged results.  This
+is the workhorse behind every figure driver in
+:mod:`repro.experiments.figures`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.experiments.runner import AveragedResult, run_averaged
+from repro.experiments.scenario import ScenarioConfig
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of a sweep with its averaged result."""
+
+    overrides: Dict[str, object]
+    result: AveragedResult
+
+    def value(self, metric: str) -> float:
+        """Mean metric value at this point."""
+        return self.result.mean(metric)
+
+
+def _apply_overrides(config: ScenarioConfig, overrides: Mapping[str, object]) -> ScenarioConfig:
+    """Apply overrides, routing unknown keys prefixed ``router.`` to router_params."""
+    plain = {}
+    router_params = dict(config.router_params)
+    for key, value in overrides.items():
+        if key.startswith("router."):
+            router_params[key[len("router."):]] = value
+        else:
+            plain[key] = value
+    return config.with_overrides(router_params=router_params, **plain)
+
+
+def sweep(base: ScenarioConfig, grid: Mapping[str, Sequence[object]],
+          seeds: Sequence[int] = (1,)) -> List[SweepPoint]:
+    """Run *base* across the Cartesian product of *grid*.
+
+    Parameters
+    ----------
+    base:
+        Scenario every point starts from.
+    grid:
+        Mapping of field name -> sequence of values.  Keys prefixed with
+        ``router.`` are routed into ``router_params`` (e.g. ``router.alpha``).
+    seeds:
+        Seeds to average over at every point.
+
+    Returns
+    -------
+    list of SweepPoint
+        In the grid's row-major order.
+    """
+    if not grid:
+        raise ValueError("sweep grid is empty")
+    keys = list(grid)
+    points: List[SweepPoint] = []
+    for combination in itertools.product(*(grid[key] for key in keys)):
+        overrides = dict(zip(keys, combination))
+        config = _apply_overrides(base, overrides)
+        result = run_averaged(config, seeds)
+        points.append(SweepPoint(overrides=overrides, result=result))
+    return points

@@ -1,0 +1,81 @@
+"""Text rendering of figure series and run reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figures import FigureResult
+from repro.metrics.reports import SimulationReport
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def format_series_table(figure: FigureResult, metric: str) -> str:
+    """Render one metric of a figure as an aligned text table.
+
+    Rows are the series (protocols / lambda values); columns are the x values
+    (number of nodes, alpha, ...), mirroring how the paper's curves read.
+    """
+    series_map = figure.metrics.get(metric, {})
+    if not series_map:
+        return f"(no data for metric {metric!r})"
+    xs: List[float] = sorted({x for points in series_map.values() for x, _ in points})
+    header = [f"{metric} ({figure.x_label})"] + [_format_value(x) for x in xs]
+    rows: List[List[str]] = [header]
+    for label in series_map:
+        by_x = dict(series_map[label])
+        row = [label] + [_format_value(by_x[x]) if x in by_x else "-" for x in xs]
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureResult, metrics: Sequence[str] = (
+        "delivery_ratio", "average_latency", "goodput")) -> str:
+    """Render a whole figure (all three sub-plots) as text."""
+    sections = [f"== {figure.figure_id}: {figure.title} =="]
+    for metric in metrics:
+        sections.append(format_series_table(figure, metric))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def format_report_table(reports: Iterable[SimulationReport]) -> str:
+    """Render a list of run reports as an aligned text table."""
+    columns = ["protocol", "nodes", "created", "delivered", "relayed",
+               "delivery_ratio", "latency", "goodput", "overhead"]
+    rows: List[List[str]] = [columns]
+    for report in reports:
+        rows.append([
+            report.protocol,
+            str(report.num_nodes),
+            str(report.created),
+            str(report.delivered),
+            str(report.relayed),
+            _format_value(report.delivery_ratio),
+            _format_value(report.average_latency),
+            _format_value(report.goodput),
+            _format_value(report.overhead_ratio),
+        ])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(columns))]
+    lines = []
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

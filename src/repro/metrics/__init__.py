@@ -1,0 +1,24 @@
+"""Statistics collection and the paper's evaluation metrics."""
+
+from repro.metrics.events import (
+    MessageCreated,
+    MessageRelayed,
+    MessageDelivered,
+    MessageDropped,
+    TransferAborted,
+    ContactRecord,
+)
+from repro.metrics.collector import StatsCollector
+from repro.metrics.reports import SimulationReport, build_report
+
+__all__ = [
+    "MessageCreated",
+    "MessageRelayed",
+    "MessageDelivered",
+    "MessageDropped",
+    "TransferAborted",
+    "ContactRecord",
+    "StatsCollector",
+    "SimulationReport",
+    "build_report",
+]

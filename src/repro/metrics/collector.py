@@ -1,0 +1,196 @@
+"""Event-driven statistics collector.
+
+The world, connections and routers report to a single :class:`StatsCollector`
+instance per simulation run.  It keeps both raw event records (see
+:mod:`repro.metrics.events`) and the running aggregates needed by the paper's
+three metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.metrics.events import (
+    ContactRecord,
+    MessageCreated,
+    MessageDelivered,
+    MessageDropped,
+    MessageRelayed,
+    TransferAborted,
+)
+from repro.net.message import Message
+
+
+class StatsCollector:
+    """Accumulates simulation statistics.
+
+    The collector is deliberately passive: it never mutates simulation state,
+    and all of its record-keeping is O(1) per event, so it can stay enabled
+    for benchmark runs.
+    """
+
+    def __init__(self, keep_records: bool = True) -> None:
+        #: whether to keep per-event records (aggregates are always kept)
+        self.keep_records = keep_records
+
+        # raw records
+        self.created_records: List[MessageCreated] = []
+        self.relayed_records: List[MessageRelayed] = []
+        self.delivered_records: List[MessageDelivered] = []
+        self.dropped_records: List[MessageDropped] = []
+        self.aborted_records: List[TransferAborted] = []
+        self.contact_records: List[ContactRecord] = []
+
+        # aggregates
+        self.created = 0
+        self.relayed = 0
+        self.delivered = 0
+        self.duplicate_deliveries = 0
+        self.dropped = 0
+        self.expired = 0
+        self.aborted = 0
+        self.transfers_started = 0
+        self.contacts = 0
+        self.control_rows_exchanged = 0
+        self.control_bytes_exchanged = 0
+        self.control_exchanges = 0
+        self.latency_sum = 0.0
+        self.hop_count_sum = 0
+
+        self._creation_time: Dict[str, float] = {}
+        self._delivered_ids: Dict[str, float] = {}
+        self._open_contacts: Dict[tuple, float] = {}
+        self._per_node_drops: Dict[int, int] = defaultdict(int)
+
+    # ----------------------------------------------------------- message life
+    def message_created(self, message: Message) -> None:
+        """Record a bundle entering the network."""
+        self.created += 1
+        self._creation_time[message.message_id] = message.creation_time
+        if self.keep_records:
+            self.created_records.append(MessageCreated(
+                message.message_id, message.source, message.destination,
+                message.size, message.creation_time, message.copies))
+
+    def transfer_started(self) -> None:
+        """Record a transfer being enqueued on a connection."""
+        self.transfers_started += 1
+
+    def message_relayed(self, message: Message, from_node: int, to_node: int,
+                        time: float, copies: int, final_delivery: bool) -> None:
+        """Record a completed replica transfer (the goodput denominator)."""
+        self.relayed += 1
+        if self.keep_records:
+            self.relayed_records.append(MessageRelayed(
+                message.message_id, from_node, to_node, time, copies, final_delivery))
+
+    def message_delivered(self, message: Message, time: float) -> bool:
+        """Record an arrival at the destination.
+
+        Returns ``True`` if this was the first delivery of the bundle (only
+        first deliveries count toward the delivery ratio and latency).
+        """
+        if message.message_id in self._delivered_ids:
+            self.duplicate_deliveries += 1
+            return False
+        self._delivered_ids[message.message_id] = time
+        self.delivered += 1
+        created_at = self._creation_time.get(message.message_id, message.creation_time)
+        latency = time - created_at
+        self.latency_sum += latency
+        self.hop_count_sum += message.hop_count
+        if self.keep_records:
+            self.delivered_records.append(MessageDelivered(
+                message.message_id, message.source, message.destination,
+                created_at, time, message.hop_count))
+        return True
+
+    def message_dropped(self, message: Message, node: int, time: float,
+                        reason: str) -> None:
+        """Record a replica leaving a buffer without being forwarded."""
+        self.dropped += 1
+        if reason == "expired":
+            self.expired += 1
+        self._per_node_drops[node] += 1
+        if self.keep_records:
+            self.dropped_records.append(MessageDropped(
+                message.message_id, node, time, reason))
+
+    def transfer_aborted(self, message: Message, from_node: int, to_node: int,
+                         time: float, bytes_left: float) -> None:
+        """Record a transfer interrupted by a link tear-down."""
+        self.aborted += 1
+        if self.keep_records:
+            self.aborted_records.append(TransferAborted(
+                message.message_id, from_node, to_node, time, bytes_left))
+
+    # --------------------------------------------------------------- contacts
+    def contact_up(self, node_a: int, node_b: int, time: float) -> None:
+        """Record a link coming up between two nodes."""
+        key = (min(node_a, node_b), max(node_a, node_b))
+        self._open_contacts[key] = time
+        self.contacts += 1
+
+    def contact_down(self, node_a: int, node_b: int, time: float) -> None:
+        """Record a link going down; closes the matching open contact."""
+        key = (min(node_a, node_b), max(node_a, node_b))
+        start = self._open_contacts.pop(key, None)
+        if self.keep_records and start is not None:
+            self.contact_records.append(ContactRecord(key[0], key[1], start, time))
+
+    # ---------------------------------------------------------------- control
+    def control_exchange(self, rows: int, size_bytes: int = 0) -> None:
+        """Record routing-state exchange overhead (MI rows, delivery tables, ...)."""
+        self.control_exchanges += 1
+        self.control_rows_exchanged += rows
+        self.control_bytes_exchanged += size_bytes
+
+    # ------------------------------------------------------------------ query
+    def is_delivered(self, message_id: str) -> bool:
+        """Whether the bundle has reached its destination at least once."""
+        return message_id in self._delivered_ids
+
+    def delivery_time(self, message_id: str) -> Optional[float]:
+        """First delivery time of the bundle, or ``None``."""
+        return self._delivered_ids.get(message_id)
+
+    def per_node_drops(self) -> Dict[int, int]:
+        """Mapping node id -> number of replicas dropped at that node."""
+        return dict(self._per_node_drops)
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered bundles / created bundles (0 when nothing was created)."""
+        if self.created == 0:
+            return 0.0
+        return self.delivered / self.created
+
+    @property
+    def average_latency(self) -> float:
+        """Mean end-to-end delay of first deliveries (0 when none)."""
+        if self.delivered == 0:
+            return 0.0
+        return self.latency_sum / self.delivered
+
+    @property
+    def goodput(self) -> float:
+        """Delivered bundles / relayed replicas (the paper's goodput)."""
+        if self.relayed == 0:
+            return 0.0
+        return self.delivered / self.relayed
+
+    @property
+    def overhead_ratio(self) -> float:
+        """(relayed - delivered) / delivered — the ONE simulator's overhead."""
+        if self.delivered == 0:
+            return float("inf") if self.relayed > 0 else 0.0
+        return (self.relayed - self.delivered) / self.delivered
+
+    @property
+    def average_hop_count(self) -> float:
+        """Mean hop count over first deliveries."""
+        if self.delivered == 0:
+            return 0.0
+        return self.hop_count_sum / self.delivered

@@ -1,0 +1,92 @@
+"""Immutable records of the simulation events that feed the metrics.
+
+Keeping raw records (rather than only running counters) lets the analysis
+layer recompute any derived metric after the fact — e.g. latency percentiles,
+per-community delivery ratios, or goodput restricted to a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MessageCreated:
+    """A new bundle entered the network at its source."""
+
+    message_id: str
+    source: int
+    destination: int
+    size: int
+    time: float
+    copies: int
+
+
+@dataclass(frozen=True)
+class MessageRelayed:
+    """A transfer completed: one replica moved from one node to another."""
+
+    message_id: str
+    from_node: int
+    to_node: int
+    time: float
+    copies: int
+    #: whether the receiving node is the bundle's final destination
+    final_delivery: bool
+
+
+@dataclass(frozen=True)
+class MessageDelivered:
+    """First arrival of a bundle at its destination."""
+
+    message_id: str
+    source: int
+    destination: int
+    created_at: float
+    delivered_at: float
+    hop_count: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end delivery delay in seconds."""
+        return self.delivered_at - self.created_at
+
+
+@dataclass(frozen=True)
+class MessageDropped:
+    """A stored replica was removed without being forwarded."""
+
+    message_id: str
+    node: int
+    time: float
+    #: ``"expired"`` (TTL), ``"buffer"`` (eviction) or ``"delivered"`` (cleanup)
+    reason: str
+
+
+@dataclass(frozen=True)
+class TransferAborted:
+    """An in-flight or queued transfer was cut short by a link going down."""
+
+    message_id: str
+    from_node: int
+    to_node: int
+    time: float
+    bytes_left: float
+
+
+@dataclass(frozen=True)
+class ContactRecord:
+    """One contact (link-up .. link-down interval) between two nodes."""
+
+    node_a: int
+    node_b: int
+    start: float
+    end: Optional[float]
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Contact duration in seconds, or ``None`` while still active."""
+        if self.end is None:
+            return None
+        return self.end - self.start

@@ -1,0 +1,105 @@
+"""Per-run summary reports.
+
+A :class:`SimulationReport` is a plain, serialisable snapshot of everything a
+benchmark or experiment needs from a finished run: the paper's three metrics
+plus the bookkeeping used in the ablations (overhead ratio, control-plane
+exchange volume, drops, contacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.collector import StatsCollector
+
+
+@dataclass
+class SimulationReport:
+    """Summary of one simulation run."""
+
+    protocol: str
+    num_nodes: int
+    sim_time: float
+    seed: int
+
+    created: int
+    delivered: int
+    relayed: int
+    dropped: int
+    expired: int
+    aborted: int
+    contacts: int
+
+    delivery_ratio: float
+    average_latency: float
+    goodput: float
+    overhead_ratio: float
+    average_hop_count: float
+
+    control_rows_exchanged: int
+    control_bytes_exchanged: int
+
+    latency_percentiles: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain-dict representation (JSON-friendly)."""
+        return asdict(self)
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name (``delivery_ratio``/``latency``/``goodput``...)."""
+        aliases = {
+            "latency": "average_latency",
+            "hops": "average_hop_count",
+            "overhead": "overhead_ratio",
+        }
+        name = aliases.get(name, name)
+        if hasattr(self, name):
+            return float(getattr(self, name))
+        if name in self.extra:
+            return float(self.extra[name])
+        raise KeyError(f"unknown metric {name!r}")
+
+
+def _latency_percentiles(collector: StatsCollector) -> Dict[str, float]:
+    latencies = [rec.latency for rec in collector.delivered_records]
+    if not latencies:
+        return {}
+    arr = np.asarray(latencies, dtype=float)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def build_report(collector: StatsCollector, *, protocol: str, num_nodes: int,
+                 sim_time: float, seed: int,
+                 extra: Optional[Dict[str, float]] = None) -> SimulationReport:
+    """Assemble a :class:`SimulationReport` from a finished run's collector."""
+    return SimulationReport(
+        protocol=protocol,
+        num_nodes=num_nodes,
+        sim_time=sim_time,
+        seed=seed,
+        created=collector.created,
+        delivered=collector.delivered,
+        relayed=collector.relayed,
+        dropped=collector.dropped,
+        expired=collector.expired,
+        aborted=collector.aborted,
+        contacts=collector.contacts,
+        delivery_ratio=collector.delivery_ratio,
+        average_latency=collector.average_latency,
+        goodput=collector.goodput,
+        overhead_ratio=collector.overhead_ratio,
+        average_hop_count=collector.average_hop_count,
+        control_rows_exchanged=collector.control_rows_exchanged,
+        control_bytes_exchanged=collector.control_bytes_exchanged,
+        latency_percentiles=_latency_percentiles(collector),
+        extra=dict(extra or {}),
+    )

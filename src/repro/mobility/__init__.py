@@ -1,0 +1,40 @@
+"""Mobility models.
+
+The paper evaluates on the ONE simulator's vehicular map-driven model: buses
+following fixed lines over the downtown Helsinki road map.  We rebuild that
+structure synthetically: :mod:`repro.mobility.map_generator` creates a
+"downtown" road graph, :func:`repro.mobility.map_route.generate_bus_routes`
+lays cyclic bus lines over it (grouped into districts, which double as the
+communities used by the CR protocol), and :class:`MapRouteMovement` drives a
+node along its line.
+
+Additional models (random waypoint, shortest-path map-based, community-home
+movement, stationary) support the examples, tests and ablations.
+"""
+
+from repro.mobility.base import MovementModel, PathFollower
+from repro.mobility.path import Path
+from repro.mobility.roadmap import RoadMap
+from repro.mobility.map_generator import generate_downtown_map, assign_districts
+from repro.mobility.map_route import BusRoute, MapRouteMovement, generate_bus_routes
+from repro.mobility.shortest_path import ShortestPathMapBasedMovement
+from repro.mobility.random_waypoint import RandomWaypointMovement
+from repro.mobility.community import CommunityMovement, CommunityLayout
+from repro.mobility.stationary import StationaryMovement
+
+__all__ = [
+    "MovementModel",
+    "PathFollower",
+    "Path",
+    "RoadMap",
+    "generate_downtown_map",
+    "assign_districts",
+    "BusRoute",
+    "MapRouteMovement",
+    "generate_bus_routes",
+    "ShortestPathMapBasedMovement",
+    "RandomWaypointMovement",
+    "CommunityMovement",
+    "CommunityLayout",
+    "StationaryMovement",
+]

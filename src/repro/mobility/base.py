@@ -1,0 +1,86 @@
+"""Movement-model interface and the per-node path follower."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.mobility.path import Path
+
+
+class MovementModel(abc.ABC):
+    """Produces an initial position and a stream of paths for one node.
+
+    A model instance is bound to a single node (so it may keep per-node state
+    such as the current stop index on a bus line).  All randomness must come
+    from the :class:`random.Random` passed in, so runs are reproducible.
+    """
+
+    @abc.abstractmethod
+    def initial_position(self, rng) -> np.ndarray:
+        """Return the node's starting position."""
+
+    @abc.abstractmethod
+    def next_path(self, position: np.ndarray, now: float, rng) -> Optional[Path]:
+        """Return the next path to follow from *position*.
+
+        Returning ``None`` means the node stays put indefinitely (stationary
+        models and trace replay use this).
+        """
+
+    @property
+    def community(self) -> Optional[int]:
+        """Community id implied by the movement model, if any.
+
+        Map-route and community movement models know which district/community
+        their node belongs to; other models return ``None``.
+        """
+        return None
+
+
+class PathFollower:
+    """Drives one node's position by consuming paths from a movement model.
+
+    Parameters
+    ----------
+    model:
+        The node's movement model.
+    rng:
+        Node-specific :class:`random.Random`.
+    """
+
+    def __init__(self, model: MovementModel, rng) -> None:
+        self.model = model
+        self._rng = rng
+        self.position = np.asarray(model.initial_position(rng), dtype=float)
+        self._path: Optional[Path] = None
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        """Whether the model declined to provide further paths."""
+        return self._halted
+
+    def move(self, dt: float, now: float) -> np.ndarray:
+        """Advance the node by *dt* seconds and return the new position."""
+        remaining = float(dt)
+        # A tiny guard avoids infinite loops if a model returns zero-length,
+        # zero-wait paths forever.
+        for _ in range(64):
+            if remaining <= 0 or self._halted:
+                break
+            if self._path is None or self._path.done:
+                self._path = self.model.next_path(self.position, now, self._rng)
+                if self._path is None:
+                    self._halted = True
+                    break
+            self.position, remaining = self._path.advance(remaining)
+        return self.position
+
+    def teleport(self, position: np.ndarray) -> None:
+        """Force the node to *position* and drop the current path."""
+        self.position = np.asarray(position, dtype=float)
+        self._path = None
+        self._halted = False

@@ -1,0 +1,128 @@
+"""Piecewise-linear movement paths.
+
+A :class:`Path` is a sequence of waypoints traversed at a constant speed,
+optionally followed by a pause.  :meth:`Path.advance` moves along the path by
+a time budget and reports the new position, which is all the world update loop
+needs.  Segment lengths are pre-computed once at construction because
+``advance`` runs for every node on every world tick.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Path:
+    """A traversable sequence of waypoints.
+
+    Parameters
+    ----------
+    waypoints:
+        Sequence of 2-D points (the first one is the starting position).
+    speed:
+        Constant speed in m/s along the whole path; must be positive unless
+        the path is a single point.
+    wait_time:
+        Pause (seconds) after the last waypoint before the path is "done".
+    """
+
+    __slots__ = ("waypoints", "speed", "wait_time", "_lengths", "_segment",
+                 "_offset", "_waited")
+
+    def __init__(self, waypoints: Sequence[Sequence[float]], speed: float,
+                 wait_time: float = 0.0) -> None:
+        pts = [np.asarray(p, dtype=float) for p in waypoints]
+        if not pts:
+            raise ValueError("path needs at least one waypoint")
+        if len(pts) > 1 and speed <= 0:
+            raise ValueError(f"speed must be positive for a moving path, got {speed}")
+        if wait_time < 0:
+            raise ValueError("wait_time must be non-negative")
+        self.waypoints: List[np.ndarray] = pts
+        self.speed = float(speed)
+        self.wait_time = float(wait_time)
+        # pre-computed Euclidean segment lengths
+        self._lengths: List[float] = [
+            math.dist(tuple(a), tuple(b))
+            for a, b in zip(pts[:-1], pts[1:])
+        ]
+        self._segment = 0          # index of the segment currently being traversed
+        self._offset = 0.0         # metres travelled into the current segment
+        self._waited = 0.0         # seconds already waited at the end
+
+    # ------------------------------------------------------------------ state
+    @property
+    def position(self) -> np.ndarray:
+        """Current position along the path."""
+        if self._segment >= len(self._lengths):
+            return self.waypoints[-1].copy()
+        a = self.waypoints[self._segment]
+        b = self.waypoints[self._segment + 1]
+        seg_len = self._lengths[self._segment]
+        if seg_len == 0:
+            return a.copy()
+        frac = self._offset / seg_len
+        return a + frac * (b - a)
+
+    @property
+    def done(self) -> bool:
+        """Whether all waypoints have been reached and the pause has elapsed."""
+        at_end = self._segment >= len(self._lengths)
+        return at_end and self._waited >= self.wait_time
+
+    @property
+    def total_length(self) -> float:
+        """Total geometric length of the path in metres."""
+        return float(sum(self._lengths))
+
+    def duration(self) -> float:
+        """Time to traverse the whole path, including the final pause."""
+        if not self._lengths:
+            return self.wait_time
+        return self.total_length / self.speed + self.wait_time
+
+    # ---------------------------------------------------------------- advance
+    def advance(self, dt: float) -> tuple:
+        """Move along the path for *dt* seconds.
+
+        Returns
+        -------
+        (position, leftover)
+            ``position`` is the new position; ``leftover`` is the unused part
+            of *dt* (non-zero only once the path is done, so the caller can
+            immediately start the next path within the same step).
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        remaining = float(dt)
+        # traverse segments
+        while remaining > 0 and self._segment < len(self._lengths):
+            seg_len = self._lengths[self._segment]
+            left_in_segment = seg_len - self._offset
+            step = self.speed * remaining
+            if step < left_in_segment:
+                self._offset += step
+                remaining = 0.0
+            else:
+                # finish this segment and carry the unused time over
+                if self.speed > 0:
+                    remaining -= left_in_segment / self.speed
+                self._segment += 1
+                self._offset = 0.0
+        # wait at the end
+        if remaining > 0 and self._segment >= len(self._lengths):
+            wait_left = self.wait_time - self._waited
+            if remaining < wait_left:
+                self._waited += remaining
+                remaining = 0.0
+            else:
+                self._waited = self.wait_time
+                remaining -= max(0.0, wait_left)
+        return self.position, remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Path({len(self.waypoints)} waypoints, speed={self.speed}, "
+                f"wait={self.wait_time})")

@@ -1,0 +1,165 @@
+"""Road-map graphs for map-constrained mobility.
+
+A :class:`RoadMap` is an undirected weighted graph whose vertices are map
+points (intersections) and whose edges are road segments, with Euclidean edge
+lengths.  It provides shortest paths (Dijkstra over an adjacency list) and
+nearest-vertex lookup, which is everything the map-based movement models need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class RoadMap:
+    """An undirected road graph with Euclidean edge weights."""
+
+    def __init__(self) -> None:
+        self._coords: List[np.ndarray] = []
+        self._adjacency: List[Dict[int, float]] = []
+
+    # --------------------------------------------------------------- building
+    def add_vertex(self, x: float, y: float) -> int:
+        """Add an intersection at ``(x, y)`` and return its vertex id."""
+        self._coords.append(np.array([float(x), float(y)]))
+        self._adjacency.append({})
+        return len(self._coords) - 1
+
+    def add_edge(self, u: int, v: int) -> float:
+        """Connect vertices *u* and *v* with a road segment.
+
+        Returns the segment length.  Adding an existing edge is a no-op that
+        still returns the length.  Self-loops are rejected.
+        """
+        if u == v:
+            raise ValueError("self-loop edges are not allowed in a road map")
+        self._check_vertex(u)
+        self._check_vertex(v)
+        length = float(np.linalg.norm(self._coords[u] - self._coords[v]))
+        if length == 0.0:
+            raise ValueError(f"vertices {u} and {v} are co-located; zero-length edge")
+        self._adjacency[u][v] = length
+        self._adjacency[v][u] = length
+        return length
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._coords):
+            raise IndexError(f"vertex {v} does not exist")
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def num_vertices(self) -> int:
+        """Number of intersections."""
+        return len(self._coords)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of road segments."""
+        return sum(len(adj) for adj in self._adjacency) // 2
+
+    def coordinates(self, v: int) -> np.ndarray:
+        """Coordinates of vertex *v* (copy)."""
+        self._check_vertex(v)
+        return self._coords[v].copy()
+
+    def all_coordinates(self) -> np.ndarray:
+        """``(num_vertices, 2)`` array of all vertex coordinates."""
+        if not self._coords:
+            return np.empty((0, 2))
+        return np.vstack(self._coords)
+
+    def neighbors(self, v: int) -> List[int]:
+        """Vertices adjacent to *v*."""
+        self._check_vertex(v)
+        return list(self._adjacency[v])
+
+    def edge_length(self, u: int, v: int) -> float:
+        """Length of the edge between *u* and *v* (raises if absent)."""
+        self._check_vertex(u)
+        try:
+            return self._adjacency[u][v]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` bounding box of all vertices."""
+        coords = self.all_coordinates()
+        if coords.size == 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        mins = coords.min(axis=0)
+        maxs = coords.max(axis=0)
+        return (float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    def nearest_vertex(self, point: Sequence[float]) -> int:
+        """Vertex closest (Euclidean) to *point*."""
+        if not self._coords:
+            raise ValueError("road map has no vertices")
+        coords = self.all_coordinates()
+        p = np.asarray(point, dtype=float)
+        return int(np.argmin(((coords - p) ** 2).sum(axis=1)))
+
+    def is_connected(self) -> bool:
+        """Whether every vertex is reachable from vertex 0."""
+        if self.num_vertices == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.num_vertices
+
+    # ------------------------------------------------------------ shortest path
+    def shortest_path(self, source: int, target: int) -> List[int]:
+        """Vertex sequence of the shortest path from *source* to *target*.
+
+        Raises
+        ------
+        ValueError
+            If *target* is unreachable from *source*.
+        """
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            return [source]
+        dist = {source: 0.0}
+        prev: Dict[int, int] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        visited = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            if u == target:
+                break
+            for v, w in self._adjacency[u].items():
+                nd = d + w
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if target not in dist:
+            raise ValueError(f"vertex {target} is unreachable from {source}")
+        path = [target]
+        while path[-1] != source:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def path_length(self, vertices: Sequence[int]) -> float:
+        """Total length of a vertex sequence along existing edges."""
+        return sum(self.edge_length(u, v) for u, v in zip(vertices[:-1], vertices[1:]))
+
+    def path_coordinates(self, vertices: Iterable[int]) -> List[np.ndarray]:
+        """Waypoint coordinates for a vertex sequence."""
+        return [self.coordinates(v) for v in vertices]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoadMap({self.num_vertices} vertices, {self.num_edges} edges)"

@@ -1,0 +1,25 @@
+"""Stationary "movement" for fixed infrastructure nodes and unit tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mobility.base import MovementModel
+from repro.mobility.path import Path
+
+
+class StationaryMovement(MovementModel):
+    """A node that never moves from its configured position."""
+
+    def __init__(self, position: Sequence[float]) -> None:
+        self._position = np.asarray(position, dtype=float)
+        if self._position.shape != (2,):
+            raise ValueError("position must be a 2-D point")
+
+    def initial_position(self, rng) -> np.ndarray:
+        return self._position.copy()
+
+    def next_path(self, position: np.ndarray, now: float, rng) -> Optional[Path]:
+        return None

@@ -1,0 +1,17 @@
+"""Messaging substrate: messages, buffers, connections and traffic generators."""
+
+from repro.net.message import Message
+from repro.net.buffer import MessageBuffer, DropPolicy
+from repro.net.connection import Connection, Transfer, TransferState
+from repro.net.generators import MessageEventGenerator, TrafficSpec
+
+__all__ = [
+    "Message",
+    "MessageBuffer",
+    "DropPolicy",
+    "Connection",
+    "Transfer",
+    "TransferState",
+    "MessageEventGenerator",
+    "TrafficSpec",
+]

@@ -1,0 +1,166 @@
+"""Bounded message buffers with pluggable drop policies.
+
+The paper's evaluation uses a 1 MB buffer per node with 25 KB messages, so
+buffer pressure is real (at most 40 messages fit).  The default drop policy is
+the ONE simulator's: drop the oldest-received message to make room, never the
+incoming one if it cannot fit at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.net.message import Message
+
+
+class DropPolicy(enum.Enum):
+    """Which stored message to evict when space is needed."""
+
+    #: evict the replica that has been in the buffer the longest (ONE default)
+    OLDEST_RECEIVED = "oldest_received"
+    #: evict the replica whose bundle was created the longest ago
+    OLDEST_CREATED = "oldest_created"
+    #: evict the replica with the smallest residual TTL
+    SHORTEST_TTL = "shortest_ttl"
+    #: evict the largest replica first
+    LARGEST = "largest"
+    #: refuse to evict: incoming messages are rejected when full
+    NO_DROP = "no_drop"
+
+
+class MessageBuffer:
+    """A byte-bounded store of message replicas.
+
+    Parameters
+    ----------
+    capacity:
+        Capacity in bytes; ``float('inf')`` for unbounded buffers.
+    drop_policy:
+        Eviction policy applied by :meth:`add` when the incoming message does
+        not fit.
+    protected:
+        Optional predicate; messages for which it returns ``True`` are never
+        evicted to make room (used e.g. to protect messages this node
+        originated).
+    """
+
+    def __init__(self, capacity: float = float("inf"),
+                 drop_policy: DropPolicy = DropPolicy.OLDEST_RECEIVED,
+                 protected: Optional[Callable[[Message], bool]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.drop_policy = drop_policy
+        self.protected = protected
+        self._messages: Dict[str, Message] = {}
+        self._occupancy = 0
+
+    # ------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __contains__(self, message_id: str) -> bool:
+        return message_id in self._messages
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(list(self._messages.values()))
+
+    @property
+    def occupancy(self) -> int:
+        """Bytes currently stored."""
+        return self._occupancy
+
+    @property
+    def free_space(self) -> float:
+        """Bytes still available."""
+        return self.capacity - self._occupancy
+
+    @property
+    def occupancy_ratio(self) -> float:
+        """Fraction of the capacity in use (0 for unbounded empty buffers)."""
+        if self.capacity == float("inf"):
+            return 0.0
+        return self._occupancy / self.capacity
+
+    def get(self, message_id: str) -> Optional[Message]:
+        """Return the stored replica with *message_id*, or ``None``."""
+        return self._messages.get(message_id)
+
+    def messages(self) -> List[Message]:
+        """Snapshot list of stored replicas in insertion order."""
+        return list(self._messages.values())
+
+    def message_ids(self) -> List[str]:
+        """Snapshot list of stored message identifiers."""
+        return list(self._messages.keys())
+
+    # --------------------------------------------------------------- mutation
+    def _eviction_order(self) -> List[Message]:
+        msgs = [m for m in self._messages.values()
+                if self.protected is None or not self.protected(m)]
+        if self.drop_policy is DropPolicy.OLDEST_RECEIVED:
+            return sorted(msgs, key=lambda m: m.received_time)
+        if self.drop_policy is DropPolicy.OLDEST_CREATED:
+            return sorted(msgs, key=lambda m: m.creation_time)
+        if self.drop_policy is DropPolicy.SHORTEST_TTL:
+            return sorted(msgs, key=lambda m: m.expiry_time)
+        if self.drop_policy is DropPolicy.LARGEST:
+            return sorted(msgs, key=lambda m: -m.size)
+        return []
+
+    def add(self, message: Message) -> List[Message]:
+        """Store *message*, evicting per the drop policy if needed.
+
+        Returns
+        -------
+        list of Message
+            The evicted messages (empty if none).  If the message cannot be
+            stored even after evicting every unprotected message, it is *not*
+            stored and ``BufferFullError`` is raised.
+        """
+        if message.message_id in self._messages:
+            raise ValueError(f"message {message.message_id!r} is already buffered")
+        if message.size > self.capacity:
+            raise BufferFullError(
+                f"message of {message.size} B exceeds buffer capacity {self.capacity} B")
+        evicted: List[Message] = []
+        if message.size > self.free_space:
+            if self.drop_policy is DropPolicy.NO_DROP:
+                raise BufferFullError("buffer full and drop policy is NO_DROP")
+            for victim in self._eviction_order():
+                if message.size <= self.free_space:
+                    break
+                self.remove(victim.message_id)
+                evicted.append(victim)
+            if message.size > self.free_space:
+                # restore nothing: evictions already happened, mirror ONE which
+                # frees space before checking; but refuse the incoming message.
+                raise BufferFullError(
+                    "buffer cannot make enough room for incoming message")
+        self._messages[message.message_id] = message
+        self._occupancy += message.size
+        return evicted
+
+    def remove(self, message_id: str) -> Optional[Message]:
+        """Remove and return the replica with *message_id* (or ``None``)."""
+        message = self._messages.pop(message_id, None)
+        if message is not None:
+            self._occupancy -= message.size
+        return message
+
+    def drop_expired(self, now: float) -> List[Message]:
+        """Remove and return every replica whose TTL elapsed by *now*."""
+        expired = [m for m in self._messages.values() if m.is_expired(now)]
+        for message in expired:
+            self.remove(message.message_id)
+        return expired
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._messages.clear()
+        self._occupancy = 0
+
+
+class BufferFullError(RuntimeError):
+    """Raised when a message cannot be stored even after eviction."""

@@ -1,0 +1,120 @@
+"""DTN messages (bundles).
+
+A :class:`Message` instance is *one node's copy* of a bundle: when a replica
+is handed to another node the message is :meth:`replicated <Message.replicate>`
+so each holder keeps its own hop record and replica count, mirroring how the
+quota-based protocols in the paper (EER, CR, EBR, Spray-and-Wait, ...) track
+the ``numOfReplicas`` attribute per holder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Message:
+    """A store-carry-and-forward message.
+
+    Parameters
+    ----------
+    message_id:
+        Globally unique identifier (shared by all replicas of the bundle).
+    source, destination:
+        Node identifiers (integers as used by :class:`repro.world.node.DTNNode`).
+    size:
+        Payload size in bytes.
+    creation_time:
+        Simulation time of creation in seconds.
+    ttl:
+        Time-to-live in seconds from creation; ``float('inf')`` disables expiry.
+    copies:
+        Number of replicas this holder is entitled to distribute (the paper's
+        ``numOfReplicas``, :math:`M_k`).  Always at least 1 for a held message.
+    dest_community:
+        Community identifier of the destination, attached at creation time as
+        required by the CR protocol (Section IV-C of the paper).
+    """
+
+    __slots__ = ("message_id", "source", "destination", "size", "creation_time",
+                 "ttl", "copies", "dest_community", "hops", "received_time",
+                 "metadata")
+
+    def __init__(self, message_id: str, source: int, destination: int, size: int,
+                 creation_time: float, ttl: float = float("inf"), copies: int = 1,
+                 dest_community: Optional[int] = None) -> None:
+        if size <= 0:
+            raise ValueError(f"message size must be positive, got {size}")
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.message_id = str(message_id)
+        self.source = int(source)
+        self.destination = int(destination)
+        self.size = int(size)
+        self.creation_time = float(creation_time)
+        self.ttl = float(ttl)
+        self.copies = int(copies)
+        self.dest_community = dest_community
+        #: node ids visited by this replica, starting with the source
+        self.hops: List[int] = [int(source)]
+        #: time the current holder received this replica
+        self.received_time: float = float(creation_time)
+        #: free-form per-replica annotations used by individual routers
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ TTL
+    @property
+    def expiry_time(self) -> float:
+        """Absolute simulation time at which the message expires."""
+        return self.creation_time + self.ttl
+
+    def residual_ttl(self, now: float) -> float:
+        """Remaining lifetime at time *now* (may be negative once expired)."""
+        return self.expiry_time - now
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the TTL has elapsed at time *now*."""
+        return now >= self.expiry_time
+
+    # ------------------------------------------------------------------ hops
+    @property
+    def hop_count(self) -> int:
+        """Number of forwarding hops taken by this replica."""
+        return len(self.hops) - 1
+
+    def add_hop(self, node_id: int) -> None:
+        """Record that this replica arrived at *node_id*."""
+        self.hops.append(int(node_id))
+
+    # ------------------------------------------------------------- replication
+    def replicate(self, copies: int, receiver: int, now: float) -> "Message":
+        """Create the replica handed to *receiver* carrying *copies* quota.
+
+        The returned message shares identity, payload and TTL with this one
+        but has its own hop list (extended with the receiver) and replica
+        count.  The caller is responsible for decrementing its own
+        ``copies`` accordingly.
+        """
+        if copies < 1:
+            raise ValueError(f"replica must carry at least one copy, got {copies}")
+        clone = Message(self.message_id, self.source, self.destination, self.size,
+                        self.creation_time, self.ttl, copies, self.dest_community)
+        clone.hops = list(self.hops)
+        clone.add_hop(receiver)
+        clone.received_time = float(now)
+        clone.metadata = dict(self.metadata)
+        return clone
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message({self.message_id!r}, {self.source}->{self.destination}, "
+                f"size={self.size}, copies={self.copies})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self.message_id == other.message_id
+
+    def __hash__(self) -> int:
+        return hash(self.message_id)

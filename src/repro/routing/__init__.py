@@ -1,0 +1,41 @@
+"""Routers: the common base class and the baseline protocols.
+
+The paper's own protocols (EER and CR) live in :mod:`repro.core`; this package
+provides the machinery they share with the baselines and the baselines
+themselves:
+
+* :class:`~repro.routing.base.Router` — buffer management, TTL expiry,
+  transfer bookkeeping and the hook API called by the world.
+* :class:`~repro.routing.active.ContactAwareRouter` — adds the per-node
+  contact history that every prediction-based protocol needs.
+* Baselines: Epidemic, Direct Delivery, First Contact, PRoPHET, MaxProp,
+  Spray-and-Wait, Spray-and-Focus and EBR.
+"""
+
+from repro.routing.base import Router
+from repro.routing.active import ContactAwareRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.direct import DirectDeliveryRouter
+from repro.routing.first_contact import FirstContactRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.maxprop import MaxPropRouter
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.routing.spray_and_focus import SprayAndFocusRouter
+from repro.routing.ebr import EBRRouter
+from repro.routing.registry import ROUTER_REGISTRY, create_router, register_router
+
+__all__ = [
+    "Router",
+    "ContactAwareRouter",
+    "EpidemicRouter",
+    "DirectDeliveryRouter",
+    "FirstContactRouter",
+    "ProphetRouter",
+    "MaxPropRouter",
+    "SprayAndWaitRouter",
+    "SprayAndFocusRouter",
+    "EBRRouter",
+    "ROUTER_REGISTRY",
+    "create_router",
+    "register_router",
+]

@@ -1,0 +1,15 @@
+"""Direct delivery: the source holds the message until it meets the destination."""
+
+from __future__ import annotations
+
+from repro.routing.base import Router
+
+
+class DirectDeliveryRouter(Router):
+    """Never relay; deliver only on direct contact with the destination."""
+
+    name = "direct"
+
+    def on_update(self, now: float) -> None:
+        for connection in self.connections():
+            self.send_deliverable(connection)

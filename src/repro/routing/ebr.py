@@ -1,0 +1,100 @@
+"""Encounter-Based Routing (EBR; Nelson, Bakht & Kravets, INFOCOM 2009).
+
+The direct predecessor of the paper's EER.  Each node tracks an *encounter
+value* (EV): an exponentially weighted moving average of how many encounters
+it had per fixed time window.  When two nodes meet, message replicas are split
+proportionally to their EVs; once a single replica remains the node simply
+waits for the destination (like Spray-and-Wait's wait phase).
+
+The paper's criticism — and the motivation for EER — is that this EV is the
+same for every message regardless of its residual TTL.
+"""
+
+from __future__ import annotations
+
+from repro.core.replication import split_replicas
+from repro.net.connection import Connection
+from repro.routing.base import Router
+from repro.routing.active import ContactAwareRouter
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world.node import DTNNode
+
+
+class EBRRouter(ContactAwareRouter):
+    """Quota splitting proportional to windowed encounter values.
+
+    Parameters
+    ----------
+    ewma_alpha:
+        Weight of the current window's encounter count in the EV update
+        (the EBR paper uses 0.85).
+    window:
+        Window length in seconds.
+    """
+
+    name = "ebr"
+
+    def __init__(self, ewma_alpha: float = 0.85, window: float = 30.0,
+                 window_size: int = 20) -> None:
+        super().__init__(window_size=window_size)
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.ewma_alpha = float(ewma_alpha)
+        self.window = float(window)
+        self._encounter_value = 0.0
+        self._current_window_count = 0
+        self._window_end = 0.0
+
+    # --------------------------------------------------------------------- EV
+    @property
+    def encounter_value(self) -> float:
+        """The current (already folded) encounter value."""
+        return self._encounter_value
+
+    def _fold_windows(self, now: float) -> None:
+        if self._window_end == 0.0:
+            self._window_end = self.window
+        while now >= self._window_end:
+            self._encounter_value = (self.ewma_alpha * self._current_window_count
+                                     + (1.0 - self.ewma_alpha) * self._encounter_value)
+            self._current_window_count = 0
+            self._window_end += self.window
+
+    # ----------------------------------------------------------------- contacts
+    def on_contact_recorded(self, connection: Connection, peer: "DTNNode") -> None:
+        self._fold_windows(self.now)
+        self._current_window_count += 1
+        if self.is_exchange_initiator(peer):
+            # the two nodes exchange one EV scalar each
+            self.stats.control_exchange(rows=2)
+
+    # ------------------------------------------------------------------- update
+    def on_update(self, now: float) -> None:
+        self._fold_windows(now)
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            peer = connection.other(self.node)
+            peer_router = peer.router
+            if not isinstance(peer_router, EBRRouter):
+                continue
+            peer_router._fold_windows(now)
+            if not self.is_first_evaluation(connection):
+                continue
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue
+                if message.copies <= 1:
+                    continue  # wait phase: hold the last replica for the destination
+                if self.peer_has(connection, message.message_id):
+                    continue
+                if self.has_pending_transfer(message.message_id):
+                    continue
+                _, passed = split_replicas(message.copies, self._encounter_value,
+                                           peer_router._encounter_value)
+                if passed >= 1:
+                    self.send(connection, message, copies=passed, forwarding=False)

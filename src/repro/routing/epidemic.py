@@ -1,0 +1,32 @@
+"""Epidemic routing (Vahdat & Becker, 2000).
+
+Every message is replicated to every encountered node that does not already
+hold it.  Maximal delivery ratio and minimal latency at the cost of the
+highest possible overhead — the upper baseline of the paper's comparison
+space (MaxProp behaves similarly with smarter scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import Router
+
+
+class EpidemicRouter(Router):
+    """Flood every message to every encountered node."""
+
+    name = "epidemic"
+
+    def on_update(self, now: float) -> None:
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            peer = connection.other(self.node)
+            considered = self.considered_on(connection)
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue  # already handled by send_deliverable
+                if message.message_id in considered:
+                    continue
+                considered.add(message.message_id)
+                if self.peer_has(connection, message.message_id):
+                    continue
+                self.send(connection, message, copies=1, forwarding=False)

@@ -1,0 +1,38 @@
+"""First-contact routing (Jain, Fall & Patra, 2004).
+
+A single copy of each message is handed to the first encountered node that
+does not already hold it; the sender then forgets the message.  Included as
+the zero-knowledge single-copy baseline.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import Router
+
+
+class FirstContactRouter(Router):
+    """Forward the single copy to any encountered node."""
+
+    name = "first-contact"
+
+    def _queued_anywhere(self, message_id: str) -> bool:
+        assert self.node is not None
+        return any(conn.is_transferring(message_id)
+                   for conn in self.node.connections.values())
+
+    def on_update(self, now: float) -> None:
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            if not self.is_first_evaluation(connection):
+                # one forwarding decision per meeting; otherwise the single
+                # copy ping-pongs between the two endpoints of a long contact
+                continue
+            peer = connection.other(self.node)
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue
+                if self._queued_anywhere(message.message_id):
+                    continue
+                if self.peer_has(connection, message.message_id):
+                    continue
+                self.send(connection, message, copies=message.copies, forwarding=True)

@@ -1,0 +1,121 @@
+"""PRoPHET routing (Lindgren, Doria & Schelen, 2003).
+
+Each node maintains a *delivery predictability* :math:`P(a, b)` for every
+other node, updated on encounters, aged over time and propagated
+transitively.  A message is replicated to an encountered node whose
+predictability for the destination exceeds the current holder's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.net.connection import Connection
+from repro.routing.active import ContactAwareRouter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world.node import DTNNode
+
+
+class ProphetRouter(ContactAwareRouter):
+    """Probabilistic routing with delivery predictabilities.
+
+    Parameters
+    ----------
+    p_init:
+        Predictability boost applied on a direct encounter.
+    beta:
+        Transitivity scaling factor.
+    gamma:
+        Aging factor per time unit.
+    time_unit:
+        Seconds per aging time unit.
+    """
+
+    name = "prophet"
+
+    def __init__(self, p_init: float = 0.75, beta: float = 0.25,
+                 gamma: float = 0.98, time_unit: float = 30.0,
+                 window_size: int = 20) -> None:
+        super().__init__(window_size=window_size)
+        if not 0 < p_init <= 1:
+            raise ValueError("p_init must be in (0, 1]")
+        if not 0 <= beta <= 1:
+            raise ValueError("beta must be in [0, 1]")
+        if not 0 < gamma < 1:
+            raise ValueError("gamma must be in (0, 1)")
+        if time_unit <= 0:
+            raise ValueError("time_unit must be positive")
+        self.p_init = float(p_init)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.time_unit = float(time_unit)
+        self._preds: Dict[int, float] = {}
+        self._last_aged = 0.0
+
+    # ----------------------------------------------------------- predictability
+    def delivery_predictability(self, destination: int) -> float:
+        """Current (aged) delivery predictability toward *destination*."""
+        self._age(self.now)
+        return self._preds.get(int(destination), 0.0)
+
+    def _age(self, now: float) -> None:
+        elapsed_units = (now - self._last_aged) / self.time_unit
+        if elapsed_units <= 0:
+            return
+        factor = self.gamma ** elapsed_units
+        if factor < 1.0:
+            for key in list(self._preds):
+                self._preds[key] *= factor
+                if self._preds[key] < 1e-6:
+                    del self._preds[key]
+        self._last_aged = now
+
+    def _update_direct(self, peer_id: int) -> None:
+        old = self._preds.get(peer_id, 0.0)
+        self._preds[peer_id] = old + (1.0 - old) * self.p_init
+
+    def _update_transitive(self, peer: "ProphetRouter") -> None:
+        p_ab = self._preds.get(peer.node_id, 0.0)
+        for dest, p_bc in peer._preds.items():
+            if dest == self.node_id:
+                continue
+            candidate = p_ab * p_bc * self.beta
+            if candidate > self._preds.get(dest, 0.0):
+                self._preds[dest] = candidate
+
+    # ------------------------------------------------------------------ contacts
+    def on_contact_recorded(self, connection: Connection, peer: "DTNNode") -> None:
+        self._age(self.now)
+        self._update_direct(peer.node_id)
+        peer_router = peer.router
+        if isinstance(peer_router, ProphetRouter):
+            peer_router._age(self.now)
+            self._update_transitive(peer_router)
+            if self.is_exchange_initiator(peer):
+                # one predictability vector travels in each direction
+                self.stats.control_exchange(
+                    rows=len(self._preds) + len(peer_router._preds))
+
+    # -------------------------------------------------------------------- update
+    def on_update(self, now: float) -> None:
+        self._age(now)
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            peer = connection.other(self.node)
+            peer_router = peer.router
+            if not isinstance(peer_router, ProphetRouter):
+                continue
+            considered = self.considered_on(connection)
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue
+                if message.message_id in considered:
+                    continue
+                considered.add(message.message_id)
+                if self.peer_has(connection, message.message_id):
+                    continue
+                mine = self.delivery_predictability(message.destination)
+                theirs = peer_router.delivery_predictability(message.destination)
+                if theirs > mine:
+                    self.send(connection, message, copies=1, forwarding=False)

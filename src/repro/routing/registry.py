@@ -1,0 +1,62 @@
+"""Router registry.
+
+Maps protocol names (as used by the experiment configs, benchmarks and
+examples) to router factories.  The paper's own protocols (``eer``, ``cr``)
+are resolved lazily from :mod:`repro.core` to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict
+
+from repro.routing.base import Router
+
+#: explicit user registrations (name -> zero-state factory)
+ROUTER_REGISTRY: Dict[str, Callable[..., Router]] = {}
+
+#: built-in protocols, resolved lazily as "module:ClassName"
+_BUILTIN: Dict[str, str] = {
+    "epidemic": "repro.routing.epidemic:EpidemicRouter",
+    "direct": "repro.routing.direct:DirectDeliveryRouter",
+    "first-contact": "repro.routing.first_contact:FirstContactRouter",
+    "prophet": "repro.routing.prophet:ProphetRouter",
+    "maxprop": "repro.routing.maxprop:MaxPropRouter",
+    "spray-and-wait": "repro.routing.spray_and_wait:SprayAndWaitRouter",
+    "spray-and-focus": "repro.routing.spray_and_focus:SprayAndFocusRouter",
+    "ebr": "repro.routing.ebr:EBRRouter",
+    "eer": "repro.core.eer:EERRouter",
+    "cr": "repro.core.cr:CommunityRouter",
+}
+
+
+def register_router(name: str, factory: Callable[..., Router]) -> None:
+    """Register a custom router factory under *name* (overrides built-ins)."""
+    if not callable(factory):
+        raise TypeError("factory must be callable")
+    ROUTER_REGISTRY[name] = factory
+
+
+def available_routers() -> list:
+    """Names of all known protocols (built-in and registered)."""
+    return sorted(set(_BUILTIN) | set(ROUTER_REGISTRY))
+
+
+def create_router(name: str, **params) -> Router:
+    """Instantiate the router registered under *name* with *params*.
+
+    Raises
+    ------
+    KeyError
+        If no router is registered under *name*.
+    """
+    if name in ROUTER_REGISTRY:
+        return ROUTER_REGISTRY[name](**params)
+    spec = _BUILTIN.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown router {name!r}; known: {', '.join(available_routers())}")
+    module_name, _, class_name = spec.partition(":")
+    module = importlib.import_module(module_name)
+    cls = getattr(module, class_name)
+    return cls(**params)

@@ -1,0 +1,72 @@
+"""Spray-and-Focus (Spyropoulos, Psounis & Raghavendra, 2007).
+
+The spray phase is identical to Spray-and-Wait.  In the focus phase (one
+replica left) the message is *forwarded* — not copied — to an encountered
+node whose utility for the destination is higher.  Utility is the classic
+last-encounter-timer: the less time has passed since a node last met the
+destination, the better its utility.
+"""
+
+from __future__ import annotations
+
+from repro.net.connection import Connection
+from repro.routing.active import ContactAwareRouter
+
+
+class SprayAndFocusRouter(ContactAwareRouter):
+    """Binary spray followed by utility-based single-copy focus forwarding.
+
+    Parameters
+    ----------
+    window_size:
+        Contact-history sliding window size.
+    focus_threshold:
+        Minimum improvement (seconds) of the peer's last-encounter timer over
+        ours required to hand the single copy over; avoids ping-ponging
+        between nodes with near-identical utilities.
+    """
+
+    name = "spray-and-focus"
+
+    def __init__(self, window_size: int = 20, focus_threshold: float = 60.0) -> None:
+        super().__init__(window_size=window_size)
+        if focus_threshold < 0:
+            raise ValueError("focus_threshold must be non-negative")
+        self.focus_threshold = float(focus_threshold)
+
+    # ----------------------------------------------------------------- utility
+    def last_encounter_age(self, destination: int, now: float) -> float:
+        """Seconds since this node last met *destination* (inf if never)."""
+        assert self.history is not None
+        elapsed = self.history.elapsed_since(destination, now)
+        return float("inf") if elapsed is None else elapsed
+
+    def _peer_age(self, connection: Connection, destination: int, now: float) -> float:
+        peer_router = self.peer_router(connection)
+        if isinstance(peer_router, SprayAndFocusRouter):
+            return peer_router.last_encounter_age(destination, now)
+        return float("inf")
+
+    # ------------------------------------------------------------------ update
+    def on_update(self, now: float) -> None:
+        for connection in self.connections():
+            self.send_deliverable(connection)
+            if not self.is_first_evaluation(connection):
+                continue
+            peer = connection.other(self.node)
+            for message in self.buffer.messages():
+                if message.destination == peer.node_id:
+                    continue
+                if self.peer_has(connection, message.message_id):
+                    continue
+                if self.has_pending_transfer(message.message_id):
+                    continue
+                if message.copies > 1:
+                    passed = message.copies // 2
+                    if passed >= 1:
+                        self.send(connection, message, copies=passed, forwarding=False)
+                else:
+                    my_age = self.last_encounter_age(message.destination, now)
+                    peer_age = self._peer_age(connection, message.destination, now)
+                    if peer_age + self.focus_threshold < my_age:
+                        self.send(connection, message, copies=1, forwarding=True)

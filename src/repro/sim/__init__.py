@@ -1,0 +1,23 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: a binary-heap event queue, a simulation
+clock, periodic (self-rescheduling) processes and named, seeded random
+streams.  The DTN world (``repro.world``) registers a periodic *world update*
+process with the engine; message generation, TTL bookkeeping and report
+flushing are ordinary scheduled events.
+"""
+
+from repro.sim.events import Event, EventQueue, CallbackEvent
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "CallbackEvent",
+    "Simulator",
+    "SimulationError",
+    "PeriodicProcess",
+    "RandomStreams",
+]

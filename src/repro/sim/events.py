@@ -1,0 +1,132 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``; the sequence number
+breaks ties deterministically in insertion order so simulations are exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A schedulable simulation event.
+
+    Subclasses override :meth:`fire`.  Events may be cancelled before they
+    fire; cancelled events are skipped by the queue (lazy deletion).
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time at which the event fires.
+    priority:
+        Secondary ordering key for events scheduled at the same time.  Lower
+        priorities fire first.  The world update uses priority ``0`` so that
+        connectivity changes are processed before router-level events
+        (priority ``10``) scheduled for the same instant.
+    """
+
+    __slots__ = ("time", "priority", "_cancelled", "_seq")
+
+    def __init__(self, time: float, priority: int = 10) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time!r}")
+        self.time = float(time)
+        self.priority = int(priority)
+        self._cancelled = False
+        self._seq: Optional[int] = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        self._cancelled = True
+
+    def fire(self, simulator: "Any") -> None:  # pragma: no cover - abstract
+        """Execute the event's effect.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self._cancelled else ""
+        return f"<{type(self).__name__} t={self.time:.3f} prio={self.priority}{flag}>"
+
+
+class CallbackEvent(Event):
+    """Event that invokes ``callback(simulator)`` when fired."""
+
+    __slots__ = ("callback",)
+
+    def __init__(self, time: float, callback: Callable[[Any], None], priority: int = 10) -> None:
+        super().__init__(time, priority)
+        self.callback = callback
+
+    def fire(self, simulator: Any) -> None:
+        self.callback(simulator)
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects.
+
+    Supports lazy cancellation: cancelled events stay in the heap but are
+    skipped on pop.  ``len(queue)`` counts only live (non-cancelled) events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* and return it (for chaining)."""
+        seq = next(self._counter)
+        event._seq = seq
+        heapq.heappush(self._heap, (event.time, event.priority, seq, event))
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* if it is still pending."""
+        if not event.cancelled:
+            event.cancel()
+            self._live = max(0, self._live - 1)
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,76 @@
+"""Self-rescheduling periodic processes.
+
+A :class:`PeriodicProcess` fires a callback every ``interval`` seconds until
+the simulation horizon, an explicit stop, or an optional repetition limit.
+The world update loop and periodic report snapshots are built on this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class PeriodicProcess:
+    """Invoke ``callback(simulator)`` every *interval* seconds.
+
+    Parameters
+    ----------
+    simulator:
+        The engine to schedule on.
+    interval:
+        Period in seconds; must be positive.
+    callback:
+        Called with the simulator each period.
+    start:
+        Absolute time of the first invocation (defaults to ``now + interval``).
+    priority:
+        Event priority (see :class:`repro.sim.events.Event`).
+    max_firings:
+        Optional cap on the number of invocations.
+    """
+
+    def __init__(self, simulator: Simulator, interval: float,
+                 callback: Callable[[Simulator], None],
+                 start: Optional[float] = None, priority: int = 10,
+                 max_firings: Optional[int] = None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.simulator = simulator
+        self.interval = float(interval)
+        self.callback = callback
+        self.priority = priority
+        self.max_firings = max_firings
+        self.firings = 0
+        self._stopped = False
+        self._pending: Optional[Event] = None
+        first = simulator.now + self.interval if start is None else float(start)
+        self._pending = simulator.schedule_at(first, self._fire, priority=priority)
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the process has been stopped or exhausted its firings."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop the process; the pending occurrence (if any) is cancelled."""
+        self._stopped = True
+        if self._pending is not None:
+            self.simulator.cancel(self._pending)
+            self._pending = None
+
+    def _fire(self, simulator: Simulator) -> None:
+        if self._stopped:
+            return
+        self.firings += 1
+        self.callback(simulator)
+        if self._stopped:
+            return
+        if self.max_firings is not None and self.firings >= self.max_firings:
+            self._stopped = True
+            self._pending = None
+            return
+        self._pending = simulator.schedule_at(
+            simulator.now + self.interval, self._fire, priority=self.priority)

@@ -1,0 +1,19 @@
+"""Contact traces: export, import, replay and synthetic generation."""
+
+from repro.traces.contact_trace import ContactEvent, ContactTrace
+from repro.traces.replay import TraceReplayWorld, build_trace_world
+from repro.traces.generators import (
+    periodic_contact_trace,
+    random_waypoint_like_trace,
+    community_structured_trace,
+)
+
+__all__ = [
+    "ContactEvent",
+    "ContactTrace",
+    "TraceReplayWorld",
+    "build_trace_world",
+    "periodic_contact_trace",
+    "random_waypoint_like_trace",
+    "community_structured_trace",
+]

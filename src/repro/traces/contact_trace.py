@@ -1,0 +1,160 @@
+"""Contact-trace data model and (de)serialisation.
+
+The text format is the ONE simulator's connectivity ("StandardEventsReader")
+style, one event per line::
+
+    <time> CONN <node_a> <node_b> up
+    <time> CONN <node_a> <node_b> down
+
+Traces can be produced from a finished simulation's contact records, loaded
+from disk (e.g. converted real-world traces such as the Cambridge/Infocom
+Bluetooth sightings), or generated synthetically
+(:mod:`repro.traces.generators`), and replayed with
+:class:`repro.traces.replay.TraceReplayWorld`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class ContactEvent:
+    """One link-up or link-down event."""
+
+    time: float
+    node_a: int
+    node_b: int
+    up: bool
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        if self.node_a == self.node_b:
+            raise ValueError("a node cannot contact itself")
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """Canonical ``(min, max)`` node-id pair."""
+        return (min(self.node_a, self.node_b), max(self.node_a, self.node_b))
+
+    def to_line(self) -> str:
+        """Serialise to one trace line."""
+        state = "up" if self.up else "down"
+        return f"{self.time:.3f} CONN {self.node_a} {self.node_b} {state}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "ContactEvent":
+        """Parse one trace line (raises ``ValueError`` on malformed input)."""
+        parts = line.split()
+        if len(parts) != 5 or parts[1].upper() != "CONN":
+            raise ValueError(f"malformed trace line: {line!r}")
+        time, _, a, b, state = parts
+        if state.lower() not in ("up", "down"):
+            raise ValueError(f"malformed connection state in line: {line!r}")
+        return cls(float(time), int(a), int(b), state.lower() == "up")
+
+
+class ContactTrace:
+    """An ordered collection of contact events."""
+
+    def __init__(self, events: Optional[Iterable[ContactEvent]] = None) -> None:
+        self._events: List[ContactEvent] = sorted(events or [], key=lambda e: e.time)
+
+    # -------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ContactEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[ContactEvent]:
+        """All events in time order (copy)."""
+        return list(self._events)
+
+    def duration(self) -> float:
+        """Time of the last event (0 for an empty trace)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def node_ids(self) -> List[int]:
+        """Sorted list of node ids appearing in the trace."""
+        ids: Set[int] = set()
+        for event in self._events:
+            ids.add(event.node_a)
+            ids.add(event.node_b)
+        return sorted(ids)
+
+    def contacts(self) -> List[Tuple[Tuple[int, int], float, float]]:
+        """Closed contacts as ``(pair, start, end)`` tuples.
+
+        Up events without a matching down are closed at the trace duration.
+        """
+        open_contacts: dict = {}
+        closed: List[Tuple[Tuple[int, int], float, float]] = []
+        for event in self._events:
+            if event.up:
+                open_contacts.setdefault(event.pair, event.time)
+            else:
+                start = open_contacts.pop(event.pair, None)
+                if start is not None:
+                    closed.append((event.pair, start, event.time))
+        end = self.duration()
+        for pair, start in open_contacts.items():
+            closed.append((pair, start, end))
+        closed.sort(key=lambda c: c[1])
+        return closed
+
+    def active_pairs(self, time: float) -> Set[Tuple[int, int]]:
+        """Pairs in contact at the given instant."""
+        active: Set[Tuple[int, int]] = set()
+        for event in self._events:
+            if event.time > time:
+                break
+            if event.up:
+                active.add(event.pair)
+            else:
+                active.discard(event.pair)
+        return active
+
+    # -------------------------------------------------------------- mutation
+    def add(self, event: ContactEvent) -> None:
+        """Insert an event, keeping time order."""
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.time)
+
+    # ----------------------------------------------------------------- builders
+    @classmethod
+    def from_contact_records(cls, records, horizon: Optional[float] = None) -> "ContactTrace":
+        """Build a trace from the collector's :class:`ContactRecord` list."""
+        events: List[ContactEvent] = []
+        for record in records:
+            events.append(ContactEvent(record.start, record.node_a, record.node_b, True))
+            end = record.end if record.end is not None else horizon
+            if end is not None:
+                events.append(ContactEvent(end, record.node_a, record.node_b, False))
+        return cls(events)
+
+    # --------------------------------------------------------------------- I/O
+    def save(self, path) -> None:
+        """Write the trace to *path* in the ONE-style text format."""
+        path = Path(path)
+        lines = [event.to_line() for event in self._events]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load(cls, path) -> "ContactTrace":
+        """Read a trace written by :meth:`save` (blank lines and ``#`` comments allowed)."""
+        path = Path(path)
+        events = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            events.append(ContactEvent.from_line(line))
+        return cls(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContactTrace({len(self._events)} events, {len(self.node_ids())} nodes)"

@@ -1,0 +1,21 @@
+"""World model: nodes, radio interfaces, connectivity and the update loop."""
+
+from repro.world.interface import Interface
+from repro.world.node import DTNNode
+from repro.world.connectivity import (
+    ConnectivityDetector,
+    GridConnectivity,
+    KDTreeConnectivity,
+    BruteForceConnectivity,
+)
+from repro.world.world import World
+
+__all__ = [
+    "Interface",
+    "DTNNode",
+    "ConnectivityDetector",
+    "GridConnectivity",
+    "KDTreeConnectivity",
+    "BruteForceConnectivity",
+    "World",
+]

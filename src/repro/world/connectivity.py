@@ -1,0 +1,122 @@
+"""Range-based connectivity detection.
+
+Given the node positions at one instant, a detector returns the set of node
+pairs that can communicate (distance at most the minimum of the two radio
+ranges).  Three interchangeable implementations are provided:
+
+* :class:`KDTreeConnectivity` — :class:`scipy.spatial.cKDTree` pair query
+  (default; fastest for the node counts of the paper's scenarios),
+* :class:`GridConnectivity` — spatial hashing into square cells,
+* :class:`BruteForceConnectivity` — O(n²) reference used to cross-check the
+  other two in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+Pair = Tuple[int, int]
+
+
+def _filter_by_range(pairs: Sequence[Pair], positions: np.ndarray,
+                     ranges: np.ndarray) -> Set[Pair]:
+    """Keep only pairs whose distance is within both nodes' ranges."""
+    result: Set[Pair] = set()
+    for i, j in pairs:
+        limit = min(ranges[i], ranges[j])
+        delta = positions[i] - positions[j]
+        if float(delta @ delta) <= limit * limit:
+            result.add((i, j) if i < j else (j, i))
+    return result
+
+
+class ConnectivityDetector(abc.ABC):
+    """Finds node index pairs within mutual radio range."""
+
+    @abc.abstractmethod
+    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+        """Return ``{(i, j)}`` with ``i < j`` for all connectable pairs.
+
+        Parameters
+        ----------
+        positions:
+            ``(n, 2)`` array of node positions.
+        ranges:
+            ``(n,)`` array of per-node radio ranges.
+        """
+
+
+class BruteForceConnectivity(ConnectivityDetector):
+    """Reference O(n²) implementation (vectorised with NumPy)."""
+
+    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+        n = len(positions)
+        if n < 2:
+            return set()
+        diff = positions[:, None, :] - positions[None, :, :]
+        dist_sq = (diff ** 2).sum(axis=-1)
+        limit = np.minimum(ranges[:, None], ranges[None, :]) ** 2
+        ii, jj = np.nonzero(dist_sq <= limit)
+        return {(int(i), int(j)) for i, j in zip(ii, jj) if i < j}
+
+
+class KDTreeConnectivity(ConnectivityDetector):
+    """k-d tree pair query with the maximum range, then exact filtering."""
+
+    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+        n = len(positions)
+        if n < 2:
+            return set()
+        max_range = float(ranges.max())
+        if max_range <= 0:
+            return set()
+        tree = cKDTree(positions)
+        candidates = tree.query_pairs(max_range, output_type="ndarray")
+        if len(candidates) == 0:
+            return set()
+        if float(ranges.min()) == max_range:
+            # uniform ranges: every candidate already qualifies
+            return {(int(i), int(j)) for i, j in candidates}
+        return _filter_by_range([(int(i), int(j)) for i, j in candidates],
+                                positions, ranges)
+
+
+class GridConnectivity(ConnectivityDetector):
+    """Spatial-hash grid with cell size equal to the maximum radio range."""
+
+    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+        n = len(positions)
+        if n < 2:
+            return set()
+        cell = float(ranges.max())
+        if cell <= 0:
+            return set()
+        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        cells = np.floor(positions / cell).astype(int)
+        for idx, (cx, cy) in enumerate(cells):
+            buckets[(int(cx), int(cy))].append(idx)
+        candidates: List[Pair] = []
+        neighbour_offsets = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+        for (cx, cy), members in buckets.items():
+            # pairs within the cell
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    candidates.append((members[a], members[b]))
+            # pairs with neighbouring cells (only "forward" neighbours to avoid
+            # double counting)
+            for dx, dy in neighbour_offsets:
+                if (dx, dy) <= (0, 0):
+                    continue
+                other = buckets.get((cx + dx, cy + dy))
+                if not other:
+                    continue
+                for a in members:
+                    for b in other:
+                        candidates.append((a, b))
+        return _filter_by_range(candidates, positions, ranges)

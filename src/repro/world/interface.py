@@ -1,0 +1,43 @@
+"""Radio interface parameters.
+
+The paper's setting: 2 Mbit/s transmit speed and a 10 m transmit range.
+Speeds are stored in bytes per second because message sizes are in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A node's radio.
+
+    Attributes
+    ----------
+    transmit_range:
+        Radio range in metres.
+    transmit_speed:
+        Link speed in bytes per second.
+    """
+
+    transmit_range: float = 10.0
+    transmit_speed: float = 2_000_000 / 8  # 2 Mbit/s in bytes/s
+
+    def __post_init__(self) -> None:
+        if self.transmit_range <= 0:
+            raise ValueError(f"transmit_range must be positive, got {self.transmit_range}")
+        if self.transmit_speed <= 0:
+            raise ValueError(f"transmit_speed must be positive, got {self.transmit_speed}")
+
+    def link_bitrate(self, other: "Interface") -> float:
+        """Bitrate of a link with *other* (the slower of the two radios)."""
+        return min(self.transmit_speed, other.transmit_speed)
+
+    def in_range(self, distance: float, other: "Interface") -> bool:
+        """Whether two nodes at *distance* can form a link.
+
+        Both radios must cover the distance, i.e. the effective range is the
+        minimum of the two.
+        """
+        return distance <= min(self.transmit_range, other.transmit_range)

@@ -1,0 +1,223 @@
+"""The world update loop.
+
+:class:`World` owns the nodes and, once per update interval (the paper's
+``update interval`` setting), performs the four phases of a step:
+
+1. move every node along its movement model,
+2. re-detect connectivity and raise link-up / link-down events,
+3. progress in-flight transfers on every live connection and hand completed
+   replicas to the receiving routers,
+4. give every router an ``update`` tick so it can expire TTLs and enqueue new
+   transfers.
+
+All statistics flow through a single :class:`~repro.metrics.collector.StatsCollector`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.metrics.collector import StatsCollector
+from repro.net.connection import Connection, Transfer
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.world.connectivity import ConnectivityDetector, KDTreeConnectivity
+from repro.world.node import DTNNode
+
+
+class World:
+    """Container and update driver for a set of DTN nodes.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event engine the world schedules its update process on.
+    update_interval:
+        Seconds between world updates (the paper uses 0.1 s; the reproduction
+        defaults to 1 s, see DESIGN.md).
+    stats:
+        Statistics collector; a fresh one is created if not supplied.
+    detector:
+        Connectivity detector implementation.
+    """
+
+    def __init__(self, simulator: Simulator, update_interval: float = 1.0,
+                 stats: Optional[StatsCollector] = None,
+                 detector: Optional[ConnectivityDetector] = None) -> None:
+        if update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        self.simulator = simulator
+        self.update_interval = float(update_interval)
+        self.stats = stats if stats is not None else StatsCollector()
+        self.detector = detector if detector is not None else KDTreeConnectivity()
+        self._nodes: Dict[int, DTNNode] = {}
+        self._node_order: List[DTNNode] = []
+        self._connections: Dict[Tuple[int, int], Connection] = {}
+        self._last_update = 0.0
+        self.updates = 0
+        self._process = PeriodicProcess(
+            simulator, self.update_interval, self._update, priority=0)
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: DTNNode) -> DTNNode:
+        """Register *node* (its id must be unique) and return it."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        if node.router is None:
+            raise ValueError(f"node {node.node_id} has no router attached")
+        self._nodes[node.node_id] = node
+        self._node_order.append(node)
+        return node
+
+    @property
+    def nodes(self) -> List[DTNNode]:
+        """All nodes in registration order."""
+        return list(self._node_order)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of registered nodes."""
+        return len(self._node_order)
+
+    def node_ids(self) -> List[int]:
+        """All node ids in registration order."""
+        return [node.node_id for node in self._node_order]
+
+    def get_node(self, node_id: int) -> DTNNode:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    def community_of(self, node_id: int) -> Optional[int]:
+        """Community id of *node_id* (``None`` if unknown / not structured)."""
+        node = self._nodes.get(node_id)
+        return None if node is None else node.community
+
+    def positions(self) -> np.ndarray:
+        """``(n, 2)`` array of current node positions (registration order)."""
+        if not self._node_order:
+            return np.empty((0, 2))
+        return np.vstack([node.position for node in self._node_order])
+
+    # --------------------------------------------------------------- messages
+    def create_message(self, source_id: int, message: Message) -> bool:
+        """Inject an application message at its source node.
+
+        Returns ``True`` if the source router accepted (buffered) it.
+        """
+        node = self.get_node(source_id)
+        self.stats.message_created(message)
+        assert node.router is not None
+        return node.router.create_message(message)
+
+    # ------------------------------------------------------------ connections
+    @property
+    def connections(self) -> List[Connection]:
+        """All currently active connections."""
+        return list(self._connections.values())
+
+    def connection_between(self, a: int, b: int) -> Optional[Connection]:
+        """The active connection between nodes *a* and *b*, if any."""
+        return self._connections.get((min(a, b), max(a, b)))
+
+    # ----------------------------------------------------------------- update
+    def _update(self, simulator: Simulator) -> None:
+        now = simulator.now
+        dt = now - self._last_update
+        self._last_update = now
+        self.updates += 1
+        if dt <= 0:
+            return
+        self._move_nodes(dt, now)
+        self._refresh_connectivity(now)
+        self._advance_transfers(now, dt)
+        self._update_routers(now)
+
+    def _move_nodes(self, dt: float, now: float) -> None:
+        for node in self._node_order:
+            node.move(dt, now)
+
+    def _refresh_connectivity(self, now: float) -> None:
+        positions = self.positions()
+        ranges = np.array([node.interface.transmit_range for node in self._node_order])
+        index_pairs = self.detector.find_pairs(positions, ranges)
+        # map index pairs -> node-id pairs
+        current: Set[Tuple[int, int]] = set()
+        for i, j in index_pairs:
+            a = self._node_order[i].node_id
+            b = self._node_order[j].node_id
+            current.add((min(a, b), max(a, b)))
+        previous = set(self._connections)
+        for key in previous - current:
+            self._link_down(key, now)
+        for key in current - previous:
+            self._link_up(key, now)
+
+    def _link_up(self, key: Tuple[int, int], now: float) -> None:
+        node_a = self._nodes[key[0]]
+        node_b = self._nodes[key[1]]
+        bitrate = node_a.interface.link_bitrate(node_b.interface)
+        connection = Connection(node_a, node_b, bitrate, now)
+        self._connections[key] = connection
+        node_a.connections[node_b.node_id] = connection
+        node_b.connections[node_a.node_id] = connection
+        self.stats.contact_up(node_a.node_id, node_b.node_id, now)
+        assert node_a.router is not None and node_b.router is not None
+        node_a.router.changed_connection(connection, up=True)
+        node_b.router.changed_connection(connection, up=True)
+
+    def _link_down(self, key: Tuple[int, int], now: float) -> None:
+        connection = self._connections.pop(key)
+        aborted = connection.tear_down(now)
+        for transfer in aborted:
+            self.stats.transfer_aborted(
+                transfer.message, transfer.sender.node_id,
+                transfer.receiver.node_id, now, transfer.bytes_left)
+            assert transfer.sender.router is not None
+            transfer.sender.router.transfer_aborted(transfer)
+        node_a = connection.node_a
+        node_b = connection.node_b
+        node_a.connections.pop(node_b.node_id, None)
+        node_b.connections.pop(node_a.node_id, None)
+        self.stats.contact_down(node_a.node_id, node_b.node_id, now)
+        assert node_a.router is not None and node_b.router is not None
+        node_a.router.changed_connection(connection, up=False)
+        node_b.router.changed_connection(connection, up=False)
+
+    def _advance_transfers(self, now: float, dt: float) -> None:
+        for connection in list(self._connections.values()):
+            for transfer in connection.advance(now, dt):
+                self._complete_transfer(transfer, now)
+
+    def _complete_transfer(self, transfer: Transfer, now: float) -> None:
+        sender = transfer.sender
+        receiver = transfer.receiver
+        replica = transfer.message.replicate(transfer.copies, receiver.node_id, now)
+        assert receiver.router is not None and sender.router is not None
+        accepted = receiver.router.receive_message(replica, sender)
+        final = replica.destination == receiver.node_id
+        self.stats.message_relayed(replica, sender.node_id, receiver.node_id,
+                                   now, transfer.copies, final)
+        if final:
+            self.stats.message_delivered(replica, now)
+        if accepted:
+            sender.router.transfer_completed(transfer)
+
+    def _update_routers(self, now: float) -> None:
+        for node in self._node_order:
+            assert node.router is not None
+            node.router.update(now)
+
+    # ------------------------------------------------------------------ misc
+    def stop(self) -> None:
+        """Stop the periodic update process (used when tearing a world down)."""
+        self._process.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"World({self.num_nodes} nodes, {len(self._connections)} links, "
+                f"updates={self.updates})")

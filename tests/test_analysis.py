@@ -1,0 +1,109 @@
+"""Unit tests for the analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.render import figure_to_csv, figure_to_json, render_ascii_chart
+from repro.analysis.series import (
+    crossover_points,
+    is_monotonic,
+    rank_series,
+    relative_factor,
+    series_to_arrays,
+)
+from repro.analysis.stats import mean_confidence_interval, summarize
+from repro.experiments.figures import FigureResult
+
+
+# ---------------------------------------------------------------------- stats
+def test_mean_confidence_interval():
+    mean, half = mean_confidence_interval([10.0, 12.0, 11.0, 13.0])
+    assert mean == pytest.approx(11.5)
+    assert half > 0
+    mean_single, half_single = mean_confidence_interval([5.0])
+    assert mean_single == 5.0 and half_single == 0.0
+    nan_mean, _ = mean_confidence_interval([])
+    assert math.isnan(nan_mean)
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0], confidence=1.5)
+
+
+def test_summarize():
+    summary = summarize([1.0, 2.0, 3.0, 4.0, float("inf")])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0 and summary.maximum == 4.0
+    assert summary.median == pytest.approx(2.5)
+    assert summary.as_dict()["count"] == 4
+    empty = summarize([])
+    assert empty.count == 0 and math.isnan(empty.mean)
+
+
+# --------------------------------------------------------------------- series
+def test_series_to_arrays_sorts_by_x():
+    xs, ys = series_to_arrays([(3, 30.0), (1, 10.0), (2, 20.0)])
+    assert xs.tolist() == [1.0, 2.0, 3.0]
+    assert ys.tolist() == [10.0, 20.0, 30.0]
+    empty_x, empty_y = series_to_arrays([])
+    assert empty_x.size == 0 and empty_y.size == 0
+
+
+def test_is_monotonic_with_tolerance():
+    rising = [(1, 0.1), (2, 0.2), (3, 0.3)]
+    noisy = [(1, 0.1), (2, 0.09), (3, 0.3)]
+    assert is_monotonic(rising, increasing=True)
+    assert not is_monotonic(noisy, increasing=True)
+    assert is_monotonic(noisy, increasing=True, tolerance=0.02)
+    assert is_monotonic(list(reversed(rising)), increasing=True)  # re-sorted by x
+    assert is_monotonic([(1, 3.0), (2, 2.0)], increasing=False)
+
+
+def test_crossover_points():
+    a = [(0, 0.0), (1, 1.0), (2, 2.0)]
+    b = [(0, 2.0), (1, 1.5), (2, 1.0)]
+    crossings = crossover_points(a, b)
+    assert len(crossings) == 1
+    assert 1.0 < crossings[0] < 2.0
+    assert crossover_points(a, a) != []  # identical series touch everywhere
+
+
+def test_relative_factor_and_ranking():
+    a = [(1, 2.0), (2, 4.0)]
+    b = [(1, 1.0), (2, 2.0)]
+    assert relative_factor(a, b) == pytest.approx(2.0)
+    assert math.isnan(relative_factor(a, []))
+    order = rank_series({"low": b, "high": a}, higher_is_better=True)
+    assert order == ["high", "low"]
+    assert rank_series({"low": b, "high": a}, higher_is_better=False) == ["low", "high"]
+
+
+# --------------------------------------------------------------------- render
+def make_figure():
+    figure = FigureResult("figX", "demo", "num_nodes")
+    for x, y in [(40, 0.5), (80, 0.6), (120, 0.7)]:
+        figure.add_point("delivery_ratio", "eer", x, y)
+        figure.add_point("delivery_ratio", "ebr", x, y - 0.2)
+    return figure
+
+
+def test_render_ascii_chart():
+    figure = make_figure()
+    chart = render_ascii_chart(figure.metrics["delivery_ratio"], title="demo chart")
+    assert "demo chart" in chart
+    assert "o=eer" in chart and "x=ebr" in chart
+    assert render_ascii_chart({}) == "(no data)"
+
+
+def test_figure_to_json_and_csv(tmp_path):
+    figure = make_figure()
+    json_path = tmp_path / "fig.json"
+    payload = figure_to_json(figure, path=str(json_path))
+    assert json_path.exists()
+    assert '"figure_id": "figX"' in payload
+    csv_path = tmp_path / "fig.csv"
+    text = figure_to_csv(figure, "delivery_ratio", path=str(csv_path))
+    assert csv_path.exists()
+    lines = text.strip().splitlines()
+    assert lines[0] == "num_nodes,eer,ebr"
+    assert lines[1].startswith("40,")

@@ -1,0 +1,44 @@
+"""Unit tests for explicit community assignments."""
+
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+
+
+def test_round_robin_assignment():
+    assignment = CommunityAssignment.round_robin(num_nodes=7, num_communities=3)
+    assert len(assignment) == 7
+    assert assignment.num_communities == 3
+    assert assignment.community_of(0) == 0
+    assert assignment.community_of(4) == 1
+    assert sorted(assignment.members(0)) == [0, 3, 6]
+    assert assignment.nodes() == list(range(7))
+
+
+def test_from_groups_resolves_overlap_to_first_group():
+    assignment = CommunityAssignment.from_groups([{0, 1, 2}, {2, 3}])
+    assert assignment.community_of(2) == 0
+    assert assignment.community_of(3) == 1
+    assert assignment.members(1) == [3]
+
+
+def test_same_community_and_dict_round_trip():
+    assignment = CommunityAssignment({0: 1, 1: 1, 2: 2})
+    assert assignment.same_community(0, 1)
+    assert not assignment.same_community(0, 2)
+    assert assignment.as_dict() == {0: 1, 1: 1, 2: 2}
+    assert assignment.communities() == {1: [0, 1], 2: [2]}
+
+
+def test_unknown_node_raises():
+    assignment = CommunityAssignment({0: 0})
+    with pytest.raises(KeyError):
+        assignment.community_of(99)
+    assert assignment.members(42) == []
+
+
+def test_empty_assignment_rejected():
+    with pytest.raises(ValueError):
+        CommunityAssignment({})
+    with pytest.raises(ValueError):
+        CommunityAssignment.round_robin(0, 3)

@@ -1,0 +1,152 @@
+"""Unit tests for contact graphs and the three community-detection algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+from repro.community.graph import aggregate_contact_graph, contact_graph_from_history
+from repro.community.kclique import k_clique_communities
+from repro.community.local import local_community
+from repro.community.newman import modularity, newman_modularity_communities
+from repro.contacts.history import ContactHistory
+from repro.metrics.events import ContactRecord
+from repro.traces.generators import community_structured_trace
+
+
+def two_cliques_graph():
+    """Two 4-cliques joined by a single bridge edge."""
+    graph = nx.Graph()
+    for base in (0, 4):
+        members = list(range(base, base + 4))
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j, weight=5.0)
+    graph.add_edge(3, 4, weight=1.0)
+    return graph
+
+
+# ---------------------------------------------------------------- contact graphs
+def test_contact_graph_from_histories():
+    h0 = ContactHistory(owner_id=0)
+    h1 = ContactHistory(owner_id=1)
+    for t in (10.0, 30.0, 70.0):
+        h0.record_contact(1, t)
+        h1.record_contact(0, t)
+    h0.record_contact(2, 40.0)
+    graph = contact_graph_from_history([h0, h1])
+    assert graph.has_edge(0, 1)
+    assert graph[0][1]["weight"] == 3
+    assert graph[0][1]["mean_interval"] == pytest.approx(30.0)
+    assert graph.has_edge(0, 2)
+    # min_contacts filters weak edges
+    filtered = contact_graph_from_history([h0, h1], min_contacts=2)
+    assert filtered.has_edge(0, 1)
+    assert not filtered.has_edge(0, 2)
+
+
+def test_aggregate_contact_graph_counts_and_durations():
+    records = [
+        ContactRecord(0, 1, 10.0, 30.0),
+        ContactRecord(0, 1, 50.0, 60.0),
+        ContactRecord(1, 2, 5.0, 10.0),
+    ]
+    by_count = aggregate_contact_graph(records, num_nodes=4)
+    assert by_count[0][1]["weight"] == 2
+    assert by_count[1][2]["weight"] == 1
+    assert 3 in by_count.nodes  # isolated node still present
+    by_duration = aggregate_contact_graph(records, use_duration=True)
+    assert by_duration[0][1]["weight"] == pytest.approx(30.0)
+
+
+# --------------------------------------------------------------------- k-clique
+def test_kclique_finds_the_two_cliques():
+    communities = k_clique_communities(two_cliques_graph(), k=3)
+    as_sets = [frozenset(c) for c in communities]
+    assert frozenset({0, 1, 2, 3}) in as_sets
+    assert frozenset({4, 5, 6, 7}) in as_sets
+
+
+def test_kclique_min_weight_filters_bridge():
+    graph = two_cliques_graph()
+    # with k=2 and no weight filter the bridge merges everything
+    merged = k_clique_communities(graph, k=2)
+    assert len(merged) == 1
+    # filtering out the weak bridge edge separates the cliques again
+    separated = k_clique_communities(graph, k=2, min_weight=2.0)
+    assert len(separated) == 2
+
+
+def test_kclique_validation_and_empty():
+    with pytest.raises(ValueError):
+        k_clique_communities(nx.Graph(), k=1)
+    assert k_clique_communities(nx.path_graph(4), k=4) == []
+
+
+# -------------------------------------------------------------------- modularity
+def test_modularity_prefers_true_partition():
+    graph = two_cliques_graph()
+    true_partition = [{0, 1, 2, 3}, {4, 5, 6, 7}]
+    lumped = [set(range(8))]
+    assert modularity(graph, true_partition) > modularity(graph, lumped)
+    assert modularity(nx.Graph(), [set()]) == 0.0
+
+
+def test_newman_recovers_two_communities():
+    communities = newman_modularity_communities(two_cliques_graph())
+    assert len(communities) == 2
+    assert {0, 1, 2, 3} in communities
+    assert {4, 5, 6, 7} in communities
+
+
+def test_newman_max_communities_cap():
+    graph = two_cliques_graph()
+    capped = newman_modularity_communities(graph, max_communities=1)
+    assert len(capped) == 1
+    assert capped[0] == set(range(8))
+
+
+def test_newman_empty_graph():
+    assert newman_modularity_communities(nx.Graph()) == []
+
+
+# ------------------------------------------------------------------------ local
+def test_local_community_grows_around_seed():
+    graph = two_cliques_graph()
+    community = local_community(graph, seed=0)
+    assert community == {0, 1, 2, 3}
+    community = local_community(graph, seed=5)
+    assert community == {4, 5, 6, 7}
+
+
+def test_local_community_max_size_and_validation():
+    graph = two_cliques_graph()
+    capped = local_community(graph, seed=0, max_size=2)
+    assert len(capped) <= 2 and 0 in capped
+    with pytest.raises(KeyError):
+        local_community(graph, seed=99)
+    with pytest.raises(ValueError):
+        local_community(graph, seed=0, max_size=0)
+
+
+# ------------------------------------------------- end-to-end with synthetic trace
+def test_detection_recovers_ground_truth_from_synthetic_trace():
+    trace, truth = community_structured_trace(
+        num_nodes=12, num_communities=3, duration=4000.0,
+        intra_period=150.0, inter_period=3000.0, seed=4)
+    graph = aggregate_contact_graph(
+        (ContactRecord(pair[0], pair[1], start, end)
+         for pair, start, end in trace.contacts()), num_nodes=12)
+    # drop weak (inter-community) edges, then detect
+    strong = nx.Graph()
+    strong.add_nodes_from(graph.nodes)
+    strong.add_edges_from((u, v, d) for u, v, d in graph.edges(data=True)
+                          if d["weight"] >= 5)
+    detected = newman_modularity_communities(strong, max_communities=3)
+    assignment = CommunityAssignment.from_groups(detected)
+    # detected communities must match the ground truth partition
+    for a in range(12):
+        for b in range(12):
+            same_truth = truth[a] == truth[b]
+            same_detected = assignment.same_community(a, b)
+            assert same_truth == same_detected

@@ -1,0 +1,82 @@
+"""Unit tests for the contact history sliding windows."""
+
+import pytest
+
+from repro.contacts.history import ContactHistory
+
+
+def test_first_contact_records_only_last_time():
+    history = ContactHistory(owner_id=0)
+    assert history.record_contact(1, now=100.0) is None
+    assert history.intervals(1) == []
+    assert history.last_contact(1) == 100.0
+    assert history.has_met(1)
+    assert not history.has_met(2)
+    assert history.contact_count(1) == 1
+
+
+def test_subsequent_contacts_record_intervals():
+    history = ContactHistory(owner_id=0)
+    history.record_contact(1, 100.0)
+    assert history.record_contact(1, 160.0) == 60.0
+    assert history.record_contact(1, 300.0) == 140.0
+    assert history.intervals(1) == [60.0, 140.0]
+    assert history.mean_interval(1) == 100.0
+    assert history.contact_count(1) == 3
+
+
+def test_sliding_window_trims_oldest():
+    history = ContactHistory(owner_id=0, window_size=3)
+    t = 0.0
+    for interval in (10.0, 20.0, 30.0, 40.0):
+        t += interval
+        history.record_contact(1, t)
+    # first contact sets t0; intervals recorded: 20, 30, 40 -> window keeps 3
+    assert history.intervals(1) == [20.0, 30.0, 40.0]
+    t += 50.0
+    history.record_contact(1, t)
+    assert history.intervals(1) == [30.0, 40.0, 50.0]
+
+
+def test_elapsed_since_clamps_at_zero():
+    history = ContactHistory(owner_id=0)
+    history.record_contact(1, 100.0)
+    assert history.elapsed_since(1, 130.0) == 30.0
+    assert history.elapsed_since(1, 100.0) == 0.0
+    assert history.elapsed_since(2, 100.0) is None
+
+
+def test_independent_peers():
+    history = ContactHistory(owner_id=0)
+    history.record_contact(1, 10.0)
+    history.record_contact(2, 20.0)
+    history.record_contact(1, 50.0)
+    assert sorted(history.peers()) == [1, 2]
+    assert history.intervals(1) == [40.0]
+    assert history.intervals(2) == []
+    assert history.total_intervals() == 1
+    snapshot = history.snapshot()
+    assert snapshot == {1: [40.0]}
+    # the snapshot is a copy
+    snapshot[1].append(999.0)
+    assert history.intervals(1) == [40.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ContactHistory(owner_id=0, window_size=0)
+    history = ContactHistory(owner_id=0)
+    with pytest.raises(ValueError):
+        history.record_contact(0, 10.0)  # self-contact
+    with pytest.raises(ValueError):
+        history.record_contact(1, -5.0)
+    history.record_contact(1, 50.0)
+    with pytest.raises(ValueError):
+        history.record_contact(1, 40.0)  # time going backwards
+
+
+def test_mean_interval_none_without_intervals():
+    history = ContactHistory(owner_id=0)
+    assert history.mean_interval(1) is None
+    history.record_contact(1, 5.0)
+    assert history.mean_interval(1) is None

@@ -1,0 +1,102 @@
+"""Unit tests for the meeting-interval matrix and its freshness-based exchange."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.mi_matrix import MeetingIntervalMatrix
+
+
+def test_initial_state():
+    mi = MeetingIntervalMatrix(num_nodes=4, owner_id=1)
+    assert mi.values.shape == (4, 4)
+    assert np.isinf(mi.values).sum() == 12  # all off-diagonal entries unknown
+    assert (np.diag(mi.values) == 0).all()
+    assert mi.known_rows() == 0
+
+
+def test_update_own_row():
+    mi = MeetingIntervalMatrix(4, owner_id=1)
+    mi.update_own_row({0: 120.0, 3: 60.0}, now=500.0)
+    assert mi.interval(1, 0) == 120.0
+    assert mi.interval(1, 3) == 60.0
+    assert np.isinf(mi.interval(1, 2))
+    assert mi.row_update_times[1] == 500.0
+    assert mi.known_rows() == 1
+
+
+def test_update_own_row_validation():
+    mi = MeetingIntervalMatrix(4, owner_id=1)
+    with pytest.raises(IndexError):
+        mi.update_own_row({9: 100.0}, now=1.0)
+    with pytest.raises(ValueError):
+        mi.update_own_row({0: -5.0}, now=1.0)
+    # the owner's own entry is silently skipped
+    mi.update_own_row({1: 100.0}, now=1.0)
+    assert mi.interval(1, 1) == 0.0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MeetingIntervalMatrix(0, 0)
+    with pytest.raises(ValueError):
+        MeetingIntervalMatrix(4, 7)
+
+
+def test_merge_takes_only_fresher_rows():
+    a = MeetingIntervalMatrix(3, owner_id=0)
+    b = MeetingIntervalMatrix(3, owner_id=1)
+    a.update_own_row({1: 100.0}, now=10.0)
+    b.update_own_row({0: 100.0, 2: 50.0}, now=20.0)
+    copied = a.merge_from(b)
+    assert copied == 1
+    assert a.interval(1, 2) == 50.0
+    # merging again copies nothing (no fresher rows)
+    assert a.merge_from(b) == 0
+    # b learns a's row too
+    assert b.merge_from(a) == 1
+    assert b.interval(0, 1) == 100.0
+
+
+def test_merge_never_overwrites_own_row():
+    a = MeetingIntervalMatrix(3, owner_id=0)
+    b = MeetingIntervalMatrix(3, owner_id=1)
+    a.update_own_row({1: 100.0}, now=10.0)
+    # b fabricates a fresher row about node 0
+    b._values[0, 1] = 999.0
+    b._row_updated[0] = 50.0
+    a.merge_from(b)
+    assert a.interval(0, 1) == 100.0
+
+
+def test_merge_propagates_third_party_rows():
+    # node 2's row reaches node 0 via node 1
+    m0 = MeetingIntervalMatrix(3, owner_id=0)
+    m1 = MeetingIntervalMatrix(3, owner_id=1)
+    m2 = MeetingIntervalMatrix(3, owner_id=2)
+    m2.update_own_row({1: 75.0}, now=5.0)
+    m1.merge_from(m2)
+    m0.merge_from(m1)
+    assert m0.interval(2, 1) == 75.0
+
+
+def test_rows_fresher_than_counts_exchange_size():
+    a = MeetingIntervalMatrix(3, owner_id=0)
+    b = MeetingIntervalMatrix(3, owner_id=1)
+    a.update_own_row({1: 10.0}, now=100.0)
+    assert a.rows_fresher_than(b) == 1
+    assert b.rows_fresher_than(a) == 0
+
+
+def test_merge_size_mismatch():
+    a = MeetingIntervalMatrix(3, owner_id=0)
+    b = MeetingIntervalMatrix(4, owner_id=1)
+    with pytest.raises(ValueError):
+        a.merge_from(b)
+
+
+def test_copy_is_deep():
+    a = MeetingIntervalMatrix(3, owner_id=0)
+    a.update_own_row({1: 10.0}, now=1.0)
+    clone = a.copy()
+    clone.update_own_row({1: 99.0}, now=2.0)
+    assert a.interval(0, 1) == 10.0

@@ -1,0 +1,155 @@
+"""Unit tests for the Community based Routing protocol (Algorithms 2-4)."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.core.cr import CommunityRouter
+
+#: two communities: {0, 1, 2} and {3, 4, 5}
+COMMUNITIES = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+
+
+def cr_world(trace, **kwargs):
+    return make_world(trace, protocol="cr", num_nodes=6, communities=COMMUNITIES,
+                      **kwargs)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        CommunityRouter(alpha=2.0)
+    with pytest.raises(ValueError):
+        CommunityRouter(memd_refresh=-1.0)
+    with pytest.raises(ValueError):
+        CommunityRouter(forward_margin=-0.1)
+
+
+def test_router_requires_communities():
+    trace = make_contact_plan([(10.0, 30.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="cr", num_nodes=3)
+    inject_message(world, source=0, destination=2)
+    with pytest.raises(RuntimeError):
+        simulator.run(until=50.0)
+
+
+def test_community_membership_queries():
+    trace = make_contact_plan([(10.0, 30.0, 0, 1)])
+    simulator, world = cr_world(trace)
+    router = world.get_node(0).router
+    assert router.community == 0
+    assert router.community_of(4) == 1
+    assert sorted(router.community_members(0)) == [0, 1, 2]
+    assert sorted(router.communities()) == [0, 1]
+
+
+def test_peer_in_destination_community_gets_all_replicas():
+    # source 0 (community 0) meets node 3 (community 1 = destination community)
+    trace = make_contact_plan([(10.0, 50.0, 0, 3)])
+    simulator, world = cr_world(trace)
+    inject_message(world, source=0, destination=5, copies=10, ttl=5000.0)
+    simulator.run(until=100.0)
+    assert not world.get_node(0).router.has_message("M1")
+    assert world.get_node(3).buffer.get("M1").copies == 10
+
+
+def test_inter_community_split_by_enec():
+    # node 1 frequently meets members of community 1 (high ENEC); node 0 does
+    # not.  When they meet, node 0 should hand over replicas proportionally.
+    contacts = []
+    for t in range(10, 400, 60):
+        contacts.append((float(t), float(t) + 5.0, 1, 3))
+        contacts.append((float(t) + 20.0, float(t) + 25.0, 1, 4))
+    contacts.append((500.0, 540.0, 0, 1))
+    trace = make_contact_plan(contacts)
+    simulator, world = cr_world(trace)
+    inject_message(world, source=0, destination=5, copies=10, now=450.0, ttl=2000.0)
+    simulator.run(until=600.0)
+    copies0 = world.get_node(0).buffer.get("M1").copies
+    copies1 = world.get_node(1).buffer.get("M1").copies
+    assert copies0 + copies1 == 10
+    assert copies1 > copies0
+
+
+def test_inter_community_single_copy_forwarded_to_better_gateway():
+    # node 1 regularly meets the destination community; node 0 never does
+    contacts = [(float(t), float(t) + 10.0, 1, 3) for t in (10, 110, 210, 310)]
+    contacts.append((400.0, 440.0, 0, 1))
+    trace = make_contact_plan(contacts)
+    simulator, world = cr_world(trace)
+    inject_message(world, source=0, destination=5, copies=1, now=350.0, ttl=5000.0)
+    simulator.run(until=460.0)
+    assert world.get_node(1).router.has_message("M1")
+    assert not world.get_node(0).router.has_message("M1")
+
+
+def test_intra_community_message_not_handed_outside_community():
+    # destination 2 is in community 0; holder 0 meets node 3 (community 1):
+    # the message must stay with node 0.
+    trace = make_contact_plan([(10.0, 50.0, 0, 3)])
+    simulator, world = cr_world(trace)
+    inject_message(world, source=0, destination=2, copies=4, ttl=5000.0)
+    simulator.run(until=100.0)
+    assert world.get_node(0).buffer.get("M1").copies == 4
+    assert not world.get_node(3).router.has_message("M1")
+
+
+def test_intra_community_split_and_delivery():
+    # within community 0: source 0 splits with 1, then 1 delivers to 2
+    trace = make_contact_plan([
+        (10.0, 50.0, 0, 1),
+        (100.0, 140.0, 1, 2),
+    ])
+    simulator, world = cr_world(trace)
+    inject_message(world, source=0, destination=2, copies=6, ttl=5000.0)
+    simulator.run(until=60.0)
+    copies0 = world.get_node(0).buffer.get("M1").copies
+    copies1 = world.get_node(1).buffer.get("M1").copies
+    assert copies0 + copies1 == 6
+    simulator.run(until=200.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_intra_community_single_copy_memd_forwarding():
+    # node 1 meets the destination 2 periodically; node 0 does not.
+    contacts = [(float(t), float(t) + 10.0, 1, 2) for t in (10, 110, 210, 310)]
+    contacts.append((400.0, 440.0, 0, 1))
+    contacts.append((510.0, 540.0, 1, 2))
+    trace = make_contact_plan(contacts)
+    simulator, world = cr_world(trace)
+    inject_message(world, source=0, destination=2, copies=1, now=350.0, ttl=5000.0)
+    simulator.run(until=460.0)
+    assert world.get_node(1).router.has_message("M1")
+    assert not world.get_node(0).router.has_message("M1")
+    simulator.run(until=600.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_intra_community_mi_exchange_restricted_to_community():
+    # contacts: 0-1 (same community) and 0-3 (different community)
+    trace = make_contact_plan([
+        (10.0, 30.0, 0, 1),
+        (50.0, 70.0, 0, 3),
+        (100.0, 120.0, 0, 1),
+    ])
+    simulator, world = cr_world(trace)
+    simulator.run(until=150.0)
+    router0 = world.get_node(0).router
+    # intra-community MI knows about node 1 (same community, repeated contact)
+    assert router0.intra_mi.interval(0, 1) == pytest.approx(90.0)
+    # but never stores rows about the other community's members
+    assert router0.intra_mi.interval(0, 3) == float("inf")
+
+
+def test_control_overhead_lower_than_eer_on_same_trace():
+    contacts = []
+    # a mix of intra- and inter-community periodic contacts
+    for t in range(10, 800, 40):
+        contacts.append((float(t), float(t) + 5.0, 0, 1))
+        contacts.append((float(t) + 10.0, float(t) + 15.0, 1, 3))
+        contacts.append((float(t) + 20.0, float(t) + 25.0, 3, 4))
+    trace = make_contact_plan(contacts)
+    _, world_cr = cr_world(trace)
+    sim_cr = world_cr.simulator
+    sim_cr.run(until=850.0)
+    simulator_eer, world_eer = make_world(trace, protocol="eer", num_nodes=6)
+    simulator_eer.run(until=850.0)
+    assert world_cr.stats.control_rows_exchanged < world_eer.stats.control_rows_exchanged

@@ -1,0 +1,139 @@
+"""Unit tests for the EER router (Algorithm 1)."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.core.eer import EERRouter
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        EERRouter(alpha=1.5)
+    with pytest.raises(ValueError):
+        EERRouter(alpha=-0.1)
+    with pytest.raises(ValueError):
+        EERRouter(memd_refresh=-1.0)
+    with pytest.raises(ValueError):
+        EERRouter(forward_margin=1.0)
+    router = EERRouter(alpha=0.28)
+    assert router.horizon_for(1200.0) == pytest.approx(0.28 * 1200.0)
+    assert router.horizon_for(-5.0) == 0.0
+
+
+def test_mi_exchange_on_contact_makes_matrices_consistent():
+    trace = make_contact_plan([
+        (10.0, 20.0, 1, 2),
+        (100.0, 110.0, 1, 2),
+        (200.0, 230.0, 0, 1),
+    ])
+    simulator, world = make_world(trace, protocol="eer", num_nodes=3)
+    simulator.run(until=250.0)
+    mi0 = world.get_node(0).router.mi
+    mi1 = world.get_node(1).router.mi
+    # node 0 learned node 1's row (average interval to node 2 = 90 s)
+    assert mi0.interval(1, 2) == pytest.approx(90.0)
+    assert mi1.interval(1, 2) == pytest.approx(90.0)
+    assert world.stats.control_rows_exchanged >= 1
+
+
+def test_replica_split_conserves_total_quota(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="eer", num_nodes=3)
+    inject_message(world, source=0, destination=2, copies=10, ttl=5000.0)
+    simulator.run(until=60.0)
+    copies0 = world.get_node(0).buffer.get("M1").copies
+    copies1 = world.get_node(1).buffer.get("M1").copies
+    assert copies0 + copies1 == 10
+    assert copies0 >= 1 and copies1 >= 1
+
+
+def test_split_favours_node_with_higher_expected_ev():
+    # node 1 meets nodes 2 and 3 every ~50 s (high EEV); node 0 meets nobody
+    # else.  When 0 (holding 10 replicas) meets 1, most replicas should move.
+    contacts = []
+    for t in range(10, 400, 50):
+        contacts.append((float(t), float(t) + 5.0, 1, 2))
+        contacts.append((float(t) + 10.0, float(t) + 15.0, 1, 3))
+    contacts.append((500.0, 540.0, 0, 1))
+    trace = make_contact_plan(contacts)
+    simulator, world = make_world(trace, protocol="eer", num_nodes=5)
+    inject_message(world, source=0, destination=4, copies=10, now=450.0, ttl=2000.0)
+    simulator.run(until=600.0)
+    copies0 = world.get_node(0).buffer.get("M1").copies
+    copies1 = world.get_node(1).buffer.get("M1").copies
+    assert copies0 + copies1 == 10
+    assert copies1 > copies0
+
+
+def test_memd_to_self_is_zero_and_unknown_is_inf(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="eer", num_nodes=3)
+    simulator.run(until=60.0)
+    router = world.get_node(0).router
+    assert router.memd_to(0) == 0.0
+    assert router.memd_to(2) == float("inf")
+    assert router.memd_to(99) == float("inf")
+
+
+def test_single_copy_forwarded_to_node_with_smaller_memd():
+    # node 1 meets the destination (3) every 100 s; node 0 has never seen it.
+    contacts = [(float(t), float(t) + 10.0, 1, 3) for t in (10, 110, 210, 310)]
+    contacts.append((400.0, 440.0, 0, 1))
+    contacts.append((510.0, 540.0, 1, 3))
+    trace = make_contact_plan(contacts)
+    simulator, world = make_world(trace, protocol="eer", num_nodes=4)
+    inject_message(world, source=0, destination=3, copies=1, now=350.0, ttl=5000.0)
+    simulator.run(until=450.0)
+    # the single replica was forwarded (not copied) to the better relay
+    assert world.get_node(1).router.has_message("M1")
+    assert not world.get_node(0).router.has_message("M1")
+    simulator.run(until=600.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_single_copy_not_forwarded_to_clueless_node():
+    # neither node knows the destination: both MEMDs are infinite -> keep it
+    trace = make_contact_plan([(10.0, 50.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="eer", num_nodes=3)
+    inject_message(world, source=0, destination=2, copies=1, ttl=5000.0)
+    simulator.run(until=100.0)
+    assert world.get_node(0).router.has_message("M1")
+    assert not world.get_node(1).router.has_message("M1")
+
+
+def test_expired_messages_are_not_routed(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="eer", num_nodes=3)
+    inject_message(world, source=0, destination=2, copies=10, ttl=5.0)
+    simulator.run(until=100.0)
+    assert world.stats.relayed == 0
+    assert world.stats.expired == 1
+
+
+def test_total_replicas_never_exceed_lambda_across_network():
+    trace = make_contact_plan([
+        (10.0, 40.0, 0, 1),
+        (10.0, 40.0, 0, 2),
+        (60.0, 90.0, 1, 3),
+        (60.0, 90.0, 2, 4),
+        (100.0, 130.0, 0, 5),
+    ])
+    simulator, world = make_world(trace, protocol="eer", num_nodes=7)
+    inject_message(world, source=0, destination=6, copies=10, ttl=5000.0)
+    simulator.run(until=150.0)
+    total = 0
+    for node_id in range(7):
+        message = world.get_node(node_id).buffer.get("M1")
+        if message is not None:
+            total += message.copies
+    assert total == 10
+
+
+def test_memd_cache_refreshes_after_interval():
+    trace = make_contact_plan([(10.0, 500.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="eer", num_nodes=3,
+                                  router_params={"memd_refresh": 5.0})
+    simulator.run(until=20.0)
+    router = world.get_node(0).router
+    first = router.memd_to(1)
+    first_key = router._memd_cache_time
+    simulator.run(until=40.0)
+    router.memd_to(1)
+    assert router._memd_cache_time > first_key

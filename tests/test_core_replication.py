@@ -1,0 +1,58 @@
+"""Unit tests for the proportional replica-splitting rule."""
+
+import pytest
+
+from repro.core.replication import split_replicas
+
+
+def test_proportional_split_floors_peer_share():
+    # 10 replicas, weights 1:2 -> peer share floor(10 * 2/3) = 6
+    kept, passed = split_replicas(10, weight_self=1.0, weight_peer=2.0)
+    assert (kept, passed) == (4, 6)
+    assert kept + passed == 10
+
+
+def test_equal_weights_split_in_half():
+    kept, passed = split_replicas(10, 3.0, 3.0)
+    assert (kept, passed) == (5, 5)
+    kept, passed = split_replicas(9, 3.0, 3.0)
+    assert (kept, passed) == (5, 4)  # floor favours the holder
+
+
+def test_zero_peer_weight_passes_nothing():
+    assert split_replicas(8, 5.0, 0.0) == (8, 0)
+
+
+def test_zero_self_weight_keeps_at_least_one():
+    kept, passed = split_replicas(8, 0.0, 5.0)
+    assert (kept, passed) == (1, 7)
+    kept, passed = split_replicas(8, 0.0, 5.0, keep_at_least_one=False)
+    assert (kept, passed) == (0, 8)
+
+
+def test_both_weights_zero_falls_back_to_binary_split():
+    assert split_replicas(10, 0.0, 0.0) == (5, 5)
+    assert split_replicas(1, 0.0, 0.0) == (1, 0)
+
+
+def test_single_replica_is_never_passed_by_splitting():
+    assert split_replicas(1, 0.0, 100.0) == (1, 0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        split_replicas(0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        split_replicas(5, -1.0, 1.0)
+    with pytest.raises(ValueError):
+        split_replicas(5, 1.0, -1.0)
+
+
+@pytest.mark.parametrize("total", [1, 2, 3, 7, 10, 25])
+@pytest.mark.parametrize("weights", [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0),
+                                     (2.5, 7.5), (10.0, 10.0), (1e-9, 1.0)])
+def test_conservation_and_bounds(total, weights):
+    kept, passed = split_replicas(total, *weights)
+    assert kept + passed == total
+    assert kept >= 1
+    assert passed >= 0

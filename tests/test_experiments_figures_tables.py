@@ -1,0 +1,79 @@
+"""Unit tests for the figure drivers and table rendering (tiny scenarios)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureResult,
+    ablation_alpha,
+    figure2_comparison,
+    figure3_lambda_eer,
+)
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.tables import format_figure, format_report_table, format_series_table
+from repro.experiments.runner import run_scenario
+
+
+def tiny_base():
+    return ScenarioConfig.bench_scale(num_nodes=10, sim_time=250.0)
+
+
+def test_figure_result_accumulates_series():
+    figure = FigureResult("figX", "demo", "num_nodes")
+    figure.add_point("delivery_ratio", "eer", 40, 0.5)
+    figure.add_point("delivery_ratio", "eer", 80, 0.6)
+    figure.add_point("delivery_ratio", "ebr", 40, 0.4)
+    assert figure.series("delivery_ratio", "eer") == [(40.0, 0.5), (80.0, 0.6)]
+    assert figure.series_labels("delivery_ratio") == ["eer", "ebr"]
+    assert figure.values("delivery_ratio", "eer") == [0.5, 0.6]
+    assert figure.mean_value("delivery_ratio", "ebr") == 0.4
+    assert figure.mean_value("goodput", "eer") != figure.mean_value("goodput", "eer")  # NaN
+    payload = figure.as_dict()
+    assert payload["figure_id"] == "figX"
+    assert payload["metrics"]["delivery_ratio"]["eer"] == [(40.0, 0.5), (80.0, 0.6)]
+
+
+def test_figure2_comparison_small_scale():
+    figure = figure2_comparison(node_counts=(8,), protocols=("direct", "epidemic"),
+                                seeds=(1,), base=tiny_base())
+    assert figure.figure_id == "fig2"
+    for metric in ("delivery_ratio", "average_latency", "goodput"):
+        assert set(figure.series_labels(metric)) == {"direct", "epidemic"}
+        for label in ("direct", "epidemic"):
+            assert len(figure.series(metric, label)) == 1
+    # epidemic cannot deliver less than direct delivery
+    assert (figure.mean_value("delivery_ratio", "epidemic")
+            >= figure.mean_value("delivery_ratio", "direct"))
+
+
+def test_figure3_lambda_series_labels():
+    figure = figure3_lambda_eer(node_counts=(8,), lambdas=(2, 4), seeds=(1,),
+                                base=tiny_base())
+    assert set(figure.series_labels("delivery_ratio")) == {"lambda=2", "lambda=4"}
+
+
+def test_ablation_alpha_uses_router_params():
+    figure = ablation_alpha(alphas=(0.1, 0.9), protocol="eer", num_nodes=8,
+                            seeds=(1,), base=tiny_base())
+    series = figure.series("delivery_ratio", "eer")
+    assert [x for x, _ in series] == [0.1, 0.9]
+
+
+def test_format_series_table_and_figure_render():
+    figure = FigureResult("figX", "demo", "num_nodes")
+    figure.add_point("delivery_ratio", "eer", 40, 0.512)
+    figure.add_point("delivery_ratio", "eer", 80, 0.623)
+    figure.add_point("delivery_ratio", "ebr", 40, 0.4)
+    table = format_series_table(figure, "delivery_ratio")
+    assert "eer" in table and "ebr" in table
+    assert "0.512" in table and "40" in table
+    assert "-" in table  # missing ebr point at 80 nodes
+    assert "(no data" in format_series_table(figure, "unknown_metric")
+    rendered = format_figure(figure, metrics=("delivery_ratio",))
+    assert rendered.startswith("== figX")
+
+
+def test_format_report_table():
+    report = run_scenario(tiny_base().with_overrides(protocol="direct"))
+    table = format_report_table([report])
+    assert "direct" in table
+    assert "delivery_ratio" in table

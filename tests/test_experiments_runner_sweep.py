@@ -1,0 +1,60 @@
+"""Unit tests for the runner, seed averaging and parameter sweeps."""
+
+import pytest
+
+from repro.experiments.runner import run_averaged, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweep import sweep
+from repro.metrics.reports import SimulationReport
+
+
+def tiny_config(**overrides):
+    base = ScenarioConfig.bench_scale(protocol="spray-and-wait", num_nodes=10,
+                                      sim_time=250.0)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def test_run_scenario_returns_report():
+    report = run_scenario(tiny_config())
+    assert isinstance(report, SimulationReport)
+    assert report.protocol == "spray-and-wait"
+    assert report.num_nodes == 10
+    assert report.created > 0
+    assert 0.0 <= report.delivery_ratio <= 1.0
+    assert report.extra["copies"] == 10.0
+
+
+def test_run_averaged_collects_one_report_per_seed():
+    result = run_averaged(tiny_config(), seeds=[1, 2, 3])
+    assert len(result.reports) == 3
+    assert result.seeds == [1, 2, 3]
+    assert {r.seed for r in result.reports} == {1, 2, 3}
+    mean = result.mean("delivery_ratio")
+    assert 0.0 <= mean <= 1.0
+    assert result.std("delivery_ratio") >= 0.0
+    summary = result.as_dict()
+    assert summary["protocol"] == "spray-and-wait"
+    assert summary["num_nodes"] == 10
+
+
+def test_run_averaged_requires_seeds():
+    with pytest.raises(ValueError):
+        run_averaged(tiny_config(), seeds=[])
+
+
+def test_sweep_covers_grid_and_routes_router_params():
+    points = sweep(tiny_config(protocol="eer"),
+                   grid={"num_nodes": [8, 12], "router.alpha": [0.1, 0.5]},
+                   seeds=[1])
+    assert len(points) == 4
+    overrides = [p.overrides for p in points]
+    assert {"num_nodes": 8, "router.alpha": 0.1} in overrides
+    assert {"num_nodes": 12, "router.alpha": 0.5} in overrides
+    for point in points:
+        assert point.result.num_nodes == point.overrides["num_nodes"]
+        assert 0.0 <= point.value("delivery_ratio") <= 1.0
+
+
+def test_sweep_rejects_empty_grid():
+    with pytest.raises(ValueError):
+        sweep(tiny_config(), grid={}, seeds=[1])

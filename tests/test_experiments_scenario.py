@@ -1,0 +1,68 @@
+"""Unit tests for scenario configuration."""
+
+import pytest
+
+from repro.experiments.scenario import MobilityKind, ScenarioConfig
+
+
+def test_paper_scale_matches_section_v_settings():
+    config = ScenarioConfig.paper_scale(protocol="eer", num_nodes=240)
+    assert config.num_nodes == 240
+    assert config.sim_time == 10_000.0
+    assert config.update_interval == 0.1
+    assert config.transmit_range == 10.0
+    assert config.transmit_speed == pytest.approx(250_000.0)
+    assert config.buffer_capacity == 1024 * 1024
+    assert config.message_size == 25 * 1024
+    assert config.message_ttl == 20 * 60.0
+    assert config.message_copies == 10
+    assert config.mobility is MobilityKind.BUS
+    assert config.min_speed == 2.7 and config.max_speed == 13.9
+
+
+def test_bench_scale_is_smaller_but_same_structure():
+    paper = ScenarioConfig.paper_scale()
+    bench = ScenarioConfig.bench_scale()
+    assert bench.sim_time < paper.sim_time
+    assert bench.update_interval > paper.update_interval
+    assert bench.map_width <= paper.map_width
+    assert bench.mobility is MobilityKind.BUS
+    assert bench.message_copies == paper.message_copies
+
+
+def test_overrides_and_with_overrides():
+    config = ScenarioConfig.bench_scale(protocol="cr", num_nodes=60, seed=9,
+                                        message_copies=6)
+    assert config.protocol == "cr"
+    assert config.message_copies == 6
+    changed = config.with_overrides(num_nodes=120, router_params={"alpha": 0.5})
+    assert changed.num_nodes == 120
+    assert changed.router_params == {"alpha": 0.5}
+    # the original is untouched (dataclasses.replace semantics)
+    assert config.num_nodes == 60
+    assert config.router_params == {}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(num_nodes=1)
+    with pytest.raises(ValueError):
+        ScenarioConfig(sim_time=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(update_interval=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(message_copies=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(num_communities=0)
+
+
+def test_mobility_accepts_string_values():
+    config = ScenarioConfig(mobility="random_waypoint")
+    assert config.mobility is MobilityKind.RANDOM_WAYPOINT
+
+
+def test_effective_traffic_end_defaults_to_sim_time():
+    config = ScenarioConfig(sim_time=500.0)
+    assert config.effective_traffic_end == 500.0
+    explicit = ScenarioConfig(sim_time=500.0, traffic_end=300.0)
+    assert explicit.effective_traffic_end == 300.0

@@ -1,0 +1,61 @@
+"""Unit tests for report building."""
+
+import pytest
+
+from repro.metrics.collector import StatsCollector
+from repro.metrics.reports import build_report
+from repro.net.message import Message
+
+
+def populated_collector():
+    stats = StatsCollector()
+    for i in range(5):
+        message = Message(f"M{i}", 0, 1, 100, float(i), 500.0)
+        stats.message_created(message)
+    for i in range(3):
+        message = Message(f"M{i}", 0, 1, 100, float(i), 500.0)
+        replica = message.replicate(1, receiver=1, now=100.0 + i)
+        stats.message_relayed(replica, 0, 1, 100.0 + i, 1, True)
+        stats.message_delivered(replica, 100.0 + i)
+    return stats
+
+
+def test_build_report_headline_metrics():
+    report = build_report(populated_collector(), protocol="eer", num_nodes=10,
+                          sim_time=1000.0, seed=3)
+    assert report.protocol == "eer"
+    assert report.created == 5
+    assert report.delivered == 3
+    assert report.relayed == 3
+    assert report.delivery_ratio == pytest.approx(0.6)
+    assert report.goodput == pytest.approx(1.0)
+    assert report.average_latency == pytest.approx((100.0 + 100.0 + 100.0) / 3, rel=0.1)
+    assert report.latency_percentiles["p50"] > 0
+
+
+def test_metric_lookup_and_aliases():
+    report = build_report(populated_collector(), protocol="eer", num_nodes=10,
+                          sim_time=1000.0, seed=3, extra={"custom": 1.5})
+    assert report.metric("delivery_ratio") == report.delivery_ratio
+    assert report.metric("latency") == report.average_latency
+    assert report.metric("overhead") == report.overhead_ratio
+    assert report.metric("custom") == 1.5
+    with pytest.raises(KeyError):
+        report.metric("nonexistent")
+
+
+def test_as_dict_round_trip():
+    report = build_report(populated_collector(), protocol="cr", num_nodes=4,
+                          sim_time=100.0, seed=1)
+    data = report.as_dict()
+    assert data["protocol"] == "cr"
+    assert data["num_nodes"] == 4
+    assert data["delivered"] == 3
+    assert isinstance(data["latency_percentiles"], dict)
+
+
+def test_empty_collector_produces_zero_report():
+    report = build_report(StatsCollector(), protocol="direct", num_nodes=2,
+                          sim_time=10.0, seed=0)
+    assert report.delivery_ratio == 0.0
+    assert report.latency_percentiles == {}

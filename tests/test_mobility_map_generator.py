@@ -1,0 +1,64 @@
+"""Unit tests for the synthetic downtown map generator."""
+
+import pytest
+
+from repro.mobility.map_generator import (
+    assign_districts,
+    district_vertices,
+    generate_downtown_map,
+)
+
+
+def test_generated_map_is_connected_and_sized():
+    roadmap = generate_downtown_map(width=1500, height=900, spacing=300, seed=5)
+    cols, rows = 1500 // 300 + 1, 900 // 300 + 1
+    assert roadmap.num_vertices == cols * rows
+    assert roadmap.is_connected()
+    min_x, min_y, max_x, max_y = roadmap.bounds()
+    assert max_x >= 1500 - 300 and max_y >= 900 - 300
+
+
+def test_same_seed_same_map():
+    a = generate_downtown_map(width=1200, height=900, spacing=300, seed=9)
+    b = generate_downtown_map(width=1200, height=900, spacing=300, seed=9)
+    assert a.num_vertices == b.num_vertices
+    assert a.num_edges == b.num_edges
+    assert (a.all_coordinates() == b.all_coordinates()).all()
+
+
+def test_different_seed_changes_map():
+    a = generate_downtown_map(width=1800, height=1200, spacing=300, seed=1)
+    b = generate_downtown_map(width=1800, height=1200, spacing=300, seed=2)
+    assert (a.all_coordinates() != b.all_coordinates()).any() or a.num_edges != b.num_edges
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        generate_downtown_map(spacing=0)
+    with pytest.raises(ValueError):
+        generate_downtown_map(width=100, height=100, spacing=300)
+
+
+def test_assign_districts_partitions_all_vertices():
+    roadmap = generate_downtown_map(width=1500, height=1200, spacing=300, seed=3)
+    districts = assign_districts(roadmap, 4)
+    assert set(districts) == set(range(roadmap.num_vertices))
+    assert set(districts.values()) == {0, 1, 2, 3}
+    by_district = district_vertices(districts)
+    assert sum(len(v) for v in by_district.values()) == roadmap.num_vertices
+    # districts are spatially coherent: each has more than one vertex
+    assert all(len(v) >= 2 for v in by_district.values())
+
+
+def test_assign_districts_single_district():
+    roadmap = generate_downtown_map(width=900, height=900, spacing=300, seed=3)
+    districts = assign_districts(roadmap, 1)
+    assert set(districts.values()) == {0}
+
+
+def test_assign_districts_validation():
+    roadmap = generate_downtown_map(width=900, height=900, spacing=300, seed=3)
+    with pytest.raises(ValueError):
+        assign_districts(roadmap, 0)
+    with pytest.raises(ValueError):
+        assign_districts(roadmap, 4, grid=(1, 1))

@@ -1,0 +1,125 @@
+"""Unit tests for bus routes and map-route mobility."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.mobility.map_generator import assign_districts, generate_downtown_map
+from repro.mobility.map_route import (
+    BusRoute,
+    MapRouteMovement,
+    district_hubs,
+    generate_bus_routes,
+)
+from repro.mobility.roadmap import RoadMap
+
+
+@pytest.fixture
+def small_map():
+    return generate_downtown_map(width=1500, height=1200, spacing=300, seed=4)
+
+
+def test_bus_route_legs_are_road_paths(small_map):
+    stops = [0, small_map.num_vertices - 1, small_map.num_vertices // 2]
+    route = BusRoute(small_map, stops, district=1, name="test-line")
+    assert route.num_stops == 3
+    for index in range(3):
+        leg = route.leg(index)
+        assert leg[0] == stops[index]
+        assert leg[-1] == stops[(index + 1) % 3]
+        # consecutive leg vertices are connected by road edges
+        for u, v in zip(leg[:-1], leg[1:]):
+            assert small_map.edge_length(u, v) > 0
+    assert route.total_length() > 0
+    assert len(route.stop_coordinates()) == 3
+
+
+def test_bus_route_validation(small_map):
+    with pytest.raises(ValueError):
+        BusRoute(small_map, [0])
+    with pytest.raises(ValueError):
+        BusRoute(small_map, [0, 0])
+
+
+def test_map_route_movement_cycles_through_stops(small_map):
+    route = BusRoute(small_map, [0, 5, 10], district=0)
+    movement = MapRouteMovement(route, min_speed=10.0, max_speed=10.0,
+                                stop_wait=(0.0, 0.0), start_stop=0)
+    rng = random.Random(1)
+    position = movement.initial_position(rng)
+    assert np.allclose(position, small_map.coordinates(0))
+    visited = []
+    for _ in range(3):
+        path = movement.next_path(position, 0.0, rng)
+        position = path.waypoints[-1]
+        visited.append(small_map.nearest_vertex(position))
+    assert visited == [5, 10, 0]
+
+
+def test_map_route_movement_positions_stay_on_or_near_roads(small_map):
+    route = BusRoute(small_map, [0, 7, 14], district=0)
+    movement = MapRouteMovement(route, stop_wait=(0.0, 5.0))
+    rng = random.Random(2)
+    position = movement.initial_position(rng)
+    path = movement.next_path(position, 0.0, rng)
+    for _ in range(50):
+        position, _ = path.advance(5.0)
+    min_x, min_y, max_x, max_y = small_map.bounds()
+    assert min_x - 1 <= position[0] <= max_x + 1
+    assert min_y - 1 <= position[1] <= max_y + 1
+
+
+def test_movement_validation(small_map):
+    route = BusRoute(small_map, [0, 5])
+    with pytest.raises(ValueError):
+        MapRouteMovement(route, min_speed=0.0)
+    with pytest.raises(ValueError):
+        MapRouteMovement(route, min_speed=5.0, max_speed=1.0)
+    with pytest.raises(ValueError):
+        MapRouteMovement(route, stop_wait=(5.0, 1.0))
+
+
+def test_generate_bus_routes_structure(small_map):
+    districts = assign_districts(small_map, 4)
+    routes = generate_bus_routes(small_map, districts, lines_per_district=2,
+                                 stops_per_line=4, express_lines=2, seed=7)
+    local = [r for r in routes if r.district is not None]
+    express = [r for r in routes if r.district is None]
+    assert len(local) == 8
+    assert len(express) == 2
+    assert {r.district for r in local} == {0, 1, 2, 3}
+    # local lines stay within their district
+    for route in local:
+        for stop in route.stops:
+            assert districts[stop] == route.district
+    # express lines touch several districts
+    for route in express:
+        touched = {districts[stop] for stop in route.stops}
+        assert len(touched) >= 2
+
+
+def test_hub_routes_share_a_stop_per_district(small_map):
+    districts = assign_districts(small_map, 4)
+    hubs = district_hubs(small_map, districts)
+    routes = generate_bus_routes(small_map, districts, lines_per_district=3,
+                                 stops_per_line=4, express_lines=1, seed=7,
+                                 use_hubs=True)
+    for route in routes:
+        if route.district is not None:
+            assert hubs[route.district] in route.stops
+
+
+def test_generate_bus_routes_reproducible(small_map):
+    districts = assign_districts(small_map, 4)
+    a = generate_bus_routes(small_map, districts, seed=3)
+    b = generate_bus_routes(small_map, districts, seed=3)
+    assert [r.stops for r in a] == [r.stops for r in b]
+
+
+def test_generate_bus_routes_validation(small_map):
+    districts = assign_districts(small_map, 4)
+    with pytest.raises(ValueError):
+        generate_bus_routes(small_map, districts, stops_per_line=1)
+    with pytest.raises(ValueError):
+        generate_bus_routes(small_map, districts, lines_per_district=-1)

@@ -1,0 +1,116 @@
+"""Unit tests for the waypoint-style movement models and the path follower."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import PathFollower
+from repro.mobility.community import CommunityLayout, CommunityMovement
+from repro.mobility.map_generator import generate_downtown_map
+from repro.mobility.random_waypoint import RandomWaypointMovement
+from repro.mobility.shortest_path import ShortestPathMapBasedMovement
+from repro.mobility.stationary import StationaryMovement
+
+
+def test_random_waypoint_stays_in_area():
+    model = RandomWaypointMovement(area=(100.0, 50.0), min_speed=1.0, max_speed=2.0,
+                                   wait=(0.0, 1.0))
+    rng = random.Random(3)
+    follower = PathFollower(model, rng)
+    for _ in range(200):
+        pos = follower.move(5.0, 0.0)
+        assert 0.0 <= pos[0] <= 100.0
+        assert 0.0 <= pos[1] <= 50.0
+
+
+def test_random_waypoint_validation():
+    with pytest.raises(ValueError):
+        RandomWaypointMovement(area=(0.0, 10.0))
+    with pytest.raises(ValueError):
+        RandomWaypointMovement(area=(10.0, 10.0), min_speed=2.0, max_speed=1.0)
+    with pytest.raises(ValueError):
+        RandomWaypointMovement(area=(10.0, 10.0), wait=(5.0, 1.0))
+
+
+def test_stationary_never_moves():
+    model = StationaryMovement((3.0, 4.0))
+    follower = PathFollower(model, random.Random(0))
+    start = follower.position.copy()
+    for _ in range(10):
+        pos = follower.move(10.0, 0.0)
+    assert np.allclose(pos, start)
+    assert follower.halted
+
+
+def test_stationary_requires_2d_position():
+    with pytest.raises(ValueError):
+        StationaryMovement((1.0, 2.0, 3.0))
+
+
+def test_community_layout_bounds_and_lookup():
+    layout = CommunityLayout(area=(100.0, 100.0), num_communities=4)
+    assert layout.grid == (2, 2)
+    assert layout.district_bounds(0) == (0.0, 0.0, 50.0, 50.0)
+    assert layout.district_bounds(3) == (50.0, 50.0, 100.0, 100.0)
+    assert layout.community_of_point((10.0, 10.0)) == 0
+    assert layout.community_of_point((90.0, 90.0)) == 3
+    with pytest.raises(ValueError):
+        layout.district_bounds(4)
+
+
+def test_community_movement_mostly_stays_home():
+    layout = CommunityLayout(area=(100.0, 100.0), num_communities=4)
+    model = CommunityMovement(layout, community_id=2, local_probability=1.0,
+                              min_speed=5.0, max_speed=5.0, wait=(0.0, 0.0))
+    rng = random.Random(5)
+    follower = PathFollower(model, rng)
+    min_x, min_y, max_x, max_y = layout.district_bounds(2)
+    for _ in range(100):
+        pos = follower.move(3.0, 0.0)
+        assert min_x - 1e-6 <= pos[0] <= max_x + 1e-6
+        assert min_y - 1e-6 <= pos[1] <= max_y + 1e-6
+    assert model.community == 2
+
+
+def test_community_movement_can_roam_when_not_local():
+    layout = CommunityLayout(area=(100.0, 100.0), num_communities=4)
+    model = CommunityMovement(layout, community_id=0, local_probability=0.0,
+                              min_speed=5.0, max_speed=5.0, wait=(0.0, 0.0))
+    rng = random.Random(7)
+    follower = PathFollower(model, rng)
+    left_home = False
+    for _ in range(200):
+        pos = follower.move(5.0, 0.0)
+        if pos[0] > 50.0 or pos[1] > 50.0:
+            left_home = True
+    assert left_home
+
+
+def test_shortest_path_movement_visits_allowed_vertices_only():
+    roadmap = generate_downtown_map(width=1200, height=900, spacing=300, seed=1)
+    allowed = [0, 1, 2, 3]
+    model = ShortestPathMapBasedMovement(roadmap, min_speed=10.0, max_speed=10.0,
+                                         wait=(0.0, 0.0), allowed_vertices=allowed)
+    rng = random.Random(11)
+    position = model.initial_position(rng)
+    assert roadmap.nearest_vertex(position) in allowed
+    for _ in range(5):
+        path = model.next_path(position, 0.0, rng)
+        position = path.waypoints[-1]
+        assert roadmap.nearest_vertex(position) in allowed
+
+
+def test_path_follower_requests_next_path_within_one_step():
+    # a model returning very short paths: follower must chain them in one move
+    class ShortHop(RandomWaypointMovement):
+        def next_path(self, position, now, rng):
+            path = super().next_path(position, now, rng)
+            path.wait_time = 0.0
+            return path
+
+    model = ShortHop(area=(5.0, 5.0), min_speed=10.0, max_speed=10.0, wait=(0.0, 0.0))
+    follower = PathFollower(model, random.Random(2))
+    moved = follower.move(100.0, 0.0)
+    assert moved is not None
+    assert not follower.halted

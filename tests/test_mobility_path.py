@@ -1,0 +1,69 @@
+"""Unit tests for piecewise-linear paths."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.path import Path
+
+
+def test_single_point_path_is_done_after_wait():
+    path = Path([(1.0, 2.0)], speed=1.0, wait_time=5.0)
+    assert not path.done
+    pos, leftover = path.advance(3.0)
+    assert np.allclose(pos, (1.0, 2.0))
+    assert leftover == 0.0
+    pos, leftover = path.advance(4.0)
+    assert path.done
+    assert leftover == pytest.approx(2.0)
+
+
+def test_straight_line_advance():
+    path = Path([(0.0, 0.0), (10.0, 0.0)], speed=2.0)
+    pos, _ = path.advance(2.0)
+    assert np.allclose(pos, (4.0, 0.0))
+    pos, leftover = path.advance(3.0)
+    assert np.allclose(pos, (10.0, 0.0))
+    assert path.done
+    assert leftover == pytest.approx(0.0)
+
+
+def test_multi_segment_advance_crosses_corners():
+    path = Path([(0.0, 0.0), (3.0, 0.0), (3.0, 4.0)], speed=1.0)
+    assert path.total_length == pytest.approx(7.0)
+    pos, _ = path.advance(4.0)
+    assert np.allclose(pos, (3.0, 1.0))
+    pos, _ = path.advance(3.0)
+    assert np.allclose(pos, (3.0, 4.0))
+    assert path.done
+
+
+def test_leftover_time_returned_when_path_finishes():
+    path = Path([(0.0, 0.0), (2.0, 0.0)], speed=1.0, wait_time=1.0)
+    pos, leftover = path.advance(10.0)
+    assert np.allclose(pos, (2.0, 0.0))
+    # 2 s of travel + 1 s wait leaves 7 s unused
+    assert leftover == pytest.approx(7.0)
+
+
+def test_duration_matches_advance():
+    path = Path([(0.0, 0.0), (6.0, 8.0)], speed=2.0, wait_time=3.0)
+    assert path.duration() == pytest.approx(10.0 / 2.0 + 3.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Path([], speed=1.0)
+    with pytest.raises(ValueError):
+        Path([(0, 0), (1, 1)], speed=0.0)
+    with pytest.raises(ValueError):
+        Path([(0, 0)], speed=1.0, wait_time=-1.0)
+    with pytest.raises(ValueError):
+        Path([(0, 0), (1, 1)], speed=1.0).advance(-0.1)
+
+
+def test_zero_dt_keeps_position():
+    path = Path([(0.0, 0.0), (5.0, 0.0)], speed=1.0)
+    path.advance(2.0)
+    pos, leftover = path.advance(0.0)
+    assert np.allclose(pos, (2.0, 0.0))
+    assert leftover == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for the road-map graph."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.roadmap import RoadMap
+
+
+@pytest.fixture
+def square_map():
+    """A unit square with one diagonal: 0-(0,0), 1-(1,0), 2-(1,1), 3-(0,1)."""
+    roadmap = RoadMap()
+    for x, y in [(0, 0), (1, 0), (1, 1), (0, 1)]:
+        roadmap.add_vertex(x, y)
+    roadmap.add_edge(0, 1)
+    roadmap.add_edge(1, 2)
+    roadmap.add_edge(2, 3)
+    roadmap.add_edge(3, 0)
+    roadmap.add_edge(0, 2)  # diagonal
+    return roadmap
+
+
+def test_counts_and_lengths(square_map):
+    assert square_map.num_vertices == 4
+    assert square_map.num_edges == 5
+    assert square_map.edge_length(0, 1) == pytest.approx(1.0)
+    assert square_map.edge_length(0, 2) == pytest.approx(np.sqrt(2))
+
+
+def test_invalid_edges_rejected(square_map):
+    with pytest.raises(ValueError):
+        square_map.add_edge(0, 0)
+    with pytest.raises(IndexError):
+        square_map.add_edge(0, 99)
+    with pytest.raises(KeyError):
+        square_map.edge_length(1, 3)
+    colocated = RoadMap()
+    colocated.add_vertex(0, 0)
+    colocated.add_vertex(0, 0)
+    with pytest.raises(ValueError):
+        colocated.add_edge(0, 1)
+
+
+def test_shortest_path_prefers_diagonal(square_map):
+    assert square_map.shortest_path(0, 2) == [0, 2]
+    assert square_map.shortest_path(1, 3) in ([1, 0, 3], [1, 2, 3])
+    assert square_map.shortest_path(2, 2) == [2]
+    assert square_map.path_length([0, 1, 2]) == pytest.approx(2.0)
+
+
+def test_unreachable_vertex_raises():
+    roadmap = RoadMap()
+    roadmap.add_vertex(0, 0)
+    roadmap.add_vertex(1, 0)
+    roadmap.add_vertex(5, 5)
+    roadmap.add_edge(0, 1)
+    assert not roadmap.is_connected()
+    with pytest.raises(ValueError):
+        roadmap.shortest_path(0, 2)
+
+
+def test_nearest_vertex(square_map):
+    assert square_map.nearest_vertex((0.1, -0.2)) == 0
+    assert square_map.nearest_vertex((0.9, 1.2)) == 2
+
+
+def test_bounds_and_coordinates(square_map):
+    assert square_map.bounds() == (0.0, 0.0, 1.0, 1.0)
+    assert np.allclose(square_map.coordinates(3), (0.0, 1.0))
+    coords = square_map.all_coordinates()
+    assert coords.shape == (4, 2)
+    # coordinates() returns a copy, mutating it does not corrupt the map
+    c = square_map.coordinates(0)
+    c[0] = 99.0
+    assert square_map.coordinates(0)[0] == 0.0
+
+
+def test_path_coordinates(square_map):
+    waypoints = square_map.path_coordinates([0, 1, 2])
+    assert len(waypoints) == 3
+    assert np.allclose(waypoints[1], (1.0, 0.0))
+
+
+def test_empty_map_queries():
+    roadmap = RoadMap()
+    assert roadmap.is_connected()
+    assert roadmap.bounds() == (0.0, 0.0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        roadmap.nearest_vertex((0, 0))

@@ -1,0 +1,118 @@
+"""Unit tests for the bounded message buffer."""
+
+import pytest
+
+from repro.net.buffer import BufferFullError, DropPolicy, MessageBuffer
+from repro.net.message import Message
+
+
+def msg(mid, size=100, created=0.0, ttl=1000.0, received=None):
+    message = Message(mid, 0, 1, size, created, ttl)
+    if received is not None:
+        message.received_time = received
+    return message
+
+
+def test_add_and_query():
+    buffer = MessageBuffer(capacity=1000)
+    buffer.add(msg("A", 300))
+    buffer.add(msg("B", 200))
+    assert len(buffer) == 2
+    assert "A" in buffer and "B" in buffer
+    assert buffer.occupancy == 500
+    assert buffer.free_space == 500
+    assert buffer.get("A").message_id == "A"
+    assert buffer.get("missing") is None
+    assert [m.message_id for m in buffer.messages()] == ["A", "B"]
+
+
+def test_duplicate_add_rejected():
+    buffer = MessageBuffer(capacity=1000)
+    buffer.add(msg("A"))
+    with pytest.raises(ValueError):
+        buffer.add(msg("A"))
+
+
+def test_oversized_message_rejected():
+    buffer = MessageBuffer(capacity=100)
+    with pytest.raises(BufferFullError):
+        buffer.add(msg("big", 200))
+
+
+def test_eviction_oldest_received():
+    buffer = MessageBuffer(capacity=300, drop_policy=DropPolicy.OLDEST_RECEIVED)
+    buffer.add(msg("old", 100, received=1.0))
+    buffer.add(msg("mid", 100, received=2.0))
+    buffer.add(msg("new", 100, received=3.0))
+    evicted = buffer.add(msg("incoming", 150, received=4.0))
+    assert [m.message_id for m in evicted] == ["old", "mid"]
+    assert "incoming" in buffer and "new" in buffer
+
+
+def test_eviction_shortest_ttl():
+    buffer = MessageBuffer(capacity=200, drop_policy=DropPolicy.SHORTEST_TTL)
+    buffer.add(msg("short", 100, created=0.0, ttl=10.0))
+    buffer.add(msg("long", 100, created=0.0, ttl=1000.0))
+    evicted = buffer.add(msg("incoming", 100))
+    assert [m.message_id for m in evicted] == ["short"]
+
+
+def test_eviction_largest():
+    buffer = MessageBuffer(capacity=300, drop_policy=DropPolicy.LARGEST)
+    buffer.add(msg("small", 50))
+    buffer.add(msg("large", 200))
+    evicted = buffer.add(msg("incoming", 100))
+    assert [m.message_id for m in evicted] == ["large"]
+
+
+def test_no_drop_policy_raises_when_full():
+    buffer = MessageBuffer(capacity=150, drop_policy=DropPolicy.NO_DROP)
+    buffer.add(msg("A", 100))
+    with pytest.raises(BufferFullError):
+        buffer.add(msg("B", 100))
+    assert "A" in buffer
+
+
+def test_protected_messages_never_evicted():
+    buffer = MessageBuffer(capacity=200,
+                           protected=lambda m: m.message_id == "precious")
+    buffer.add(msg("precious", 150))
+    buffer.add(msg("normal", 50))
+    with pytest.raises(BufferFullError):
+        buffer.add(msg("incoming", 150))
+    assert "precious" in buffer
+
+
+def test_remove_returns_message_and_updates_occupancy():
+    buffer = MessageBuffer(capacity=1000)
+    buffer.add(msg("A", 300))
+    removed = buffer.remove("A")
+    assert removed.message_id == "A"
+    assert buffer.occupancy == 0
+    assert buffer.remove("A") is None
+
+
+def test_drop_expired():
+    buffer = MessageBuffer(capacity=1000)
+    buffer.add(msg("fresh", created=0.0, ttl=1000.0))
+    buffer.add(msg("stale", created=0.0, ttl=50.0))
+    expired = buffer.drop_expired(now=60.0)
+    assert [m.message_id for m in expired] == ["stale"]
+    assert "fresh" in buffer
+
+
+def test_occupancy_ratio():
+    buffer = MessageBuffer(capacity=400)
+    assert buffer.occupancy_ratio == 0.0
+    buffer.add(msg("A", 100))
+    assert buffer.occupancy_ratio == pytest.approx(0.25)
+    unbounded = MessageBuffer()
+    assert unbounded.occupancy_ratio == 0.0
+
+
+def test_clear():
+    buffer = MessageBuffer(capacity=1000)
+    buffer.add(msg("A"))
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.occupancy == 0

@@ -1,0 +1,116 @@
+"""Unit tests for bandwidth-limited connections and transfers."""
+
+import pytest
+
+from repro.mobility.stationary import StationaryMovement
+from repro.net.connection import Connection, ConnectionDownError, Transfer, TransferState
+from repro.net.message import Message
+from repro.sim.rng import RandomStreams
+from repro.world.node import DTNNode
+
+
+def make_node(node_id):
+    rng = RandomStreams(0).python(f"n{node_id}")
+    return DTNNode(node_id, StationaryMovement((0.0, 0.0)), rng)
+
+
+@pytest.fixture
+def pair():
+    return make_node(0), make_node(1)
+
+
+def make_message(size=1000, mid="M1"):
+    return Message(mid, 0, 9, size, 0.0, 1000.0, copies=4)
+
+
+def test_connection_endpoints(pair):
+    a, b = pair
+    conn = Connection(a, b, bitrate=100.0, established_at=0.0)
+    assert conn.key == (0, 1)
+    assert conn.other(a) is b
+    assert conn.other(b) is a
+    assert conn.involves(a) and conn.involves(b)
+    stranger = make_node(7)
+    assert not conn.involves(stranger)
+    with pytest.raises(ValueError):
+        conn.other(stranger)
+
+
+def test_transfer_completes_after_size_over_bitrate(pair):
+    a, b = pair
+    conn = Connection(a, b, bitrate=100.0, established_at=0.0)
+    transfer = Transfer(make_message(size=250), a, b, copies=2)
+    conn.enqueue(transfer)
+    assert conn.advance(now=1.0, dt=1.0) == []          # 100 of 250 bytes
+    assert transfer.state is TransferState.IN_PROGRESS
+    assert conn.advance(now=2.0, dt=1.0) == []          # 200 of 250 bytes
+    done = conn.advance(now=3.0, dt=1.0)                # 300 >= 250 bytes
+    assert done == [transfer]
+    assert transfer.state is TransferState.COMPLETED
+    assert transfer.completed_at == 3.0
+    assert conn.completed_transfers == 1
+
+
+def test_multiple_transfers_fifo_and_shared_bandwidth(pair):
+    a, b = pair
+    conn = Connection(a, b, bitrate=100.0, established_at=0.0)
+    first = Transfer(make_message(size=100, mid="A"), a, b)
+    second = Transfer(make_message(size=100, mid="B"), b, a)
+    conn.enqueue(first)
+    conn.enqueue(second)
+    done = conn.advance(now=1.0, dt=1.5)
+    assert done == [first]
+    assert second.state is TransferState.IN_PROGRESS
+    done = conn.advance(now=2.0, dt=1.0)
+    assert done == [second]
+
+
+def test_fast_link_completes_many_in_one_step(pair):
+    a, b = pair
+    conn = Connection(a, b, bitrate=1e6, established_at=0.0)
+    transfers = [Transfer(make_message(size=100, mid=f"M{i}"), a, b) for i in range(5)]
+    for transfer in transfers:
+        conn.enqueue(transfer)
+    done = conn.advance(now=1.0, dt=1.0)
+    assert done == transfers
+
+
+def test_is_transferring(pair):
+    a, b = pair
+    conn = Connection(a, b, bitrate=10.0, established_at=0.0)
+    conn.enqueue(Transfer(make_message(mid="X"), a, b))
+    assert conn.is_transferring("X")
+    assert conn.is_transferring("X", to_node_id=1)
+    assert not conn.is_transferring("X", to_node_id=0)
+    assert not conn.is_transferring("Y")
+
+
+def test_tear_down_aborts_queued_transfers(pair):
+    a, b = pair
+    conn = Connection(a, b, bitrate=10.0, established_at=0.0)
+    transfer = Transfer(make_message(), a, b)
+    conn.enqueue(transfer)
+    aborted = conn.tear_down(now=5.0)
+    assert aborted == [transfer]
+    assert transfer.state is TransferState.ABORTED
+    assert not conn.is_up
+    assert conn.torn_down_at == 5.0
+    assert conn.advance(now=6.0, dt=1.0) == []
+    with pytest.raises(ConnectionDownError):
+        conn.enqueue(Transfer(make_message(mid="Z"), a, b))
+
+
+def test_transfer_validation(pair):
+    a, b = pair
+    with pytest.raises(ValueError):
+        Transfer(make_message(), a, b, copies=0)
+    conn = Connection(a, b, bitrate=10.0, established_at=0.0)
+    stranger = make_node(9)
+    with pytest.raises(ValueError):
+        conn.enqueue(Transfer(make_message(), a, stranger))
+
+
+def test_invalid_bitrate(pair):
+    a, b = pair
+    with pytest.raises(ValueError):
+        Connection(a, b, bitrate=0.0, established_at=0.0)

@@ -1,0 +1,78 @@
+"""Unit tests for the Message model."""
+
+import pytest
+
+from repro.net.message import Message
+
+
+def make_message(**overrides):
+    params = dict(message_id="M1", source=0, destination=5, size=1000,
+                  creation_time=100.0, ttl=600.0, copies=10)
+    params.update(overrides)
+    return Message(**params)
+
+
+def test_basic_attributes():
+    msg = make_message()
+    assert msg.message_id == "M1"
+    assert msg.source == 0
+    assert msg.destination == 5
+    assert msg.hops == [0]
+    assert msg.hop_count == 0
+    assert msg.received_time == 100.0
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        make_message(size=0)
+    with pytest.raises(ValueError):
+        make_message(copies=0)
+    with pytest.raises(ValueError):
+        make_message(ttl=0)
+
+
+def test_ttl_expiry():
+    msg = make_message()
+    assert msg.expiry_time == 700.0
+    assert not msg.is_expired(699.9)
+    assert msg.is_expired(700.0)
+    assert msg.residual_ttl(400.0) == 300.0
+    assert msg.residual_ttl(800.0) == -100.0
+
+
+def test_add_hop_and_hop_count():
+    msg = make_message()
+    msg.add_hop(3)
+    msg.add_hop(5)
+    assert msg.hops == [0, 3, 5]
+    assert msg.hop_count == 2
+
+
+def test_replicate_shares_identity_but_not_state():
+    msg = make_message()
+    msg.add_hop(2)
+    clone = msg.replicate(copies=4, receiver=7, now=150.0)
+    assert clone == msg  # identity by message id
+    assert clone.copies == 4
+    assert clone.hops == [0, 2, 7]
+    assert clone.received_time == 150.0
+    # mutating the clone does not affect the original
+    clone.add_hop(9)
+    clone.metadata["k"] = 1
+    assert msg.hops == [0, 2]
+    assert "k" not in msg.metadata
+
+
+def test_replicate_requires_at_least_one_copy():
+    with pytest.raises(ValueError):
+        make_message().replicate(copies=0, receiver=1, now=0.0)
+
+
+def test_equality_and_hash_follow_message_id():
+    a = make_message()
+    b = make_message(source=3, size=99)
+    assert a == b
+    assert hash(a) == hash(b)
+    c = make_message(message_id="M2")
+    assert a != c
+    assert a != "M1"

@@ -1,0 +1,129 @@
+"""Unit tests for the router base class plumbing (buffering, transfers, TTL)."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.net.message import Message
+from repro.routing.base import Router
+from repro.routing.registry import register_router
+
+
+def test_create_message_buffers_at_source(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="direct")
+    message = inject_message(world, source=0, destination=1)
+    router = world.get_node(0).router
+    assert router.has_message("M1")
+    assert world.stats.created == 1
+    assert not router.delivered_here("M1")
+
+
+def test_message_for_self_counts_as_delivered_locally(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="direct")
+    message = Message("SELF", 0, 0, 100, 0.0, 100.0)
+    world.create_message(0, message)
+    router = world.get_node(0).router
+    assert router.delivered_here("SELF")
+    assert not router.has_message("SELF")
+
+
+def test_direct_delivery_happens_on_contact(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="direct")
+    inject_message(world, source=0, destination=1)
+    simulator.run(until=100.0)
+    assert world.stats.delivered == 1
+    assert world.stats.is_delivered("M1")
+    # the sender's replica is gone after the hand-over
+    assert not world.get_node(0).router.has_message("M1")
+    # the receiver records it as delivered, not buffered
+    assert world.get_node(1).router.delivered_here("M1")
+    assert not world.get_node(1).router.has_message("M1")
+
+
+def test_ttl_expiry_drops_and_reports(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="direct")
+    inject_message(world, source=0, destination=1, ttl=5.0)  # expires before contact
+    simulator.run(until=100.0)
+    assert world.stats.delivered == 0
+    assert world.stats.expired == 1
+    assert not world.get_node(0).router.has_message("M1")
+
+
+def test_duplicate_replicas_are_rejected_by_receiver():
+    # 0 meets 1 twice with epidemic: the second contact must not re-transfer
+    trace = make_contact_plan([(10.0, 30.0, 0, 1), (60.0, 80.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="epidemic", num_nodes=3)
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=100.0)
+    # exactly one relay happened (0 -> 1), not one per contact
+    assert world.stats.relayed == 1
+    assert world.get_node(1).router.has_message("M1")
+
+
+def test_transfer_aborted_on_link_down_keeps_message():
+    # contact too short for a 2.5 MB message at 250 kB/s (needs 10 s)
+    trace = make_contact_plan([(10.0, 13.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="epidemic", num_nodes=3)
+    inject_message(world, source=0, destination=2, size=2_500_000)
+    simulator.run(until=50.0)
+    assert world.stats.aborted == 1
+    assert world.stats.relayed == 0
+    assert world.get_node(0).router.has_message("M1")
+    assert not world.get_node(1).router.has_message("M1")
+
+
+def test_send_refuses_duplicate_queued_transfer(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="epidemic", num_nodes=3)
+    inject_message(world, source=0, destination=2, size=2_500_000)
+    simulator.run(until=12.0)
+    router = world.get_node(0).router
+    connection = world.connection_between(0, 1)
+    assert connection is not None
+    message = router.buffer.get("M1")
+    assert connection.is_transferring("M1")
+    assert router.send(connection, message) is None
+
+
+def test_custom_router_registration_and_hooks(two_node_trace):
+    events = []
+
+    class RecordingRouter(Router):
+        name = "recording"
+
+        def on_contact_up(self, connection, peer):
+            events.append(("up", self.node_id, peer.node_id))
+
+        def on_contact_down(self, connection, peer):
+            events.append(("down", self.node_id, peer.node_id))
+
+        def on_update(self, now):
+            for connection in self.connections():
+                self.send_deliverable(connection)
+
+    register_router("recording", RecordingRouter)
+    simulator, world = make_world(two_node_trace, protocol="recording")
+    inject_message(world, source=0, destination=1)
+    simulator.run(until=300.0)
+    assert ("up", 0, 1) in events and ("up", 1, 0) in events
+    assert ("down", 0, 1) in events and ("down", 1, 0) in events
+    assert world.stats.delivered == 1
+
+
+def test_attach_twice_rejected(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="direct")
+    router = world.get_node(0).router
+    with pytest.raises(RuntimeError):
+        router.attach(world.get_node(1), world)
+
+
+def test_buffer_overflow_drops_and_records():
+    trace = make_contact_plan([(10.0, 40.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="epidemic", num_nodes=3,
+                                  buffer_capacity=2500)
+    # receiver's buffer only fits two 1000-byte messages
+    for index in range(3):
+        inject_message(world, source=0, destination=2, size=1000,
+                       message_id=f"M{index}")
+    simulator.run(until=50.0)
+    receiver_buffer = world.get_node(1).buffer
+    assert receiver_buffer.occupancy <= 2500
+    assert world.stats.dropped >= 1

@@ -1,0 +1,72 @@
+"""Unit tests for epidemic, direct-delivery and first-contact routing."""
+
+from conftest import inject_message, make_contact_plan, make_world
+
+
+def test_epidemic_floods_to_every_encounter(chain_trace):
+    simulator, world = make_world(chain_trace, protocol="epidemic")
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=200.0)
+    # 0 -> 1 replica, then 1 -> 2 delivery; the source still holds its copy,
+    # the relay drops its replica once it has handed it to the destination
+    assert world.stats.is_delivered("M1")
+    assert world.get_node(0).router.has_message("M1")
+    assert not world.get_node(1).router.has_message("M1")
+    assert world.stats.relayed == 2
+
+
+def test_epidemic_does_not_send_to_node_that_already_has_it():
+    trace = make_contact_plan([
+        (10.0, 30.0, 0, 1),
+        (40.0, 60.0, 0, 1),
+        (40.0, 60.0, 1, 2),
+    ])
+    simulator, world = make_world(trace, protocol="epidemic", num_nodes=4)
+    inject_message(world, source=0, destination=3)
+    simulator.run(until=100.0)
+    # 0->1 once, 1->2 once (0 and 1 never re-exchange)
+    assert world.stats.relayed == 2
+
+
+def test_direct_delivery_never_relays(chain_trace):
+    simulator, world = make_world(chain_trace, protocol="direct")
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=300.0)
+    # node 0 never meets node 2 in this trace
+    assert world.stats.delivered == 0
+    assert world.stats.relayed == 0
+    assert world.get_node(0).router.has_message("M1")
+
+
+def test_direct_delivery_on_direct_contact(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="direct")
+    inject_message(world, source=0, destination=1)
+    simulator.run(until=60.0)
+    assert world.stats.delivered == 1
+    assert world.stats.relayed == 1
+    assert world.stats.goodput == 1.0
+
+
+def test_first_contact_forwards_single_copy(chain_trace):
+    simulator, world = make_world(chain_trace, protocol="first-contact")
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=70.0)
+    # after the 0-1 contact the copy lives only at node 1
+    assert not world.get_node(0).router.has_message("M1")
+    assert world.get_node(1).router.has_message("M1")
+    simulator.run(until=200.0)
+    assert world.stats.is_delivered("M1")
+    # exactly two relays: 0->1 and 1->2
+    assert world.stats.relayed == 2
+
+
+def test_first_contact_does_not_duplicate_across_simultaneous_contacts():
+    trace = make_contact_plan([
+        (10.0, 40.0, 0, 1),
+        (10.0, 40.0, 0, 2),
+    ])
+    simulator, world = make_world(trace, protocol="first-contact", num_nodes=4)
+    inject_message(world, source=0, destination=3)
+    simulator.run(until=60.0)
+    holders = [n for n in (0, 1, 2) if world.get_node(n).router.has_message("M1")]
+    assert len(holders) == 1

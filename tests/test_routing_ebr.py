@@ -1,0 +1,85 @@
+"""Unit tests for the EBR baseline."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.routing.ebr import EBRRouter
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        EBRRouter(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        EBRRouter(ewma_alpha=1.5)
+    with pytest.raises(ValueError):
+        EBRRouter(window=0.0)
+
+
+def test_encounter_value_tracks_contact_rate():
+    # node 0 meets someone every 10 s; node 3 only once
+    contacts = [(float(t), float(t) + 5.0, 0, 1 + (t // 10) % 2) for t in range(10, 310, 10)]
+    contacts.append((50.0, 55.0, 3, 4))
+    trace = make_contact_plan(contacts)
+    simulator, world = make_world(trace, protocol="ebr", num_nodes=5)
+    simulator.run(until=320.0)
+    busy = world.get_node(0).router.encounter_value
+    quiet = world.get_node(3).router.encounter_value
+    assert busy > quiet
+    assert quiet >= 0.0
+
+
+def test_replicas_split_proportionally_to_encounter_values():
+    # node 1 is "busy" (meets 2 and 3 often) before meeting the source
+    contacts = []
+    for t in range(10, 200, 20):
+        contacts.append((float(t), float(t) + 5.0, 1, 2))
+        contacts.append((float(t) + 7.0, float(t) + 12.0, 1, 3))
+    contacts.append((300.0, 340.0, 0, 1))
+    trace = make_contact_plan(contacts)
+    simulator, world = make_world(trace, protocol="ebr", num_nodes=5)
+    inject_message(world, source=0, destination=4, copies=10, now=250.0, ttl=5000.0)
+    simulator.run(until=400.0)
+    source_copies = world.get_node(0).buffer.get("M1").copies
+    relay_copies = world.get_node(1).buffer.get("M1").copies
+    assert source_copies + relay_copies == 10
+    # the idle source hands most replicas to the busy relay
+    assert relay_copies > source_copies
+
+
+def test_single_copy_waits_for_destination():
+    trace = make_contact_plan([
+        (10.0, 40.0, 0, 1),    # split: both end with >= 1 copy
+        (100.0, 130.0, 1, 2),  # 1 has one copy: must NOT hand it to 2
+        (200.0, 230.0, 1, 3),  # 1 meets the destination
+    ])
+    simulator, world = make_world(trace, protocol="ebr", num_nodes=4)
+    inject_message(world, source=0, destination=3, copies=2, ttl=5000.0)
+    simulator.run(until=150.0)
+    assert world.get_node(1).buffer.get("M1").copies == 1
+    assert not world.get_node(2).router.has_message("M1")
+    simulator.run(until=300.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_total_copies_never_exceed_lambda():
+    trace = make_contact_plan([
+        (10.0, 40.0, 0, 1),
+        (10.0, 40.0, 0, 2),
+        (50.0, 80.0, 1, 3),
+        (50.0, 80.0, 2, 4),
+    ])
+    simulator, world = make_world(trace, protocol="ebr", num_nodes=6)
+    inject_message(world, source=0, destination=5, copies=8, ttl=5000.0)
+    simulator.run(until=100.0)
+    total = 0
+    for node_id in range(6):
+        message = world.get_node(node_id).buffer.get("M1")
+        if message is not None:
+            total += message.copies
+    assert total == 8
+
+
+def test_ev_exchange_overhead_counted(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="ebr")
+    simulator.run(until=250.0)
+    assert world.stats.control_rows_exchanged >= 2

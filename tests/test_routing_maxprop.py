@@ -1,0 +1,98 @@
+"""Unit tests for the MaxProp router."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.routing.maxprop import MaxPropRouter
+
+
+def test_meeting_probabilities_are_normalised(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="maxprop")
+    simulator.run(until=250.0)
+    probs = world.get_node(0).router.meeting_probabilities()
+    assert probs
+    assert sum(probs.values()) == pytest.approx(1.0)
+
+
+def test_probabilities_grow_on_meeting_and_stay_normalised():
+    trace = make_contact_plan([
+        (10.0, 20.0, 0, 1),
+        (50.0, 60.0, 0, 1),
+        (90.0, 100.0, 0, 1),
+        (130.0, 140.0, 0, 2),
+    ])
+    simulator, world = make_world(trace, protocol="maxprop", num_nodes=3)
+    simulator.run(until=70.0)
+    probs_before = world.get_node(0).router.meeting_probabilities()
+    assert probs_before == {1: pytest.approx(1.0)}
+    simulator.run(until=200.0)
+    probs_after = world.get_node(0).router.meeting_probabilities()
+    # meeting node 2 moved probability mass toward it (MaxProp's incremental
+    # averaging is recency-weighted, not a plain frequency count)
+    assert probs_after[2] > 0.0
+    assert probs_after[1] < probs_before[1]
+    assert sum(probs_after.values()) == pytest.approx(1.0)
+
+
+def test_path_cost_finite_only_for_reachable_destinations():
+    trace = make_contact_plan([
+        (10.0, 20.0, 0, 1),
+        (50.0, 60.0, 0, 1),
+        (90.0, 100.0, 1, 2),
+        (120.0, 130.0, 0, 1),
+    ])
+    simulator, world = make_world(trace, protocol="maxprop", num_nodes=4)
+    simulator.run(until=150.0)
+    router = world.get_node(0).router
+    assert router.path_cost(0) == 0.0
+    # node 1 is a direct acquaintance: cheap (cost 0 because it is node 0's
+    # only acquaintance, so its likelihood is 1); node 2 is reachable through
+    # node 1's exchanged likelihood vector: dearer but finite
+    assert 0.0 <= router.path_cost(1) < router.path_cost(2) < float("inf")
+    assert router.path_cost(3) == float("inf")  # never heard of node 3
+
+
+def test_floods_like_epidemic(chain_trace):
+    simulator, world = make_world(chain_trace, protocol="maxprop")
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=200.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_acks_flush_delivered_messages_network_wide():
+    # 0 -> 1 -> 2 (destination).  When 1 later meets 0 again, the ack must
+    # remove 0's stale replica.
+    trace = make_contact_plan([
+        (10.0, 30.0, 0, 1),
+        (60.0, 90.0, 1, 2),    # delivery: node 2 creates the ack
+        (100.0, 110.0, 1, 2),  # node 1 learns the ack from the destination
+        (120.0, 150.0, 0, 1),  # node 0 learns it from node 1 and flushes
+    ])
+    simulator, world = make_world(trace, protocol="maxprop")
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=95.0)
+    assert world.stats.is_delivered("M1")
+    assert world.get_node(0).router.has_message("M1")  # not yet acked
+    simulator.run(until=200.0)
+    assert not world.get_node(0).router.has_message("M1")
+    # and the acked message is never accepted again
+    assert "M1" in world.get_node(0).router._acked
+
+
+def test_buffer_eviction_prefers_high_cost_old_messages():
+    trace = make_contact_plan([(10.0, 100.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="maxprop", num_nodes=4,
+                                  buffer_capacity=3000)
+    # three messages fill the receiver's buffer; a fourth forces an eviction
+    for index in range(4):
+        inject_message(world, source=0, destination=2 + (index % 2), size=1000,
+                       message_id=f"M{index}")
+    simulator.run(until=120.0)
+    receiver = world.get_node(1)
+    assert receiver.buffer.occupancy <= 3000
+    assert world.stats.dropped >= 1
+
+
+def test_hop_threshold_validation():
+    with pytest.raises(ValueError):
+        MaxPropRouter(hop_threshold=-1)

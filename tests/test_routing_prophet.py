@@ -1,0 +1,97 @@
+"""Unit tests for the PRoPHET router."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.routing.prophet import ProphetRouter
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ProphetRouter(p_init=0.0)
+    with pytest.raises(ValueError):
+        ProphetRouter(beta=1.5)
+    with pytest.raises(ValueError):
+        ProphetRouter(gamma=1.0)
+    with pytest.raises(ValueError):
+        ProphetRouter(time_unit=0.0)
+
+
+def test_direct_encounter_raises_predictability(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="prophet")
+    simulator.run(until=20.0)
+    router = world.get_node(0).router
+    assert router.delivery_predictability(1) == pytest.approx(0.75, abs=0.05)
+    assert router.delivery_predictability(2) == 0.0
+
+
+def test_repeated_encounters_increase_predictability(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="prophet")
+    simulator.run(until=20.0)
+    after_first = world.get_node(0).router.delivery_predictability(1)
+    simulator.run(until=250.0)
+    after_second = world.get_node(0).router.delivery_predictability(1)
+    assert after_second > after_first
+
+
+def test_predictability_ages_over_time():
+    trace = make_contact_plan([(10.0, 20.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="prophet")
+    simulator.run(until=25.0)
+    fresh = world.get_node(0).router.delivery_predictability(1)
+    simulator.run(until=2000.0)
+    aged = world.get_node(0).router.delivery_predictability(1)
+    assert aged < fresh
+
+
+def test_transitive_predictability(chain_trace):
+    # 0 meets 1, then 1 meets 2: node 1 learns about 2 directly, and when the
+    # trace is extended with another 0-1 contact node 0 learns transitively.
+    trace = make_contact_plan([
+        (10.0, 30.0, 0, 1),
+        (100.0, 130.0, 1, 2),
+        (200.0, 230.0, 0, 1),
+    ])
+    simulator, world = make_world(trace, protocol="prophet")
+    simulator.run(until=300.0)
+    router0 = world.get_node(0).router
+    assert router0.delivery_predictability(2) > 0.0
+    assert router0.delivery_predictability(2) < router0.delivery_predictability(1)
+
+
+def test_message_replicated_to_higher_predictability_node():
+    # node 1 meets the destination (2) repeatedly, then meets the source (0):
+    # 0 should replicate the message to 1, while keeping its own copy.
+    trace = make_contact_plan([
+        (10.0, 20.0, 1, 2),
+        (60.0, 70.0, 1, 2),
+        (120.0, 150.0, 0, 1),
+        (200.0, 230.0, 1, 2),
+    ])
+    simulator, world = make_world(trace, protocol="prophet")
+    inject_message(world, source=0, destination=2, ttl=5000.0)
+    simulator.run(until=160.0)
+    assert world.get_node(1).router.has_message("M1")
+    assert world.get_node(0).router.has_message("M1")  # replication, not forwarding
+    simulator.run(until=300.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_message_not_given_to_lower_predictability_node():
+    # node 1 has never met the destination: the source keeps the message
+    trace = make_contact_plan([
+        (10.0, 20.0, 0, 2),   # source meets the destination before the message exists
+        (120.0, 150.0, 0, 1),
+    ])
+    simulator, world = make_world(trace, protocol="prophet")
+    simulator.run(until=100.0)  # build the source's predictability toward node 2
+    inject_message(world, source=0, destination=2, now=100.0, ttl=5000.0)
+    simulator.run(until=200.0)
+    assert not world.get_node(1).router.has_message("M1")
+    assert world.get_node(0).router.has_message("M1")
+
+
+def test_control_overhead_recorded(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="prophet")
+    simulator.run(until=250.0)
+    assert world.stats.control_exchanges >= 1

@@ -1,0 +1,52 @@
+"""Unit tests for the router registry."""
+
+import pytest
+
+from repro.core.cr import CommunityRouter
+from repro.core.eer import EERRouter
+from repro.routing.base import Router
+from repro.routing.registry import (
+    available_routers,
+    create_router,
+    register_router,
+)
+
+
+def test_all_builtin_protocols_instantiate():
+    for name in available_routers():
+        router = create_router(name)
+        assert isinstance(router, Router)
+        assert router.node is None
+
+
+def test_papers_protocols_resolve_to_core_classes():
+    assert isinstance(create_router("eer"), EERRouter)
+    assert isinstance(create_router("cr"), CommunityRouter)
+
+
+def test_parameters_forwarded_to_factory():
+    router = create_router("eer", alpha=0.5, window_size=7)
+    assert router.alpha == 0.5
+    assert router.window_size == 7
+    snw = create_router("spray-and-wait", binary=False)
+    assert snw.binary is False
+
+
+def test_unknown_router_raises_with_known_names():
+    with pytest.raises(KeyError) as excinfo:
+        create_router("does-not-exist")
+    assert "epidemic" in str(excinfo.value)
+
+
+def test_register_custom_router_overrides_and_lists():
+    class MyRouter(Router):
+        name = "custom-test"
+
+    register_router("custom-test", MyRouter)
+    assert "custom-test" in available_routers()
+    assert isinstance(create_router("custom-test"), MyRouter)
+
+
+def test_register_requires_callable():
+    with pytest.raises(TypeError):
+        register_router("bad", "not callable")

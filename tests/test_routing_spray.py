@@ -1,0 +1,92 @@
+"""Unit tests for Spray-and-Wait and Spray-and-Focus."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan, make_world
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+
+
+def total_copies(world, message_id, nodes):
+    total = 0
+    for node_id in nodes:
+        message = world.get_node(node_id).buffer.get(message_id)
+        if message is not None:
+            total += message.copies
+    return total
+
+
+def test_binary_spray_halves_quota(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="spray-and-wait",
+                                  num_nodes=3)
+    inject_message(world, source=0, destination=2, copies=8)
+    simulator.run(until=60.0)
+    assert world.get_node(0).buffer.get("M1").copies == 4
+    assert world.get_node(1).buffer.get("M1").copies == 4
+    assert total_copies(world, "M1", range(3)) == 8
+
+
+def test_vanilla_spray_passes_single_copy(two_node_trace):
+    simulator, world = make_world(two_node_trace, protocol="spray-and-wait",
+                                  num_nodes=3, router_params={"binary": False})
+    inject_message(world, source=0, destination=2, copies=8)
+    simulator.run(until=60.0)
+    assert world.get_node(0).buffer.get("M1").copies == 7
+    assert world.get_node(1).buffer.get("M1").copies == 1
+
+
+def test_wait_phase_only_delivers_directly():
+    trace = make_contact_plan([
+        (10.0, 30.0, 0, 1),    # spray: 0 gives half to 1
+        (50.0, 70.0, 1, 2),    # 1 has a single copy: must NOT hand it to 2
+        (90.0, 110.0, 1, 3),   # 1 finally meets the destination 3
+    ])
+    simulator, world = make_world(trace, protocol="spray-and-wait", num_nodes=4)
+    inject_message(world, source=0, destination=3, copies=2)
+    simulator.run(until=80.0)
+    assert world.get_node(1).buffer.get("M1").copies == 1
+    assert not world.get_node(2).router.has_message("M1")
+    simulator.run(until=150.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_copies_to_pass_logic():
+    binary = SprayAndWaitRouter(binary=True)
+    assert binary.copies_to_pass(10) == 5
+    assert binary.copies_to_pass(3) == 1
+    assert binary.copies_to_pass(1) == 0
+    vanilla = SprayAndWaitRouter(binary=False)
+    assert vanilla.copies_to_pass(10) == 1
+    assert vanilla.copies_to_pass(1) == 0
+
+
+def test_spray_and_focus_forwards_single_copy_to_better_utility():
+    # node 2 has met the destination (3) recently and repeatedly; node 1 holds
+    # the last copy and should hand it over in the focus phase.
+    trace = make_contact_plan([
+        (10.0, 20.0, 2, 3),
+        (200.0, 210.0, 2, 3),
+        (400.0, 410.0, 2, 3),
+        (600.0, 630.0, 0, 1),     # spray: 0 -> 1 gets one of two copies
+        (700.0, 730.0, 1, 2),     # focus: 1 -> 2 (2's last-encounter age is lower)
+        (800.0, 830.0, 2, 3),     # delivery
+    ])
+    simulator, world = make_world(trace, protocol="spray-and-focus", num_nodes=4)
+    inject_message(world, source=0, destination=3, copies=2, now=550.0, ttl=5000.0)
+    simulator.run(until=760.0)
+    assert world.get_node(2).router.has_message("M1")
+    assert not world.get_node(1).router.has_message("M1")
+    simulator.run(until=900.0)
+    assert world.stats.is_delivered("M1")
+
+
+def test_spray_and_focus_keeps_copy_when_peer_is_not_better():
+    # node 2 has never met the destination: utility is infinite, no hand-over
+    trace = make_contact_plan([
+        (10.0, 40.0, 0, 1),
+        (100.0, 130.0, 1, 2),
+    ])
+    simulator, world = make_world(trace, protocol="spray-and-focus", num_nodes=4)
+    inject_message(world, source=0, destination=3, copies=2)
+    simulator.run(until=200.0)
+    assert world.get_node(1).router.has_message("M1")
+    assert not world.get_node(2).router.has_message("M1")

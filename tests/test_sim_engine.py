@@ -1,0 +1,107 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(simulator):
+    assert simulator.now == 0.0
+
+
+def test_schedule_and_run_advances_clock(simulator):
+    times = []
+    simulator.schedule(5.0, lambda sim: times.append(sim.now))
+    simulator.schedule(2.0, lambda sim: times.append(sim.now))
+    simulator.run(until=10.0)
+    assert times == [2.0, 5.0]
+    assert simulator.now == 10.0
+
+
+def test_run_stops_at_horizon_and_keeps_later_events(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda sim: fired.append("early"))
+    simulator.schedule(20.0, lambda sim: fired.append("late"))
+    simulator.run(until=10.0)
+    assert fired == ["early"]
+    assert len(simulator.queue) == 1
+    simulator.run(until=30.0)
+    assert fired == ["early", "late"]
+
+
+def test_schedule_at_absolute_time(simulator):
+    seen = []
+    simulator.schedule_at(7.5, lambda sim: seen.append(sim.now))
+    simulator.run(until=8.0)
+    assert seen == [7.5]
+
+
+def test_schedule_into_past_raises(simulator):
+    simulator.schedule(1.0, lambda sim: None)
+    simulator.run(until=5.0)
+    with pytest.raises(SimulationError):
+        simulator.schedule_at(2.0, lambda sim: None)
+    with pytest.raises(SimulationError):
+        simulator.schedule(-1.0, lambda sim: None)
+
+
+def test_events_scheduled_during_run_fire(simulator):
+    order = []
+
+    def first(sim):
+        order.append("first")
+        sim.schedule(1.0, lambda s: order.append("chained"))
+
+    simulator.schedule(1.0, first)
+    simulator.run(until=10.0)
+    assert order == ["first", "chained"]
+
+
+def test_stop_halts_run(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda sim: (fired.append(1), sim.stop()))
+    simulator.schedule(2.0, lambda sim: fired.append(2))
+    simulator.run(until=10.0)
+    assert fired == [1]
+
+
+def test_cancel_pending_event(simulator):
+    fired = []
+    event = simulator.schedule(1.0, lambda sim: fired.append(1))
+    simulator.cancel(event)
+    simulator.run(until=5.0)
+    assert fired == []
+
+
+def test_step_fires_exactly_one_event(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda sim: fired.append(1))
+    simulator.schedule(2.0, lambda sim: fired.append(2))
+    assert simulator.step() is True
+    assert fired == [1]
+    assert simulator.step() is True
+    assert simulator.step() is False
+
+
+def test_finish_hooks_run_once(simulator):
+    calls = []
+    simulator.add_finish_hook(lambda sim: calls.append(sim.now))
+    simulator.schedule(1.0, lambda sim: None)
+    simulator.run(until=2.0)
+    assert calls == [2.0]
+    simulator.run(until=3.0)
+    assert calls == [2.0]
+
+
+def test_horizon_before_now_raises(simulator):
+    simulator.schedule(1.0, lambda sim: None)
+    simulator.run(until=5.0)
+    with pytest.raises(SimulationError):
+        simulator.run(until=1.0)
+
+
+def test_fired_event_counter(simulator):
+    for delay in (1.0, 2.0, 3.0):
+        simulator.schedule(delay, lambda sim: None)
+    simulator.run(until=10.0)
+    assert simulator.fired_events == 3

@@ -1,0 +1,91 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import CallbackEvent, Event, EventQueue
+
+
+class RecordingEvent(Event):
+    """Test helper that records when it fires."""
+
+    def __init__(self, time, log, label, priority=10):
+        super().__init__(time, priority)
+        self.log = log
+        self.label = label
+
+    def fire(self, simulator):
+        self.log.append((self.time, self.label))
+
+
+def test_event_rejects_negative_time():
+    with pytest.raises(ValueError):
+        Event(-1.0)
+
+
+def test_queue_orders_by_time():
+    queue = EventQueue()
+    log = []
+    queue.push(RecordingEvent(5.0, log, "late"))
+    queue.push(RecordingEvent(1.0, log, "early"))
+    queue.push(RecordingEvent(3.0, log, "middle"))
+    order = [queue.pop().label for _ in range(3)]
+    assert order == ["early", "middle", "late"]
+
+
+def test_queue_breaks_ties_by_priority_then_insertion():
+    queue = EventQueue()
+    log = []
+    queue.push(RecordingEvent(1.0, log, "second", priority=10))
+    queue.push(RecordingEvent(1.0, log, "first", priority=0))
+    queue.push(RecordingEvent(1.0, log, "third", priority=10))
+    order = [queue.pop().label for _ in range(3)]
+    assert order == ["first", "second", "third"]
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    kept = queue.push(CallbackEvent(1.0, lambda sim: None))
+    cancelled = queue.push(CallbackEvent(2.0, lambda sim: None))
+    assert len(queue) == 2
+    queue.cancel(cancelled)
+    assert len(queue) == 1
+    assert queue.pop() is kept
+    assert len(queue) == 0
+
+
+def test_pop_skips_cancelled_events():
+    queue = EventQueue()
+    first = queue.push(CallbackEvent(1.0, lambda sim: None))
+    second = queue.push(CallbackEvent(2.0, lambda sim: None))
+    queue.cancel(first)
+    assert queue.pop() is second
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_peek_time_ignores_cancelled():
+    queue = EventQueue()
+    first = queue.push(CallbackEvent(1.0, lambda sim: None))
+    queue.push(CallbackEvent(4.0, lambda sim: None))
+    assert queue.peek_time() == 1.0
+    queue.cancel(first)
+    assert queue.peek_time() == 4.0
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(CallbackEvent(1.0, lambda sim: None))
+    queue.clear()
+    assert not queue
+    assert queue.peek_time() is None
+
+
+def test_callback_event_invokes_callback():
+    calls = []
+    event = CallbackEvent(1.0, calls.append)
+    event.fire("the-simulator")
+    assert calls == ["the-simulator"]

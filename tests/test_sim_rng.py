@@ -1,0 +1,54 @@
+"""Unit tests for the named random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_streams():
+    a = RandomStreams(7)
+    b = RandomStreams(7)
+    assert [a.python("x").random() for _ in range(5)] == \
+           [b.python("x").random() for _ in range(5)]
+    assert a.numpy("y").integers(0, 1000, 10).tolist() == \
+           b.numpy("y").integers(0, 1000, 10).tolist()
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    xs = [streams.python("mobility").random() for _ in range(5)]
+    ys = [streams.python("traffic").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1)
+    b = RandomStreams(2)
+    assert [a.python("x").random() for _ in range(5)] != \
+           [b.python("x").random() for _ in range(5)]
+
+
+def test_request_order_does_not_matter():
+    a = RandomStreams(3)
+    b = RandomStreams(3)
+    # request streams in different orders
+    a_traffic_first = a.python("traffic").random()
+    a_mobility = a.python("mobility").random()
+    b_mobility = b.python("mobility").random()
+    b_traffic_first = b.python("traffic").random()
+    assert a_mobility == b_mobility
+    assert a_traffic_first == b_traffic_first
+
+
+def test_stream_instances_are_cached():
+    streams = RandomStreams(0)
+    assert streams.python("a") is streams.python("a")
+    assert streams.numpy("a") is streams.numpy("a")
+
+
+def test_spawn_creates_deterministic_children():
+    parent_a = RandomStreams(11)
+    parent_b = RandomStreams(11)
+    child_a = parent_a.spawn("node-3")
+    child_b = parent_b.spawn("node-3")
+    assert child_a.python("m").random() == child_b.python("m").random()
+    other_child = parent_a.spawn("node-4")
+    assert child_a.seed != other_child.seed

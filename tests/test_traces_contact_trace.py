@@ -1,0 +1,86 @@
+"""Unit tests for contact-trace data model and (de)serialisation."""
+
+import pytest
+
+from repro.metrics.events import ContactRecord
+from repro.traces.contact_trace import ContactEvent, ContactTrace
+
+
+def test_event_validation_and_pair():
+    event = ContactEvent(5.0, 3, 1, True)
+    assert event.pair == (1, 3)
+    with pytest.raises(ValueError):
+        ContactEvent(-1.0, 0, 1, True)
+    with pytest.raises(ValueError):
+        ContactEvent(1.0, 2, 2, True)
+
+
+def test_line_round_trip():
+    event = ContactEvent(12.5, 4, 7, False)
+    line = event.to_line()
+    assert ContactEvent.from_line(line) == event
+    with pytest.raises(ValueError):
+        ContactEvent.from_line("garbage line")
+    with pytest.raises(ValueError):
+        ContactEvent.from_line("1.0 CONN 0 1 sideways")
+
+
+def test_trace_orders_events_and_lists_nodes():
+    trace = ContactTrace([
+        ContactEvent(50.0, 0, 1, False),
+        ContactEvent(10.0, 0, 1, True),
+        ContactEvent(20.0, 2, 3, True),
+    ])
+    assert [e.time for e in trace] == [10.0, 20.0, 50.0]
+    assert trace.node_ids() == [0, 1, 2, 3]
+    assert trace.duration() == 50.0
+    assert len(trace) == 3
+
+
+def test_contacts_pairs_up_and_down_events():
+    trace = ContactTrace([
+        ContactEvent(10.0, 0, 1, True),
+        ContactEvent(30.0, 0, 1, False),
+        ContactEvent(40.0, 1, 2, True),   # never closed
+    ])
+    contacts = trace.contacts()
+    assert ((0, 1), 10.0, 30.0) in contacts
+    assert ((1, 2), 40.0, 40.0) in contacts  # closed at trace duration
+
+
+def test_active_pairs_at_instant():
+    trace = ContactTrace([
+        ContactEvent(10.0, 0, 1, True),
+        ContactEvent(30.0, 0, 1, False),
+        ContactEvent(20.0, 1, 2, True),
+    ])
+    assert trace.active_pairs(15.0) == {(0, 1)}
+    assert trace.active_pairs(25.0) == {(0, 1), (1, 2)}
+    assert trace.active_pairs(35.0) == {(1, 2)}
+
+
+def test_save_and_load_round_trip(tmp_path):
+    trace = ContactTrace([
+        ContactEvent(10.0, 0, 1, True),
+        ContactEvent(30.0, 0, 1, False),
+    ])
+    path = tmp_path / "trace.txt"
+    trace.save(path)
+    loaded = ContactTrace.load(path)
+    assert loaded.events == trace.events
+    # comments and blank lines are tolerated
+    path.write_text("# comment\n\n" + "\n".join(e.to_line() for e in trace.events) + "\n")
+    assert ContactTrace.load(path).events == trace.events
+
+
+def test_from_contact_records():
+    records = [ContactRecord(0, 1, 5.0, 25.0), ContactRecord(1, 2, 30.0, None)]
+    trace = ContactTrace.from_contact_records(records, horizon=100.0)
+    assert len(trace) == 4
+    assert trace.contacts() == [((0, 1), 5.0, 25.0), ((1, 2), 30.0, 100.0)]
+
+
+def test_add_keeps_order():
+    trace = ContactTrace([ContactEvent(10.0, 0, 1, True)])
+    trace.add(ContactEvent(5.0, 2, 3, True))
+    assert [e.time for e in trace] == [5.0, 10.0]

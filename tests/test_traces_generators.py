@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic contact-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.generators import (
+    community_structured_trace,
+    periodic_contact_trace,
+    random_waypoint_like_trace,
+)
+
+
+def intercontact_times(trace, pair):
+    starts = [start for p, start, _ in trace.contacts() if p == pair]
+    return np.diff(sorted(starts))
+
+
+def test_periodic_trace_has_low_jitter_intervals():
+    trace = periodic_contact_trace(num_nodes=4, duration=5000.0,
+                                   period_range=(300.0, 300.0),
+                                   contact_duration=10.0, jitter=0.0, seed=1)
+    gaps = intercontact_times(trace, (0, 1))
+    assert len(gaps) >= 10
+    assert np.allclose(gaps, 310.0, atol=2.0)  # period + contact duration
+
+
+def test_periodic_trace_pair_fraction():
+    full = periodic_contact_trace(num_nodes=6, duration=2000.0, seed=2)
+    sparse = periodic_contact_trace(num_nodes=6, duration=2000.0,
+                                    pair_fraction=0.3, seed=2)
+    pairs_full = {p for p, _, _ in full.contacts()}
+    pairs_sparse = {p for p, _, _ in sparse.contacts()}
+    assert len(pairs_sparse) < len(pairs_full)
+
+
+def test_random_trace_is_memoryless_ish():
+    trace = random_waypoint_like_trace(num_nodes=3, duration=30000.0,
+                                       mean_intercontact=200.0,
+                                       contact_duration=5.0, seed=3)
+    gaps = intercontact_times(trace, (0, 1))
+    assert len(gaps) > 30
+    # exponential gaps: coefficient of variation close to 1 (very loose bound)
+    cv = gaps.std() / gaps.mean()
+    assert 0.5 < cv < 1.6
+
+
+def test_community_trace_intra_much_denser_than_inter():
+    trace, truth = community_structured_trace(
+        num_nodes=8, num_communities=2, duration=5000.0,
+        intra_period=200.0, inter_period=2500.0, seed=5)
+    intra = inter = 0
+    for (a, b), _, _ in trace.contacts():
+        if truth[a] == truth[b]:
+            intra += 1
+        else:
+            inter += 1
+    assert intra > 3 * inter
+    assert set(truth) == set(range(8))
+
+
+def test_generators_are_reproducible():
+    a = periodic_contact_trace(num_nodes=4, duration=1000.0, seed=9)
+    b = periodic_contact_trace(num_nodes=4, duration=1000.0, seed=9)
+    assert a.events == b.events
+    c = periodic_contact_trace(num_nodes=4, duration=1000.0, seed=10)
+    assert a.events != c.events
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        periodic_contact_trace(num_nodes=1, duration=100.0)
+    with pytest.raises(ValueError):
+        periodic_contact_trace(num_nodes=3, duration=100.0, pair_fraction=0.0)
+    with pytest.raises(ValueError):
+        random_waypoint_like_trace(num_nodes=1, duration=100.0)
+    with pytest.raises(ValueError):
+        community_structured_trace(num_nodes=1, num_communities=1, duration=100.0)

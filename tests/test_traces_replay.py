@@ -1,0 +1,72 @@
+"""Unit tests for trace replay worlds."""
+
+import pytest
+
+from conftest import inject_message, make_contact_plan
+from repro.traces.contact_trace import ContactTrace
+from repro.traces.replay import build_trace_world
+
+
+def test_replay_creates_connections_per_trace():
+    trace = make_contact_plan([(10.0, 30.0, 0, 1), (50.0, 80.0, 1, 2)])
+    simulator, world = build_trace_world(trace, protocol="direct")
+    simulator.run(until=20.0)
+    assert world.connection_between(0, 1) is not None
+    assert world.connection_between(1, 2) is None
+    simulator.run(until=40.0)
+    assert world.connection_between(0, 1) is None
+    simulator.run(until=60.0)
+    assert world.connection_between(1, 2) is not None
+    assert world.stats.contacts == 2
+
+
+def test_replay_world_routes_messages_end_to_end():
+    trace = make_contact_plan([(10.0, 40.0, 0, 1), (100.0, 140.0, 1, 2)])
+    simulator, world = build_trace_world(trace, protocol="epidemic")
+    inject_message(world, source=0, destination=2)
+    simulator.run(until=200.0)
+    assert world.stats.delivered == 1
+
+
+def test_num_nodes_must_cover_trace_ids():
+    trace = make_contact_plan([(10.0, 20.0, 0, 5)])
+    with pytest.raises(ValueError):
+        build_trace_world(trace, num_nodes=3)
+    simulator, world = build_trace_world(trace, num_nodes=6)
+    assert world.num_nodes == 6
+
+
+def test_events_for_unknown_nodes_are_ignored():
+    # build the world manually with only nodes 0 and 1; the trace also talks
+    # about nodes 7 and 8, whose events must be skipped by the replay
+    from repro.mobility.stationary import StationaryMovement
+    from repro.routing.registry import create_router
+    from repro.sim.engine import Simulator
+    from repro.traces.replay import TraceReplayWorld
+    from repro.world.node import DTNNode
+
+    trace = make_contact_plan([(10.0, 20.0, 0, 1), (15.0, 25.0, 7, 8)])
+    simulator = Simulator(seed=1)
+    world = TraceReplayWorld(simulator, trace)
+    for node_id in (0, 1):
+        node = DTNNode(node_id, StationaryMovement((0.0, 0.0)),
+                       simulator.random.python(f"n{node_id}"))
+        create_router("direct").attach(node, world)
+        world.add_node(node)
+    simulator.run(until=30.0)
+    assert world.stats.contacts == 1
+
+
+def test_communities_are_attached_to_nodes():
+    trace = make_contact_plan([(10.0, 20.0, 0, 1)])
+    communities = {0: 0, 1: 1}
+    simulator, world = build_trace_world(trace, protocol="direct",
+                                         communities=communities)
+    assert world.community_of(0) == 0
+    assert world.community_of(1) == 1
+
+
+def test_empty_trace_runs_without_contacts():
+    simulator, world = build_trace_world(ContactTrace([]), num_nodes=3)
+    simulator.run(until=50.0)
+    assert world.stats.contacts == 0

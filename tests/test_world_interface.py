@@ -1,0 +1,39 @@
+"""Unit tests for the radio interface."""
+
+import pytest
+
+from repro.world.interface import Interface
+
+
+def test_defaults_match_paper_settings():
+    interface = Interface()
+    assert interface.transmit_range == 10.0
+    assert interface.transmit_speed == pytest.approx(250_000.0)  # 2 Mbit/s
+
+
+def test_link_bitrate_is_minimum_of_both():
+    fast = Interface(transmit_speed=1_000_000)
+    slow = Interface(transmit_speed=100_000)
+    assert fast.link_bitrate(slow) == 100_000
+    assert slow.link_bitrate(fast) == 100_000
+
+
+def test_in_range_requires_both_radios_to_cover_distance():
+    long_range = Interface(transmit_range=100.0)
+    short_range = Interface(transmit_range=10.0)
+    assert long_range.in_range(5.0, short_range)
+    assert not long_range.in_range(50.0, short_range)
+    assert long_range.in_range(50.0, long_range)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Interface(transmit_range=0)
+    with pytest.raises(ValueError):
+        Interface(transmit_speed=0)
+
+
+def test_interface_is_immutable():
+    interface = Interface()
+    with pytest.raises(Exception):
+        interface.transmit_range = 50.0

@@ -1,0 +1,72 @@
+"""Unit tests for DTN nodes."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.random_waypoint import RandomWaypointMovement
+from repro.mobility.stationary import StationaryMovement
+from repro.routing.direct import DirectDeliveryRouter
+from repro.sim.rng import RandomStreams
+from repro.world.interface import Interface
+from repro.world.node import DTNNode
+
+
+def make_node(node_id=0, movement=None, community=None):
+    movement = movement or StationaryMovement((1.0, 2.0))
+    rng = RandomStreams(0).python(f"node-{node_id}")
+    return DTNNode(node_id, movement, rng, community=community)
+
+
+def test_node_basic_attributes():
+    node = make_node(3)
+    assert node.node_id == 3
+    assert node.name == "n3"
+    assert np.allclose(node.position, (1.0, 2.0))
+    assert len(node.buffer) == 0
+    assert node.connections == {}
+    assert node.router is None
+
+
+def test_negative_node_id_rejected():
+    with pytest.raises(ValueError):
+        make_node(-1)
+
+
+def test_node_moves_with_its_model():
+    movement = RandomWaypointMovement(area=(50.0, 50.0), min_speed=1.0, max_speed=1.0,
+                                      wait=(0.0, 0.0))
+    node = make_node(1, movement=movement)
+    start = node.position.copy()
+    node.move(10.0, 0.0)
+    assert not np.allclose(node.position, start)
+
+
+def test_community_from_movement_model_or_explicit():
+    from repro.mobility.community import CommunityLayout, CommunityMovement
+    layout = CommunityLayout(area=(100.0, 100.0), num_communities=2)
+    movement = CommunityMovement(layout, community_id=1)
+    node = make_node(0, movement=movement)
+    assert node.community == 1
+    explicit = make_node(1, community=7)
+    assert explicit.community == 7
+    explicit.community = 9
+    assert explicit.community == 9
+
+
+def test_set_router_wires_back_reference():
+    node = make_node(0)
+    router = DirectDeliveryRouter()
+    node.set_router(router)
+    assert node.router is router
+
+
+def test_default_interface_and_buffer_capacity():
+    node = make_node(0)
+    assert node.interface == Interface()
+    assert node.buffer.capacity == 1024 * 1024
+
+
+def test_connection_queries():
+    node = make_node(0)
+    assert node.connection_to(5) is None
+    assert node.connected_peers() == []
