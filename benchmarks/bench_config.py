@@ -12,6 +12,10 @@ variable:
 * ``quick`` (default) — small node counts and short runs so the whole harness
   finishes in a few minutes on a laptop.
 * ``full``  — the paper's node counts (40-240) and 10 000 s runs; expect hours.
+
+``REPRO_BENCH_BACKEND`` selects the execution backend the figure drivers fan
+seed replicates and grid points out on: ``serial`` (default) or ``process``.
+Results are identical either way; ``process`` just uses all the cores.
 """
 
 from __future__ import annotations
@@ -19,10 +23,19 @@ from __future__ import annotations
 import os
 from typing import Tuple
 
+from repro.experiments.backend import BackendLike
 from repro.experiments.scenario import ScenarioConfig
 
 #: benchmark scale selected via the environment
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+#: execution backend name selected via the environment
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "serial").lower()
+
+
+def backend() -> BackendLike:
+    """The execution backend every figure benchmark threads through."""
+    return BACKEND
 
 
 def bench_base() -> ScenarioConfig:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 
-from bench_config import ablation_nodes, bench_base, seeds
+from bench_config import ablation_nodes, backend, bench_base, seeds
 from repro.analysis.render import figure_to_json
 from repro.experiments.figures import ablation_alpha
 from repro.experiments.tables import format_figure
@@ -21,7 +21,7 @@ def test_alpha_sweep_on_eer(benchmark, figure_store):
     alphas = (0.1, 0.28, 0.6, 1.0)
     figure = benchmark.pedantic(
         ablation_alpha,
-        kwargs=dict(alphas=alphas, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(),
+        kwargs=dict(alphas=alphas, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(), backend=backend(),
                     base=bench_base()),
         rounds=1, iterations=1)
 

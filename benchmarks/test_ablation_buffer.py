@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 
-from bench_config import ablation_nodes, bench_base, seeds
+from bench_config import ablation_nodes, backend, bench_base, seeds
 from repro.analysis.render import figure_to_json
 from repro.analysis.series import is_monotonic
 from repro.experiments.figures import ablation_buffer
@@ -22,7 +22,7 @@ def test_buffer_sweep_on_eer(benchmark, figure_store):
     base = bench_base().with_overrides(message_interval=(10.0, 15.0))
     figure = benchmark.pedantic(
         ablation_buffer,
-        kwargs=dict(buffers=buffers, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(),
+        kwargs=dict(buffers=buffers, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(), backend=backend(),
                     base=base),
         rounds=1, iterations=1)
 

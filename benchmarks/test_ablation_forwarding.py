@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import os
 
-from bench_config import ablation_nodes, bench_base, seeds
+from bench_config import ablation_nodes, backend, bench_base, seeds
 from repro.analysis.render import figure_to_json
-from repro.experiments.runner import run_averaged
+from repro.experiments.runner import run_many_averaged
 from repro.experiments.figures import FigureResult
 from repro.experiments.tables import format_figure
 
@@ -26,11 +26,12 @@ def _run_margins(margins, num_nodes=None):
     base = bench_base()
     figure = FigureResult("ablation-forwarding",
                           "EER forwarding-damping margin", "forward_margin")
-    for margin in margins:
-        config = base.with_overrides(
-            protocol="eer", num_nodes=num_nodes or ablation_nodes(),
-            router_params={"forward_margin": float(margin)})
-        result = run_averaged(config, seeds())
+    configs = [base.with_overrides(
+        protocol="eer", num_nodes=num_nodes or ablation_nodes(),
+        router_params={"forward_margin": float(margin)})
+        for margin in margins]
+    results = run_many_averaged(configs, seeds(), backend=backend())
+    for margin, result in zip(margins, results):
         figure.add_point("delivery_ratio", "eer", margin, result.mean("delivery_ratio"))
         figure.add_point("average_latency", "eer", margin, result.mean("average_latency"))
         figure.add_point("goodput", "eer", margin, result.mean("goodput"))

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 
-from bench_config import ablation_nodes, bench_base, seeds
+from bench_config import ablation_nodes, backend, bench_base, seeds
 from repro.analysis.render import figure_to_json
 from repro.analysis.series import is_monotonic
 from repro.experiments.figures import ablation_ttl
@@ -20,7 +20,7 @@ def test_ttl_sweep_on_eer(benchmark, figure_store):
     ttls = (300.0, 600.0, 1200.0)
     figure = benchmark.pedantic(
         ablation_ttl,
-        kwargs=dict(ttls=ttls, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(),
+        kwargs=dict(ttls=ttls, protocol="eer", num_nodes=ablation_nodes(), seeds=seeds(), backend=backend(),
                     base=bench_base()),
         rounds=1, iterations=1)
 

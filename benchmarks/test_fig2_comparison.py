@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 
-from bench_config import bench_base, node_counts, seeds
+from bench_config import backend, bench_base, node_counts, seeds
 from repro.analysis.render import figure_to_csv, figure_to_json
 from repro.analysis.series import rank_series, relative_factor
 from repro.experiments.figures import FIGURE2_PROTOCOLS, figure2_comparison
@@ -26,7 +26,7 @@ def test_figure2_protocol_comparison(benchmark, figure_store):
     figure = benchmark.pedantic(
         figure2_comparison,
         kwargs=dict(node_counts=node_counts(), protocols=FIGURE2_PROTOCOLS,
-                    seeds=seeds(), base=bench_base()),
+                    seeds=seeds(), base=bench_base(), backend=backend()),
         rounds=1, iterations=1)
 
     # persist and print the regenerated figure

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import os
 
-from bench_config import bench_base, lambda_values, node_counts, seeds
+from bench_config import backend, bench_base, lambda_values, node_counts, seeds
 from repro.analysis.render import figure_to_json
 from repro.experiments.figures import figure3_lambda_eer
 from repro.experiments.tables import format_figure
@@ -18,7 +18,7 @@ def test_figure3_lambda_effect_on_eer(benchmark, figure_store):
     lambdas = lambda_values()
     figure = benchmark.pedantic(
         figure3_lambda_eer,
-        kwargs=dict(node_counts=node_counts(), lambdas=lambdas, seeds=seeds(),
+        kwargs=dict(node_counts=node_counts(), lambdas=lambdas, seeds=seeds(), backend=backend(),
                     base=bench_base()),
         rounds=1, iterations=1)
 

@@ -22,9 +22,16 @@ from repro.core.expectation import (
     expected_num_encountering_communities,
 )
 from repro.mobility.path import Path
+from repro.mobility.random_waypoint import RandomWaypointMovement
+from repro.routing.direct import DirectDeliveryRouter
+from repro.sim.engine import Simulator
 from repro.world.connectivity import GridConnectivity, KDTreeConnectivity
+from repro.world.interface import Interface
+from repro.world.node import DTNNode
+from repro.world.world import World
 
 N = 240  # the paper's largest node count
+WORLD_TICK_NODES = 1000  # production-scale world-tick benchmark
 
 
 def make_history(num_peers=60, contacts_per_peer=15, seed=3):
@@ -123,6 +130,41 @@ def test_bench_path_advance(benchmark):
 
     position = benchmark(advance_path)
     assert np.all(np.isfinite(position))
+
+
+def test_bench_world_tick_1000_nodes(benchmark):
+    """One full movement + connectivity phase of a 1 000-node world.
+
+    This is the simulator's hot loop — move every node, re-detect pairs and
+    diff the link set into up/down events — and the quantity the vectorized
+    world core (PositionStore, stateful detectors, sorted-array diffing) is
+    meant to speed up.  Routers are attached but idle: transfer progression
+    and router ticks are benchmarked elsewhere.
+    """
+    simulator = Simulator(seed=7)
+    world = World(simulator, update_interval=1.0)
+    interface = Interface(transmit_range=40.0, transmit_speed=250_000)
+    for node_id in range(WORLD_TICK_NODES):
+        movement = RandomWaypointMovement(area=(3000.0, 2000.0), min_speed=2.0,
+                                          max_speed=14.0, wait=(0.0, 10.0))
+        node = DTNNode(node_id, movement,
+                       simulator.random.python(f"n{node_id}"), interface=interface)
+        DirectDeliveryRouter().attach(node, world)
+        world.add_node(node)
+    clock = {"now": 0.0}
+
+    def tick():
+        clock["now"] += 1.0
+        now = clock["now"]
+        world._move_nodes(1.0, now)
+        world._refresh_connectivity(now)
+        return len(world.connections)
+
+    # settle the detector state before measuring steady-state ticks
+    for _ in range(3):
+        tick()
+    links = benchmark(tick)
+    assert links > 0
 
 
 def test_bench_contact_history_recording(benchmark):

@@ -1,8 +1,19 @@
 """Experiment drivers: scenario configuration, builders, runners and figures."""
 
 from repro.experiments.scenario import ScenarioConfig, MobilityKind
+from repro.experiments.backend import (
+    ExecutionBackend,
+    SerialBackend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
 from repro.experiments.builder import build_scenario, BuiltScenario
-from repro.experiments.runner import run_scenario, run_averaged, AveragedResult
+from repro.experiments.runner import (
+    run_scenario,
+    run_averaged,
+    run_many_averaged,
+    AveragedResult,
+)
 from repro.experiments.sweep import sweep, SweepPoint
 from repro.experiments.figures import (
     figure2_comparison,
@@ -22,7 +33,12 @@ __all__ = [
     "BuiltScenario",
     "run_scenario",
     "run_averaged",
+    "run_many_averaged",
     "AveragedResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
     "sweep",
     "SweepPoint",
     "figure2_comparison",

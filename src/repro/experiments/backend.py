@@ -1,0 +1,122 @@
+"""Execution backends: where experiment runs actually execute.
+
+Every figure or sweep in :mod:`repro.experiments` reduces to "run this list
+of fully-specified :class:`~repro.experiments.scenario.ScenarioConfig`\\ s and
+collect one report each".  An :class:`ExecutionBackend` decides *where* those
+independent runs execute:
+
+* :class:`SerialBackend` — in-process, one after another (the default and
+  the reference semantics),
+* :class:`ProcessPoolBackend` — fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+The contract is deliberately tiny: :meth:`ExecutionBackend.map` must be
+**order-preserving** and must apply a picklable top-level function to every
+item.  Because each simulation is fully determined by its config (the seed
+drives every random stream), the merged results are byte-identical across
+backends — parallelism changes wall-clock time, never the science.
+
+Backends can be passed as instances or by name (``"serial"``,
+``"process"``); ``None`` resolves to the serial backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+BackendLike = Union[None, str, "ExecutionBackend"]
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes independent experiment runs."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply *fn* to every item, returning results in input order."""
+
+    def close(self) -> None:
+        """Release any held workers (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run everything in-process, in order (the reference backend)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan runs out across CPU cores with :mod:`concurrent.futures`.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+
+    The executor is created lazily on first :meth:`map` and reused until
+    :meth:`close` (the instance is also a context manager).  ``map`` blocks
+    until all results are in and returns them in input order, so a caller
+    sees exactly the :class:`SerialBackend` semantics, only faster.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            # nothing to fan out; skip worker round-trips entirely
+            return [fn(item) for item in items]
+        executor = self._ensure_executor()
+        chunksize = max(1, len(items) // (4 * (self.max_workers or os.cpu_count() or 1)))
+        return list(executor.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def resolve_backend(backend: BackendLike) -> ExecutionBackend:
+    """Turn ``None`` / a name / an instance into an :class:`ExecutionBackend`."""
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        key = backend.strip().lower()
+        if key in ("", "serial"):
+            return SerialBackend()
+        if key in ("process", "processes", "process-pool", "processpool"):
+            return ProcessPoolBackend()
+        raise ValueError(f"unknown execution backend {backend!r}")
+    raise TypeError(f"cannot resolve backend from {type(backend).__name__}")

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import run_averaged
+from repro.experiments.backend import BackendLike
+from repro.experiments.runner import run_many_averaged
 from repro.experiments.scenario import ScenarioConfig
 
 #: the protocols compared in Figure 2, in the paper's legend order
@@ -98,61 +99,72 @@ def figure2_comparison(node_counts: Sequence[int] = (40, 80, 120),
                        protocols: Sequence[str] = FIGURE2_PROTOCOLS,
                        seeds: Sequence[int] = (1,),
                        base: Optional[ScenarioConfig] = None,
-                       copies: int = 10) -> FigureResult:
+                       copies: int = 10,
+                       backend: BackendLike = None) -> FigureResult:
     """Figure 2: protocol comparison vs. number of nodes.
 
     Delivery ratio (a), latency (b) and goodput (c) for EER, CR and the four
-    baselines, with lambda = 10 replicas for the quota-based protocols.
+    baselines, with lambda = 10 replicas for the quota-based protocols.  The
+    whole protocol × node-count × seed grid fans out over *backend* in one
+    batch; the figure is assembled in grid order, so it is identical for
+    every backend.
     """
     config = _base_config(base)
     figure = FigureResult("fig2", "Protocol comparison (lambda=10)", "num_nodes")
-    for protocol in protocols:
-        for n in node_counts:
-            point = config.with_overrides(protocol=protocol, num_nodes=int(n),
-                                          message_copies=copies)
-            result = run_averaged(point, seeds)
-            _record_run(figure, protocol, float(n), result)
+    points = [(protocol, n) for protocol in protocols for n in node_counts]
+    configs = [config.with_overrides(protocol=protocol, num_nodes=int(n),
+                                     message_copies=copies)
+               for protocol, n in points]
+    results = run_many_averaged(configs, seeds, backend=backend)
+    for (protocol, n), result in zip(points, results):
+        _record_run(figure, protocol, float(n), result)
     return figure
 
 
 # --------------------------------------------------------------------- Figures 3 & 4
 def _lambda_sweep(figure_id: str, protocol: str, node_counts: Sequence[int],
                   lambdas: Sequence[int], seeds: Sequence[int],
-                  base: Optional[ScenarioConfig]) -> FigureResult:
+                  base: Optional[ScenarioConfig],
+                  backend: BackendLike = None) -> FigureResult:
     config = _base_config(base)
     figure = FigureResult(figure_id,
                           f"Effect of lambda on {protocol.upper()}", "num_nodes")
-    for lam in lambdas:
-        series = f"lambda={lam}"
-        for n in node_counts:
-            point = config.with_overrides(protocol=protocol, num_nodes=int(n),
-                                          message_copies=int(lam))
-            result = run_averaged(point, seeds)
-            _record_run(figure, series, float(n), result)
+    points = [(lam, n) for lam in lambdas for n in node_counts]
+    configs = [config.with_overrides(protocol=protocol, num_nodes=int(n),
+                                     message_copies=int(lam))
+               for lam, n in points]
+    results = run_many_averaged(configs, seeds, backend=backend)
+    for (lam, n), result in zip(points, results):
+        _record_run(figure, f"lambda={lam}", float(n), result)
     return figure
 
 
 def figure3_lambda_eer(node_counts: Sequence[int] = (40, 80, 120),
                        lambdas: Sequence[int] = (6, 8, 10, 12),
                        seeds: Sequence[int] = (1,),
-                       base: Optional[ScenarioConfig] = None) -> FigureResult:
+                       base: Optional[ScenarioConfig] = None,
+                       backend: BackendLike = None) -> FigureResult:
     """Figure 3: effect of the initial replica count lambda on EER."""
-    return _lambda_sweep("fig3", "eer", node_counts, lambdas, seeds, base)
+    return _lambda_sweep("fig3", "eer", node_counts, lambdas, seeds, base,
+                         backend=backend)
 
 
 def figure4_lambda_cr(node_counts: Sequence[int] = (40, 80, 120),
                       lambdas: Sequence[int] = (6, 8, 10, 12),
                       seeds: Sequence[int] = (1,),
-                      base: Optional[ScenarioConfig] = None) -> FigureResult:
+                      base: Optional[ScenarioConfig] = None,
+                      backend: BackendLike = None) -> FigureResult:
     """Figure 4: effect of the initial replica count lambda on CR."""
-    return _lambda_sweep("fig4", "cr", node_counts, lambdas, seeds, base)
+    return _lambda_sweep("fig4", "cr", node_counts, lambdas, seeds, base,
+                         backend=backend)
 
 
 # ------------------------------------------------------------------------- Ablations
 def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
                    protocol: str = "eer", num_nodes: int = 60,
                    seeds: Sequence[int] = (1,),
-                   base: Optional[ScenarioConfig] = None) -> FigureResult:
+                   base: Optional[ScenarioConfig] = None,
+                   backend: BackendLike = None) -> FigureResult:
     """Ablation A1: effect of the horizon scaling parameter alpha.
 
     The paper fixes alpha = 0.28 "indicated to be a reasonable value from the
@@ -161,11 +173,12 @@ def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
     config = _base_config(base)
     figure = FigureResult("ablation-alpha", f"Effect of alpha on {protocol.upper()}",
                           "alpha")
-    for alpha in alphas:
-        point = config.with_overrides(
-            protocol=protocol, num_nodes=num_nodes,
-            router_params={**config.router_params, "alpha": float(alpha)})
-        result = run_averaged(point, seeds)
+    configs = [config.with_overrides(
+        protocol=protocol, num_nodes=num_nodes,
+        router_params={**config.router_params, "alpha": float(alpha)})
+        for alpha in alphas]
+    results = run_many_averaged(configs, seeds, backend=backend)
+    for alpha, result in zip(alphas, results):
         _record_run(figure, protocol, float(alpha), result)
     return figure
 
@@ -173,15 +186,16 @@ def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
 def ablation_ttl(ttls: Sequence[float] = (300.0, 600.0, 1200.0, 2400.0),
                  protocol: str = "eer", num_nodes: int = 60,
                  seeds: Sequence[int] = (1,),
-                 base: Optional[ScenarioConfig] = None) -> FigureResult:
+                 base: Optional[ScenarioConfig] = None,
+                 backend: BackendLike = None) -> FigureResult:
     """Ablation A2: effect of the message TTL."""
     config = _base_config(base)
     figure = FigureResult("ablation-ttl", f"Effect of TTL on {protocol.upper()}",
                           "ttl_seconds")
-    for ttl in ttls:
-        point = config.with_overrides(protocol=protocol, num_nodes=num_nodes,
-                                      message_ttl=float(ttl))
-        result = run_averaged(point, seeds)
+    configs = [config.with_overrides(protocol=protocol, num_nodes=num_nodes,
+                                     message_ttl=float(ttl)) for ttl in ttls]
+    results = run_many_averaged(configs, seeds, backend=backend)
+    for ttl, result in zip(ttls, results):
         _record_run(figure, protocol, float(ttl), result)
     return figure
 
@@ -190,14 +204,16 @@ def ablation_buffer(buffers: Sequence[float] = (256 * 1024, 512 * 1024,
                                                 1024 * 1024, 2048 * 1024),
                     protocol: str = "eer", num_nodes: int = 60,
                     seeds: Sequence[int] = (1,),
-                    base: Optional[ScenarioConfig] = None) -> FigureResult:
+                    base: Optional[ScenarioConfig] = None,
+                    backend: BackendLike = None) -> FigureResult:
     """Ablation A3: effect of the per-node buffer capacity."""
     config = _base_config(base)
     figure = FigureResult("ablation-buffer", f"Effect of buffer size on {protocol.upper()}",
                           "buffer_bytes")
-    for capacity in buffers:
-        point = config.with_overrides(protocol=protocol, num_nodes=num_nodes,
-                                      buffer_capacity=float(capacity))
-        result = run_averaged(point, seeds)
+    configs = [config.with_overrides(protocol=protocol, num_nodes=num_nodes,
+                                     buffer_capacity=float(capacity))
+               for capacity in buffers]
+    results = run_many_averaged(configs, seeds, backend=backend)
+    for capacity, result in zip(buffers, results):
         _record_run(figure, protocol, float(capacity), result)
     return figure

@@ -1,12 +1,20 @@
-"""Running scenarios and averaging over seeds."""
+"""Running scenarios and averaging over seeds.
+
+Seed replicates (and, for the figure drivers, whole grids of scenario
+points) fan out through an :class:`~repro.experiments.backend.ExecutionBackend`.
+Results are merged in seed order regardless of completion order, so a run
+with :class:`~repro.experiments.backend.ProcessPoolBackend` produces results
+identical to the serial backend.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.experiments.backend import BackendLike, resolve_backend
 from repro.experiments.builder import build_scenario
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.reports import SimulationReport, build_report
@@ -67,17 +75,45 @@ class AveragedResult:
         }
 
 
-def run_averaged(config: ScenarioConfig, seeds: Sequence[int]) -> AveragedResult:
+def run_averaged(config: ScenarioConfig, seeds: Sequence[int],
+                 backend: BackendLike = None) -> AveragedResult:
     """Run *config* once per seed and collect the reports.
 
     The paper averages every plotted point over 10 simulation runs; the
     benchmark harness defaults to fewer seeds (see the benchmark modules).
+    Seed runs are independent, so they fan out across *backend*; the report
+    list is merged in seed order regardless of completion order.
+    """
+    return run_many_averaged([config], seeds, backend=backend)[0]
+
+
+def run_many_averaged(configs: Sequence[ScenarioConfig], seeds: Sequence[int],
+                      backend: BackendLike = None) -> List[AveragedResult]:
+    """Run every config × seed combination and average per config.
+
+    This is the fan-out point for the figure drivers and sweeps: the full
+    ``len(configs) * len(seeds)`` grid of runs is handed to *backend* in one
+    order-preserving :meth:`~repro.experiments.backend.ExecutionBackend.map`
+    call, then regrouped into one :class:`AveragedResult` per config, in
+    config order with reports in seed order — deterministic by construction.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    result = AveragedResult(protocol=config.protocol, num_nodes=config.num_nodes,
-                            seeds=list(seeds))
-    for seed in seeds:
-        run_config = config.with_overrides(seed=int(seed))
-        result.reports.append(run_scenario(run_config))
-    return result
+    seed_list = [int(seed) for seed in seeds]
+    executor = resolve_backend(backend)
+    run_configs = [config.with_overrides(seed=seed)
+                   for config in configs for seed in seed_list]
+    try:
+        reports = executor.map(run_scenario, run_configs)
+    finally:
+        if executor is not backend:
+            # we resolved a name/None into a fresh backend: release its
+            # workers here instead of leaking them to the garbage collector
+            executor.close()
+    results: List[AveragedResult] = []
+    for index, config in enumerate(configs):
+        chunk = reports[index * len(seed_list):(index + 1) * len(seed_list)]
+        results.append(AveragedResult(
+            protocol=config.protocol, num_nodes=config.num_nodes,
+            seeds=list(seed_list), reports=list(chunk)))
+    return results

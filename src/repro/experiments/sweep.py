@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
-from repro.experiments.runner import AveragedResult, run_averaged
+from repro.experiments.backend import BackendLike
+from repro.experiments.runner import AveragedResult, run_many_averaged
 from repro.experiments.scenario import ScenarioConfig
 
 
@@ -41,7 +42,8 @@ def _apply_overrides(config: ScenarioConfig, overrides: Mapping[str, object]) ->
 
 
 def sweep(base: ScenarioConfig, grid: Mapping[str, Sequence[object]],
-          seeds: Sequence[int] = (1,)) -> List[SweepPoint]:
+          seeds: Sequence[int] = (1,),
+          backend: BackendLike = None) -> List[SweepPoint]:
     """Run *base* across the Cartesian product of *grid*.
 
     Parameters
@@ -53,19 +55,24 @@ def sweep(base: ScenarioConfig, grid: Mapping[str, Sequence[object]],
         ``router.`` are routed into ``router_params`` (e.g. ``router.alpha``).
     seeds:
         Seeds to average over at every point.
+    backend:
+        Execution backend; every grid point × seed fans out in a single
+        batch, so with a process pool the whole sweep parallelises.
 
     Returns
     -------
     list of SweepPoint
-        In the grid's row-major order.
+        In the grid's row-major order (identical for every backend).
     """
     if not grid:
         raise ValueError("sweep grid is empty")
     keys = list(grid)
-    points: List[SweepPoint] = []
+    all_overrides: List[Dict[str, object]] = []
+    configs: List[ScenarioConfig] = []
     for combination in itertools.product(*(grid[key] for key in keys)):
         overrides = dict(zip(keys, combination))
-        config = _apply_overrides(base, overrides)
-        result = run_averaged(config, seeds)
-        points.append(SweepPoint(overrides=overrides, result=result))
-    return points
+        all_overrides.append(overrides)
+        configs.append(_apply_overrides(base, overrides))
+    results = run_many_averaged(configs, seeds, backend=backend)
+    return [SweepPoint(overrides=overrides, result=result)
+            for overrides, result in zip(all_overrides, results)]

@@ -49,14 +49,39 @@ class PathFollower:
         The node's movement model.
     rng:
         Node-specific :class:`random.Random`.
+
+    The follower's :attr:`position` is one persistent ``(2,)`` float64 array
+    that is mutated in place.  By default the follower owns it; once the node
+    is registered with a world, :meth:`bind` re-points it at the node's row
+    view of the world's :class:`~repro.world.positions.PositionStore`, so the
+    world-wide position matrix updates as a side effect of movement with no
+    per-tick gathering.
     """
 
     def __init__(self, model: MovementModel, rng) -> None:
         self.model = model
         self._rng = rng
-        self.position = np.asarray(model.initial_position(rng), dtype=float)
+        self._position = np.array(model.initial_position(rng), dtype=float)
         self._path: Optional[Path] = None
         self._halted = False
+
+    @property
+    def position(self) -> np.ndarray:
+        """The node's live position (mutated in place as the node moves)."""
+        return self._position
+
+    @position.setter
+    def position(self, value) -> None:
+        self._position[:] = value
+
+    def bind(self, storage: np.ndarray) -> None:
+        """Re-point :attr:`position` at *storage* (a ``(2,)`` writable view).
+
+        The current position is copied in, so binding is transparent to the
+        movement state.
+        """
+        storage[:] = self._position
+        self._position = storage
 
     @property
     def halted(self) -> bool:
@@ -65,22 +90,30 @@ class PathFollower:
 
     def move(self, dt: float, now: float) -> np.ndarray:
         """Advance the node by *dt* seconds and return the new position."""
-        remaining = float(dt)
+        position = self._position
+        path = self._path
+        # hot path: still travelling along the current path
+        if path is not None and not path.done:
+            remaining = path.advance_into(dt, position)
+            if remaining <= 0:
+                return position
+        else:
+            remaining = float(dt)
         # A tiny guard avoids infinite loops if a model returns zero-length,
         # zero-wait paths forever.
         for _ in range(64):
             if remaining <= 0 or self._halted:
                 break
             if self._path is None or self._path.done:
-                self._path = self.model.next_path(self.position, now, self._rng)
+                self._path = self.model.next_path(position, now, self._rng)
                 if self._path is None:
                     self._halted = True
                     break
-            self.position, remaining = self._path.advance(remaining)
-        return self.position
+            remaining = self._path.advance_into(remaining, position)
+        return position
 
     def teleport(self, position: np.ndarray) -> None:
         """Force the node to *position* and drop the current path."""
-        self.position = np.asarray(position, dtype=float)
+        self._position[:] = np.asarray(position, dtype=float)
         self._path = None
         self._halted = False

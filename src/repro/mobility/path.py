@@ -3,8 +3,15 @@
 A :class:`Path` is a sequence of waypoints traversed at a constant speed,
 optionally followed by a pause.  :meth:`Path.advance` moves along the path by
 a time budget and reports the new position, which is all the world update loop
-needs.  Segment lengths are pre-computed once at construction because
-``advance`` runs for every node on every world tick.
+needs.  Because ``advance`` runs for every node on every world tick, the hot
+path works on pre-computed *scalar* coordinates (no small-ndarray arithmetic)
+and :meth:`Path.advance_into` writes the position straight into a
+caller-provided array — the node's row view of the world's
+:class:`~repro.world.positions.PositionStore`.
+
+Waypoints are copied at construction: callers routinely pass the node's live
+position view as the first waypoint, and the path must keep the *snapshot*,
+not alias storage that mutates as the node moves.
 """
 
 from __future__ import annotations
@@ -29,12 +36,14 @@ class Path:
         Pause (seconds) after the last waypoint before the path is "done".
     """
 
-    __slots__ = ("waypoints", "speed", "wait_time", "_lengths", "_segment",
-                 "_offset", "_waited")
+    __slots__ = ("waypoints", "speed", "wait_time", "_xy", "_lengths",
+                 "_segment", "_offset", "_waited")
 
     def __init__(self, waypoints: Sequence[Sequence[float]], speed: float,
                  wait_time: float = 0.0) -> None:
-        pts = [np.asarray(p, dtype=float) for p in waypoints]
+        # np.array (not asarray) so a live position view passed as a waypoint
+        # is snapshotted rather than aliased
+        pts = [np.array(p, dtype=float) for p in waypoints]
         if not pts:
             raise ValueError("path needs at least one waypoint")
         if len(pts) > 1 and speed <= 0:
@@ -44,28 +53,38 @@ class Path:
         self.waypoints: List[np.ndarray] = pts
         self.speed = float(speed)
         self.wait_time = float(wait_time)
-        # pre-computed Euclidean segment lengths
+        # scalar copies of the waypoint coordinates and pre-computed segment
+        # lengths: advance() and position_into() never touch ndarrays
+        self._xy: List[tuple] = [(float(p[0]), float(p[1])) for p in pts]
         self._lengths: List[float] = [
-            math.dist(tuple(a), tuple(b))
-            for a, b in zip(pts[:-1], pts[1:])
+            math.dist(a, b) for a, b in zip(self._xy[:-1], self._xy[1:])
         ]
         self._segment = 0          # index of the segment currently being traversed
         self._offset = 0.0         # metres travelled into the current segment
         self._waited = 0.0         # seconds already waited at the end
 
     # ------------------------------------------------------------------ state
+    def _position_xy(self) -> tuple:
+        """Current position along the path as a scalar ``(x, y)`` pair."""
+        segment = self._segment
+        if segment >= len(self._lengths):
+            return self._xy[-1]
+        seg_len = self._lengths[segment]
+        ax, ay = self._xy[segment]
+        if seg_len == 0.0:
+            return ax, ay
+        bx, by = self._xy[segment + 1]
+        frac = self._offset / seg_len
+        return ax + frac * (bx - ax), ay + frac * (by - ay)
+
     @property
     def position(self) -> np.ndarray:
-        """Current position along the path."""
-        if self._segment >= len(self._lengths):
-            return self.waypoints[-1].copy()
-        a = self.waypoints[self._segment]
-        b = self.waypoints[self._segment + 1]
-        seg_len = self._lengths[self._segment]
-        if seg_len == 0:
-            return a.copy()
-        frac = self._offset / seg_len
-        return a + frac * (b - a)
+        """Current position along the path (freshly allocated array)."""
+        return np.array(self._position_xy(), dtype=float)
+
+    def position_into(self, out: np.ndarray) -> None:
+        """Write the current position into ``out`` (shape ``(2,)``)."""
+        out[0], out[1] = self._position_xy()
 
     @property
     def done(self) -> bool:
@@ -85,6 +104,39 @@ class Path:
         return self.total_length / self.speed + self.wait_time
 
     # ---------------------------------------------------------------- advance
+    def _consume(self, dt: float) -> float:
+        """Advance the internal state by *dt* seconds; returns unused time."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        remaining = float(dt)
+        lengths = self._lengths
+        num_segments = len(lengths)
+        speed = self.speed
+        # traverse segments
+        while remaining > 0 and self._segment < num_segments:
+            seg_len = lengths[self._segment]
+            left_in_segment = seg_len - self._offset
+            step = speed * remaining
+            if step < left_in_segment:
+                self._offset += step
+                remaining = 0.0
+            else:
+                # finish this segment and carry the unused time over
+                if speed > 0:
+                    remaining -= left_in_segment / speed
+                self._segment += 1
+                self._offset = 0.0
+        # wait at the end
+        if remaining > 0 and self._segment >= num_segments:
+            wait_left = self.wait_time - self._waited
+            if remaining < wait_left:
+                self._waited += remaining
+                remaining = 0.0
+            else:
+                self._waited = self.wait_time
+                remaining -= max(0.0, wait_left)
+        return remaining
+
     def advance(self, dt: float) -> tuple:
         """Move along the path for *dt* seconds.
 
@@ -95,33 +147,18 @@ class Path:
             of *dt* (non-zero only once the path is done, so the caller can
             immediately start the next path within the same step).
         """
-        if dt < 0:
-            raise ValueError("dt must be non-negative")
-        remaining = float(dt)
-        # traverse segments
-        while remaining > 0 and self._segment < len(self._lengths):
-            seg_len = self._lengths[self._segment]
-            left_in_segment = seg_len - self._offset
-            step = self.speed * remaining
-            if step < left_in_segment:
-                self._offset += step
-                remaining = 0.0
-            else:
-                # finish this segment and carry the unused time over
-                if self.speed > 0:
-                    remaining -= left_in_segment / self.speed
-                self._segment += 1
-                self._offset = 0.0
-        # wait at the end
-        if remaining > 0 and self._segment >= len(self._lengths):
-            wait_left = self.wait_time - self._waited
-            if remaining < wait_left:
-                self._waited += remaining
-                remaining = 0.0
-            else:
-                self._waited = self.wait_time
-                remaining -= max(0.0, wait_left)
-        return self.position, remaining
+        leftover = self._consume(dt)
+        return self.position, leftover
+
+    def advance_into(self, dt: float, out: np.ndarray) -> float:
+        """Like :meth:`advance`, but writes the position into ``out``.
+
+        Returns only the leftover time; the new position lands in ``out``
+        without allocating.  This is the world tick's hot call.
+        """
+        leftover = self._consume(dt)
+        out[0], out[1] = self._position_xy()
+        return leftover
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Path({len(self.waypoints)} waypoints, speed={self.speed}, "

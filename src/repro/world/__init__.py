@@ -8,6 +8,7 @@ from repro.world.connectivity import (
     KDTreeConnectivity,
     BruteForceConnectivity,
 )
+from repro.world.positions import PositionStore
 from repro.world.world import World
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "GridConnectivity",
     "KDTreeConnectivity",
     "BruteForceConnectivity",
+    "PositionStore",
     "World",
 ]

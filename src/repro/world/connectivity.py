@@ -1,21 +1,35 @@
 """Range-based connectivity detection.
 
-Given the node positions at one instant, a detector returns the set of node
-pairs that can communicate (distance at most the minimum of the two radio
-ranges).  Three interchangeable implementations are provided:
+Given the node positions at one instant, a detector returns the node pairs
+that can communicate (distance at most the minimum of the two radio ranges).
+Three interchangeable implementations are provided:
 
 * :class:`KDTreeConnectivity` — :class:`scipy.spatial.cKDTree` pair query
   (default; fastest for the node counts of the paper's scenarios),
 * :class:`GridConnectivity` — spatial hashing into square cells,
 * :class:`BruteForceConnectivity` — O(n²) reference used to cross-check the
   other two in tests.
+
+Detectors are *stateful*: the world calls :meth:`ConnectivityDetector.update`
+once per tick with the current positions, and an implementation may carry
+acceleration structures from one tick to the next — the k-d tree skips
+rebuilds while nodes have drifted less than a slack margin since the last
+build, and the grid re-bins only the nodes that changed cell.  State never
+affects the *result*, only the work done to compute it: every ``update`` is
+equivalent to a from-scratch detection, and detectors resynchronise
+automatically when the node count (or the cell size) changes between calls.
+
+``update`` returns an ``(m, 2)`` int64 array of index pairs with ``i < j``
+per row, sorted lexicographically, which is what the world's sorted-array
+link diffing consumes.  The legacy :meth:`ConnectivityDetector.find_pairs`
+set-of-tuples API is kept as a thin wrapper for tests and exploratory code.
 """
 
 from __future__ import annotations
 
 import abc
-from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+import math
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -24,99 +38,223 @@ from scipy.spatial import cKDTree
 Pair = Tuple[int, int]
 
 
-def _filter_by_range(pairs: Sequence[Pair], positions: np.ndarray,
-                     ranges: np.ndarray) -> Set[Pair]:
-    """Keep only pairs whose distance is within both nodes' ranges."""
-    result: Set[Pair] = set()
-    for i, j in pairs:
-        limit = min(ranges[i], ranges[j])
-        delta = positions[i] - positions[j]
-        if float(delta @ delta) <= limit * limit:
-            result.add((i, j) if i < j else (j, i))
-    return result
+def _empty_pairs() -> np.ndarray:
+    return np.empty((0, 2), dtype=np.int64)
+
+
+def _canonicalise(pairs: np.ndarray) -> np.ndarray:
+    """Return *pairs* with ``i < j`` per row, lexicographically sorted."""
+    if len(pairs) == 0:
+        return _empty_pairs()
+    lo = pairs.min(axis=1)
+    hi = pairs.max(axis=1)
+    order = np.lexsort((hi, lo))
+    return np.column_stack((lo[order], hi[order]))
+
+
+def _filter_by_range(pairs: np.ndarray, positions: np.ndarray,
+                     ranges: np.ndarray) -> np.ndarray:
+    """Keep only candidate pairs whose distance is within both nodes' ranges.
+
+    Fully vectorised: one gather per endpoint and one boolean mask, instead
+    of the seed's per-pair Python loop.
+    """
+    if len(pairs) == 0:
+        return _empty_pairs()
+    i = pairs[:, 0]
+    j = pairs[:, 1]
+    delta = positions[i] - positions[j]
+    limit = np.minimum(ranges[i], ranges[j])
+    mask = (delta * delta).sum(axis=1) <= limit * limit
+    return pairs[mask]
 
 
 class ConnectivityDetector(abc.ABC):
     """Finds node index pairs within mutual radio range."""
 
     @abc.abstractmethod
-    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
-        """Return ``{(i, j)}`` with ``i < j`` for all connectable pairs.
+    def update(self, positions: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+        """Detect connectable pairs for the current tick.
 
         Parameters
         ----------
         positions:
-            ``(n, 2)`` array of node positions.
+            ``(n, 2)`` array of node positions.  Implementations must not
+            keep a live reference to it across calls (the world hands in a
+            view of storage that mutates as nodes move) — snapshot with
+            ``positions.copy()`` if state is carried over.
         ranges:
             ``(n,)`` array of per-node radio ranges.
+
+        Returns
+        -------
+        ``(m, 2)`` int64 array of index pairs, ``i < j`` per row, sorted
+        lexicographically.
         """
+
+    def reset(self) -> None:
+        """Drop any carried-over acceleration state (stateless by default)."""
+
+    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+        """Legacy API: :meth:`update` as a ``{(i, j)}`` set with ``i < j``."""
+        pairs = self.update(np.asarray(positions, dtype=float),
+                            np.asarray(ranges, dtype=float))
+        return {(int(i), int(j)) for i, j in pairs}
 
 
 class BruteForceConnectivity(ConnectivityDetector):
     """Reference O(n²) implementation (vectorised with NumPy)."""
 
-    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+    def update(self, positions: np.ndarray, ranges: np.ndarray) -> np.ndarray:
         n = len(positions)
         if n < 2:
-            return set()
-        diff = positions[:, None, :] - positions[None, :, :]
-        dist_sq = (diff ** 2).sum(axis=-1)
-        limit = np.minimum(ranges[:, None], ranges[None, :]) ** 2
-        ii, jj = np.nonzero(dist_sq <= limit)
-        return {(int(i), int(j)) for i, j in zip(ii, jj) if i < j}
+            return _empty_pairs()
+        ii, jj = np.triu_indices(n, k=1)
+        delta = positions[ii] - positions[jj]
+        limit = np.minimum(ranges[ii], ranges[jj])
+        mask = (delta * delta).sum(axis=1) <= limit * limit
+        # triu_indices is already in (i, j) lexicographic order with i < j
+        return np.column_stack((ii[mask], jj[mask])).astype(np.int64)
 
 
 class KDTreeConnectivity(ConnectivityDetector):
-    """k-d tree pair query with the maximum range, then exact filtering."""
+    """k-d tree pair query with lazy rebuilds.
 
-    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+    The tree is built on a *snapshot* of the positions and reused while the
+    maximum displacement of any node since the snapshot stays below a slack
+    margin (a fraction of the maximum radio range).  While reusing, the pair
+    query radius is inflated by twice the current displacement, which makes
+    the candidate set a superset of the true pair set; the exact vectorised
+    range filter against the *current* positions then restores correctness.
+
+    Parameters
+    ----------
+    rebuild_margin:
+        Slack as a fraction of the maximum radio range.  ``0`` rebuilds
+        every tick (the seed behaviour).
+    """
+
+    def __init__(self, rebuild_margin: float = 0.25) -> None:
+        if rebuild_margin < 0:
+            raise ValueError("rebuild_margin must be non-negative")
+        self.rebuild_margin = float(rebuild_margin)
+        self._tree = None
+        self._snapshot: np.ndarray = None  # positions the tree was built on
+        self.rebuilds = 0  # observability: how often the tree was rebuilt
+
+    def reset(self) -> None:
+        self._tree = None
+        self._snapshot = None
+
+    def update(self, positions: np.ndarray, ranges: np.ndarray) -> np.ndarray:
         n = len(positions)
         if n < 2:
-            return set()
+            self.reset()
+            return _empty_pairs()
         max_range = float(ranges.max())
         if max_range <= 0:
-            return set()
-        tree = cKDTree(positions)
-        candidates = tree.query_pairs(max_range, output_type="ndarray")
+            self.reset()
+            return _empty_pairs()
+        margin = self.rebuild_margin * max_range
+        displacement = 0.0
+        rebuild = self._tree is None or len(self._snapshot) != n
+        if not rebuild:
+            delta = positions - self._snapshot
+            moved_sq = float((delta * delta).sum(axis=1).max())
+            if moved_sq > margin * margin:
+                rebuild = True
+            else:
+                displacement = math.sqrt(moved_sq)
+        if rebuild:
+            self._snapshot = np.array(positions, dtype=float)
+            self._tree = cKDTree(self._snapshot)
+            self.rebuilds += 1
+        candidates = self._tree.query_pairs(max_range + 2.0 * displacement,
+                                            output_type="ndarray")
         if len(candidates) == 0:
-            return set()
-        if float(ranges.min()) == max_range:
-            # uniform ranges: every candidate already qualifies
-            return {(int(i), int(j)) for i, j in candidates}
-        return _filter_by_range([(int(i), int(j)) for i, j in candidates],
-                                positions, ranges)
+            return _empty_pairs()
+        valid = _filter_by_range(candidates.astype(np.int64), positions, ranges)
+        return _canonicalise(valid)
 
 
 class GridConnectivity(ConnectivityDetector):
-    """Spatial-hash grid with cell size equal to the maximum radio range."""
+    """Spatial-hash grid with cell size equal to the maximum radio range.
 
-    def find_pairs(self, positions: np.ndarray, ranges: np.ndarray) -> Set[Pair]:
+    The cell assignment of every node is kept across ticks; on update only
+    the nodes whose cell changed are re-binned (two dict operations per moved
+    node) instead of rebuilding the whole hash.  A full rebuild happens when
+    the node count or the cell size changes.
+    """
+
+    def __init__(self) -> None:
+        self._cell_size: float = 0.0
+        self._cells: np.ndarray = None  # (n, 2) int cell coordinates
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+
+    def reset(self) -> None:
+        self._cell_size = 0.0
+        self._cells = None
+        self._buckets = {}
+
+    def _rebuild(self, cells: np.ndarray) -> None:
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for idx, (cx, cy) in enumerate(cells):
+            buckets.setdefault((int(cx), int(cy)), []).append(idx)
+        self._buckets = buckets
+
+    def _rebin_moved(self, cells: np.ndarray) -> None:
+        moved = np.nonzero((cells != self._cells).any(axis=1))[0]
+        buckets = self._buckets
+        for idx in moved:
+            index = int(idx)
+            old = (int(self._cells[index, 0]), int(self._cells[index, 1]))
+            new = (int(cells[index, 0]), int(cells[index, 1]))
+            members = buckets[old]
+            members.remove(index)
+            if not members:
+                del buckets[old]
+            buckets.setdefault(new, []).append(index)
+
+    def update(self, positions: np.ndarray, ranges: np.ndarray) -> np.ndarray:
         n = len(positions)
         if n < 2:
-            return set()
+            self.reset()
+            return _empty_pairs()
         cell = float(ranges.max())
         if cell <= 0:
-            return set()
-        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        cells = np.floor(positions / cell).astype(int)
-        for idx, (cx, cy) in enumerate(cells):
-            buckets[(int(cx), int(cy))].append(idx)
-        candidates: List[Pair] = []
-        neighbour_offsets = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+            self.reset()
+            return _empty_pairs()
+        cells = np.floor(positions / cell).astype(np.int64)
+        if self._cells is None or len(self._cells) != n or self._cell_size != cell:
+            self._rebuild(cells)
+        else:
+            self._rebin_moved(cells)
+        self._cells = cells
+        self._cell_size = cell
+
+        candidates_i: List[int] = []
+        candidates_j: List[int] = []
+        buckets = self._buckets
+        # only "forward" neighbour cells, to avoid double counting
+        forward_offsets = ((0, 1), (1, -1), (1, 0), (1, 1))
         for (cx, cy), members in buckets.items():
             # pairs within the cell
             for a in range(len(members)):
                 for b in range(a + 1, len(members)):
-                    candidates.append((members[a], members[b]))
-            # pairs with neighbouring cells (only "forward" neighbours to avoid
-            # double counting)
-            for dx, dy in neighbour_offsets:
-                if (dx, dy) <= (0, 0):
-                    continue
+                    candidates_i.append(members[a])
+                    candidates_j.append(members[b])
+            # pairs with forward neighbouring cells
+            for dx, dy in forward_offsets:
                 other = buckets.get((cx + dx, cy + dy))
                 if not other:
                     continue
                 for a in members:
-                    for b in other:
-                        candidates.append((a, b))
-        return _filter_by_range(candidates, positions, ranges)
+                    candidates_i.extend([a] * len(other))
+                    candidates_j.extend(other)
+        if not candidates_i:
+            return _empty_pairs()
+        pairs = np.column_stack((
+            np.asarray(candidates_i, dtype=np.int64),
+            np.asarray(candidates_j, dtype=np.int64)))
+        valid = _filter_by_range(pairs, positions, ranges)
+        return _canonicalise(valid)

@@ -10,12 +10,19 @@
 4. give every router an ``update`` tick so it can expire TTLs and enqueue new
    transfers.
 
+The tick is kept allocation-free where it matters (see DESIGN.md): node
+positions live in a single preallocated
+:class:`~repro.world.positions.PositionStore` that movement mutates in
+place, the connectivity detector is stateful and reuses its acceleration
+structures across ticks, and link-up / link-down events are derived by
+diffing sorted pair-code arrays instead of Python sets.
+
 All statistics flow through a single :class:`~repro.metrics.collector.StatsCollector`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +33,14 @@ from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.world.connectivity import ConnectivityDetector, KDTreeConnectivity
 from repro.world.node import DTNNode
+from repro.world.positions import PositionStore
+
+#: node ids are packed two-per-int64 for the sorted link diff
+_MAX_NODE_ID = 2 ** 31 - 1
+
+
+def _empty_codes() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
 
 
 class World:
@@ -55,7 +70,13 @@ class World:
         self.detector = detector if detector is not None else KDTreeConnectivity()
         self._nodes: Dict[int, DTNNode] = {}
         self._node_order: List[DTNNode] = []
+        self._positions = PositionStore()
         self._connections: Dict[Tuple[int, int], Connection] = {}
+        #: sorted int64 codes (id_lo << 32 | id_hi) of the live links
+        self._link_codes = _empty_codes()
+        #: per-node caches rebuilt lazily after node registration
+        self._ranges_cache: Optional[np.ndarray] = None
+        self._ids_cache: Optional[np.ndarray] = None
         self._last_update = 0.0
         self.updates = 0
         self._process = PeriodicProcess(
@@ -63,13 +84,30 @@ class World:
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: DTNNode) -> DTNNode:
-        """Register *node* (its id must be unique) and return it."""
+        """Register *node* (its id must be unique) and return it.
+
+        The node's path follower is re-bound onto this world's position
+        store, so from here on the node moves by writing into its row of the
+        world-wide position matrix.
+        """
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
+        if node.node_id > _MAX_NODE_ID:
+            raise ValueError(f"node id {node.node_id} exceeds {_MAX_NODE_ID}")
         if node.router is None:
             raise ValueError(f"node {node.node_id} has no router attached")
+        backing = self._positions.data
+        index = self._positions.add(node.position)
+        if self._positions.data is not backing:
+            # the store grew and reallocated: re-bind every existing follower
+            # onto its (moved) row view
+            for row, existing in enumerate(self._node_order):
+                existing.follower.bind(self._positions.row(row))
+        node.follower.bind(self._positions.row(index))
         self._nodes[node.node_id] = node
         self._node_order.append(node)
+        self._ranges_cache = None
+        self._ids_cache = None
         return node
 
     @property
@@ -99,10 +137,32 @@ class World:
         return None if node is None else node.community
 
     def positions(self) -> np.ndarray:
-        """``(n, 2)`` array of current node positions (registration order)."""
-        if not self._node_order:
-            return np.empty((0, 2))
-        return np.vstack([node.position for node in self._node_order])
+        """``(n, 2)`` array of current node positions (registration order).
+
+        This is a live, zero-copy view of the world's position store: it
+        reflects movement as it happens and must not be mutated by callers.
+        """
+        return self._positions.view()
+
+    def ranges(self) -> np.ndarray:
+        """``(n,)`` array of per-node radio ranges (registration order).
+
+        Cached: radios are assumed immutable for a node's lifetime
+        (:class:`~repro.world.interface.Interface` is frozen, and swapping
+        ``node.interface`` mid-run is unsupported — connectivity would keep
+        using the range recorded at registration).
+        """
+        if self._ranges_cache is None or len(self._ranges_cache) != len(self._node_order):
+            self._ranges_cache = np.array(
+                [node.interface.transmit_range for node in self._node_order],
+                dtype=float)
+        return self._ranges_cache
+
+    def _node_id_array(self) -> np.ndarray:
+        if self._ids_cache is None or len(self._ids_cache) != len(self._node_order):
+            self._ids_cache = np.array(
+                [node.node_id for node in self._node_order], dtype=np.int64)
+        return self._ids_cache
 
     # --------------------------------------------------------------- messages
     def create_message(self, source_id: int, message: Message) -> bool:
@@ -140,23 +200,33 @@ class World:
 
     def _move_nodes(self, dt: float, now: float) -> None:
         for node in self._node_order:
-            node.move(dt, now)
+            follower = node.follower
+            if not follower.halted:
+                follower.move(dt, now)
 
     def _refresh_connectivity(self, now: float) -> None:
-        positions = self.positions()
-        ranges = np.array([node.interface.transmit_range for node in self._node_order])
-        index_pairs = self.detector.find_pairs(positions, ranges)
-        # map index pairs -> node-id pairs
-        current: Set[Tuple[int, int]] = set()
-        for i, j in index_pairs:
-            a = self._node_order[i].node_id
-            b = self._node_order[j].node_id
-            current.add((min(a, b), max(a, b)))
-        previous = set(self._connections)
-        for key in previous - current:
-            self._link_down(key, now)
-        for key in current - previous:
-            self._link_up(key, now)
+        index_pairs = self.detector.update(self.positions(), self.ranges())
+        if len(index_pairs):
+            ids = self._node_id_array()
+            a = ids[index_pairs[:, 0]]
+            b = ids[index_pairs[:, 1]]
+            codes = (np.minimum(a, b) << 32) | np.maximum(a, b)
+            codes.sort()
+        else:
+            codes = _empty_codes()
+        previous = self._link_codes
+        if len(previous):
+            for code in np.setdiff1d(previous, codes, assume_unique=True):
+                self._link_down(self._decode(code), now)
+        if len(codes):
+            for code in np.setdiff1d(codes, previous, assume_unique=True):
+                self._link_up(self._decode(code), now)
+        self._link_codes = codes
+
+    @staticmethod
+    def _decode(code: np.int64) -> Tuple[int, int]:
+        value = int(code)
+        return value >> 32, value & 0xFFFFFFFF
 
     def _link_up(self, key: Tuple[int, int], now: float) -> None:
         node_a = self._nodes[key[0]]
@@ -203,7 +273,10 @@ class World:
         final = replica.destination == receiver.node_id
         self.stats.message_relayed(replica, sender.node_id, receiver.node_id,
                                    now, transfer.copies, final)
-        if final:
+        # Only *accepted* arrivals at the destination count toward delivery
+        # accounting; the collector dedupes repeat arrivals by message id
+        # (first one is the delivery, later ones are duplicate_deliveries).
+        if final and accepted:
             self.stats.message_delivered(replica, now)
         if accepted:
             sender.router.transfer_completed(transfer)

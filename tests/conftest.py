@@ -1,58 +1,22 @@
-"""Shared fixtures and helpers for the test-suite.
+"""Shared fixtures for the test-suite.
 
-Most router-level tests run on small, fully deterministic *trace-replay*
-worlds: connectivity is prescribed by an explicit contact trace, so the exact
-sequence of meetings (and therefore of routing decisions) is known in advance.
+The scenario-building helpers live in :mod:`repro.testing` (so they are
+importable without pytest path tricks); this conftest only provides the
+pytest fixtures and re-exports the helpers for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
-
 import pytest
 
-from repro.net.message import Message
 from repro.sim.engine import Simulator
-from repro.traces.contact_trace import ContactEvent, ContactTrace
-from repro.traces.replay import TraceReplayWorld, build_trace_world
-
-
-def make_trace(events: Iterable[Tuple[float, int, int, bool]]) -> ContactTrace:
-    """Build a :class:`ContactTrace` from ``(time, a, b, up)`` tuples."""
-    return ContactTrace([ContactEvent(t, a, b, up) for t, a, b, up in events])
-
-
-def make_contact_plan(contacts: Iterable[Tuple[float, float, int, int]]) -> ContactTrace:
-    """Build a trace from ``(start, end, a, b)`` contact intervals."""
-    events = []
-    for start, end, a, b in contacts:
-        events.append(ContactEvent(start, a, b, True))
-        events.append(ContactEvent(end, a, b, False))
-    return ContactTrace(events)
-
-
-def make_world(trace: ContactTrace, protocol: str = "epidemic", *,
-               num_nodes: Optional[int] = None,
-               communities: Optional[Dict[int, int]] = None,
-               update_interval: float = 1.0,
-               buffer_capacity: float = 10 * 1024 * 1024,
-               router_params: Optional[dict] = None,
-               seed: int = 1) -> Tuple[Simulator, TraceReplayWorld]:
-    """Build a deterministic trace-replay world for router tests."""
-    return build_trace_world(
-        trace, protocol=protocol, seed=seed, update_interval=update_interval,
-        buffer_capacity=buffer_capacity, num_nodes=num_nodes,
-        communities=communities, router_params=router_params)
-
-
-def inject_message(world, source: int, destination: int, *, now: float = 0.0,
-                   size: int = 1000, ttl: float = 10_000.0, copies: int = 1,
-                   message_id: str = "M1") -> Message:
-    """Create and inject one message at *source*; returns the message."""
-    message = Message(message_id, source, destination, size, now, ttl, copies,
-                      dest_community=world.community_of(destination))
-    world.create_message(source, message)
-    return message
+from repro.testing import (  # noqa: F401  (re-exported for older imports)
+    inject_message,
+    make_contact_plan,
+    make_trace,
+    make_world,
+)
+from repro.traces.contact_trace import ContactTrace
 
 
 @pytest.fixture

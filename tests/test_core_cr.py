@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import inject_message, make_contact_plan, make_world
+from repro.testing import inject_message, make_contact_plan, make_world
 from repro.core.cr import CommunityRouter
 
 #: two communities: {0, 1, 2} and {3, 4, 5}

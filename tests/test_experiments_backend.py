@@ -1,0 +1,136 @@
+"""Execution-backend tests: resolution, ordering, and serial/parallel parity."""
+
+import json
+
+import pytest
+
+from repro.experiments.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.experiments.runner import run_averaged, run_many_averaged
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweep import sweep
+
+
+def tiny_config(**overrides):
+    base = ScenarioConfig.bench_scale(protocol="spray-and-wait", num_nodes=10,
+                                      sim_time=200.0)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def canonical(result) -> str:
+    """NaN-stable serialisation of an AveragedResult and its reports."""
+    payload = {
+        "summary": result.as_dict(),
+        "reports": [report.as_dict() for report in result.reports],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+# ------------------------------------------------------------------ resolution
+def test_resolve_backend_names_and_instances():
+    assert isinstance(resolve_backend(None), SerialBackend)
+    assert isinstance(resolve_backend("serial"), SerialBackend)
+    assert isinstance(resolve_backend("process"), ProcessPoolBackend)
+    backend = SerialBackend()
+    assert resolve_backend(backend) is backend
+    with pytest.raises(ValueError):
+        resolve_backend("quantum")
+    with pytest.raises(TypeError):
+        resolve_backend(42)
+
+
+def test_serial_backend_preserves_order():
+    assert SerialBackend().map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+
+def test_process_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ProcessPoolBackend(max_workers=0)
+
+
+def test_process_pool_map_preserves_order():
+    with ProcessPoolBackend(max_workers=2) as pool:
+        assert pool.map(abs, [-3, 1, -2, 0, 5]) == [3, 1, 2, 0, 5]
+
+
+# ---------------------------------------------------------------------- parity
+def test_process_pool_matches_serial_over_four_seeds():
+    """Acceptance criterion: 4-seed run_averaged, process pool == serial."""
+    config = tiny_config()
+    seeds = [1, 2, 3, 4]
+    serial = run_averaged(config, seeds, backend=SerialBackend())
+    with ProcessPoolBackend(max_workers=2) as pool:
+        parallel = run_averaged(config, seeds, backend=pool)
+    assert canonical(serial) == canonical(parallel)
+    assert [report.seed for report in parallel.reports] == seeds
+
+
+def test_sweep_is_backend_invariant():
+    grid = {"num_nodes": [8, 12]}
+    serial_points = sweep(tiny_config(), grid, seeds=[1, 2])
+    with ProcessPoolBackend(max_workers=2) as pool:
+        parallel_points = sweep(tiny_config(), grid, seeds=[1, 2], backend=pool)
+    assert len(serial_points) == len(parallel_points) == 2
+    for a, b in zip(serial_points, parallel_points):
+        assert a.overrides == b.overrides
+        assert canonical(a.result) == canonical(b.result)
+
+
+def test_run_many_averaged_groups_configs_in_order():
+    configs = [tiny_config(num_nodes=8), tiny_config(num_nodes=12)]
+    results = run_many_averaged(configs, seeds=[1, 2])
+    assert [r.num_nodes for r in results] == [8, 12]
+    for result in results:
+        assert [report.seed for report in result.reports] == [1, 2]
+        # grouped reports belong to their own config
+        assert all(report.num_nodes == result.num_nodes
+                   for report in result.reports)
+
+
+def test_run_many_averaged_requires_seeds():
+    with pytest.raises(ValueError):
+        run_many_averaged([tiny_config()], seeds=[])
+
+
+def test_run_many_averaged_closes_backends_it_resolves():
+    closed = []
+
+    class Tracking(SerialBackend):
+        def close(self):
+            closed.append(True)
+            super().close()
+
+    import repro.experiments.runner as runner_module
+    original = runner_module.resolve_backend
+
+    def tracking_resolve(backend):
+        resolved = original(backend)
+        return Tracking() if backend is None else resolved
+
+    runner_module.resolve_backend = tracking_resolve
+    try:
+        run_averaged(tiny_config(), seeds=[1])  # name-resolved: must be closed
+    finally:
+        runner_module.resolve_backend = original
+    assert closed == [True]
+
+    # a caller-owned instance must stay open across calls
+    backend = SerialBackend()
+    first = run_averaged(tiny_config(), seeds=[1], backend=backend)
+    second = run_averaged(tiny_config(), seeds=[1], backend=backend)
+    assert canonical(first) == canonical(second)
+
+
+def test_backend_base_close_is_idempotent():
+    class Dummy(ExecutionBackend):
+        def map(self, fn, items):
+            return [fn(item) for item in items]
+
+    backend = Dummy()
+    with backend:
+        assert backend.map(str, [1]) == ["1"]
+    backend.close()  # second close must be harmless

@@ -1,6 +1,6 @@
 """Unit tests for epidemic, direct-delivery and first-contact routing."""
 
-from conftest import inject_message, make_contact_plan, make_world
+from repro.testing import inject_message, make_contact_plan, make_world
 
 
 def test_epidemic_floods_to_every_encounter(chain_trace):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import inject_message, make_contact_plan, make_world
+from repro.testing import inject_message, make_contact_plan, make_world
 from repro.routing.ebr import EBRRouter
 
 

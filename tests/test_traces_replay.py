@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import inject_message, make_contact_plan
+from repro.testing import inject_message, make_contact_plan
 from repro.traces.contact_trace import ContactTrace
 from repro.traces.replay import build_trace_world
 

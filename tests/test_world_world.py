@@ -145,3 +145,27 @@ def test_update_interval_validation():
     simulator = Simulator(seed=1)
     with pytest.raises(ValueError):
         World(simulator, update_interval=0.0)
+
+
+def test_duplicate_arrivals_at_destination_count_one_delivery():
+    """Regression: replicas reaching the destination over two disjoint paths
+    must produce exactly one delivery record (and no duplicate accounting)."""
+    # 1 and 3 both pick up the message from 0, then both meet destination 2
+    simulator, world = build_world([
+        StationaryMovement((0.0, 0.0)),
+        StationaryMovement((6.0, 0.0)),      # relay A, in range of 0 and 2
+        StationaryMovement((12.0, 0.0)),     # destination
+        StationaryMovement((6.0, 6.0)),      # relay B, in range of 0 and 2
+    ], protocol=EpidemicRouter)
+    message = Message("M1", 0, 2, size=1000, creation_time=0.0, ttl=600.0)
+    world.create_message(0, message)
+    simulator.run(until=20.0)
+    assert world.stats.is_delivered("M1")
+    assert world.stats.delivered == 1
+    assert len(world.stats.delivered_records) == 1
+    # the destination saw the replica arrive over both paths: one delivery,
+    # one duplicate (the observability counter stays live)
+    arrivals = [rec for rec in world.stats.relayed_records
+                if rec.to_node == 2 and rec.final_delivery]
+    assert len(arrivals) == 2
+    assert world.stats.duplicate_deliveries == 1
