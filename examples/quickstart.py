@@ -8,6 +8,10 @@ latency, goodput).
 Run with::
 
     python examples/quickstart.py
+
+The command-line equivalent (see docs/cli.md)::
+
+    python -m repro run bench --protocol eer --set sim_time=2000
 """
 
 from repro.experiments import ScenarioConfig, run_scenario

@@ -19,6 +19,7 @@ from repro.experiments import ScenarioConfig
 from repro.experiments.builder import build_scenario
 from repro.net.generators import MessageEventGenerator, TrafficSpec
 from repro.traces.contact_trace import ContactTrace
+from repro.traces.io import load_trace, save_csv_trace
 from repro.traces.replay import build_trace_world
 
 
@@ -50,13 +51,18 @@ def main() -> None:
     print("Recording a contact trace from the bus scenario...")
     trace = record_trace(config)
 
-    # round-trip the trace through the on-disk format
+    # round-trip the trace through both on-disk formats (repro.traces.io
+    # validates on load and would reject e.g. orphan down events)
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "bus_contacts.txt"
-        trace.save(path)
-        trace = ContactTrace.load(path)
+        one_path = Path(tmp) / "bus_contacts.txt"
+        csv_path = Path(tmp) / "bus_contacts.csv"
+        trace.save(one_path)
+        save_csv_trace(trace, csv_path)
+        trace = load_trace(one_path)          # format sniffed: ONE report
+        assert len(load_trace(csv_path)) == len(trace)
         print(f"  saved and re-loaded {len(trace)} events "
-              f"({path.stat().st_size} bytes on disk)")
+              f"({one_path.stat().st_size} bytes ONE, "
+              f"{csv_path.stat().st_size} bytes CSV)")
 
     # communities for CR: reuse the bus scenario's district assignment
     built = build_scenario(config)

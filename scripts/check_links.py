@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation (no dependencies).
+
+Scans the given markdown files (default: README.md, DESIGN.md, PAPER.md,
+ROADMAP.md and docs/*.md) for inline links and validates every *relative*
+link target:
+
+* the referenced file or directory must exist (relative to the file that
+  links to it);
+* a ``#fragment`` on a markdown target must match a heading in that file
+  (GitHub anchor slug rules, simplified).
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+the network. Exits 1 listing every broken link, 0 when all links resolve.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from functools import lru_cache
+from pathlib import Path
+from typing import List
+
+#: inline markdown links: [text](target); images share the syntax
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, spaces to dashes)."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@lru_cache(maxsize=None)
+def heading_slugs(path: Path) -> List[str]:
+    """All heading anchors available in a markdown file (cached per file)."""
+    return [github_slug(match) for match in _HEADING.findall(path.read_text())]
+
+
+def check_file(path: Path) -> List[str]:
+    """Return one error string per broken relative link in *path*."""
+    errors: List[str] = []
+    text = path.read_text()
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        base, _, fragment = target.partition("#")
+        if not base:
+            # intra-document anchor
+            if fragment and github_slug(fragment) not in heading_slugs(path):
+                errors.append(f"{path}:{line}: missing anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}:{line}: broken link {target!r} "
+                          f"({resolved} does not exist)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(resolved):
+                errors.append(f"{path}:{line}: missing anchor "
+                              f"#{fragment} in {base}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [root / name for name in
+                 ("README.md", "DESIGN.md", "PAPER.md", "ROADMAP.md")]
+        files += sorted((root / "docs").glob("*.md"))
+    files = [path for path in files if path.exists()]
+    all_errors: List[str] = []
+    for path in files:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files, "
+          f"{len(all_errors)} broken link(s)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

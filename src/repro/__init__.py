@@ -34,12 +34,15 @@ the paper's contributions on top of them:
     Event-driven statistics collection and the paper's three metrics
     (delivery ratio, latency, goodput).
 ``repro.traces``
-    Contact-trace export/import, replay and synthetic trace generators.
+    Contact-trace export/import (ONE report + CSV), replay and synthetic
+    trace generators.
 ``repro.experiments``
-    Scenario configuration, runners, sweeps and per-figure experiment
-    drivers.
+    Scenario configuration and catalog, runners, sweeps and per-figure
+    experiment drivers.
 ``repro.analysis``
     Series assembly, summary statistics and text rendering of figures.
+``repro.cli``
+    The ``python -m repro`` command line (list/run/sweep/figure).
 """
 
 from repro.version import __version__

@@ -1,0 +1,364 @@
+"""The ``python -m repro`` command-line interface.
+
+Four subcommands expose the scenario catalog and the experiment drivers
+without writing any Python:
+
+``list``
+    Show every registered scenario and routing protocol.
+``run``
+    Run one named scenario (averaged over seeds, optionally in parallel).
+``sweep``
+    Run a scenario across a parameter grid.
+``figure``
+    Regenerate one of the paper's figures or ablations.
+
+Every subcommand takes ``--json`` for machine-readable output; the default is
+a human-aligned text table.  See ``docs/cli.md`` for the full reference with
+copy-paste examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.catalog import (
+    available_scenarios,
+    make_scenario,
+    scenario_entries,
+)
+from repro.experiments.figures import (
+    ablation_alpha,
+    ablation_buffer,
+    ablation_ttl,
+    figure2_comparison,
+    figure3_lambda_eer,
+    figure4_lambda_cr,
+)
+from repro.experiments.runner import run_averaged
+from repro.experiments.scenario import ScenarioConfig, apply_overrides
+from repro.experiments.sweep import sweep as run_sweep
+from repro.experiments.tables import (
+    format_figure,
+    format_report_table,
+)
+from repro.routing.registry import available_routers, router_summary
+
+#: figure names accepted by ``python -m repro figure``
+FIGURE_NAMES = ("fig2", "fig3", "fig4",
+                "ablation-alpha", "ablation-ttl", "ablation-buffer")
+
+_HEADLINE_METRICS = ("delivery_ratio", "latency", "goodput", "overhead_ratio")
+
+
+# ----------------------------------------------------------------- arg parsing
+def parse_seeds(spec: str) -> List[int]:
+    """Parse a seed specification into a list of ints.
+
+    Accepts a single seed (``"7"``), an inclusive range (``"1-4"``) or a
+    comma list (``"1,3,9"``).
+    """
+    spec = spec.strip()
+    try:
+        if "," in spec:
+            return [int(part) for part in spec.split(",") if part.strip()]
+        if "-" in spec[1:]:  # allow a leading minus to fail int() below
+            low, _, high = spec.partition("-")
+            first, last = int(low), int(high)
+            if last < first:
+                raise ValueError
+            return list(range(first, last + 1))
+        return [int(spec)]
+    except ValueError:
+        raise ValueError(
+            f"invalid seed spec {spec!r}; expected N, A-B or A,B,C") from None
+
+
+def parse_value(text: str) -> object:
+    """Parse one override value: JSON first, bare string as fallback.
+
+    JSON covers numbers, booleans, null, quoted strings and lists; lists are
+    converted to tuples so they fit tuple-typed scenario fields like
+    ``message_interval``.
+    """
+    try:
+        value = json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        return text
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def parse_assignments(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``key=value`` strings (``--set``) into an override dict."""
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"invalid --set {pair!r}; expected key=value")
+        overrides[key.strip()] = parse_value(value.strip())
+    return overrides
+
+
+def parse_grid(specs: Sequence[str]) -> Dict[str, List[object]]:
+    """Parse repeated ``key=v1,v2,...`` strings (``--grid``) into a sweep grid."""
+    grid: Dict[str, List[object]] = {}
+    for spec in specs:
+        key, sep, values = spec.partition("=")
+        if not sep or not key or not values:
+            raise ValueError(f"invalid --grid {spec!r}; expected key=v1,v2,...")
+        grid[key.strip()] = [parse_value(v.strip())
+                             for v in values.split(",") if v.strip()]
+    return grid
+
+
+def _csv_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _csv_names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _emit(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _check_protocol(name: Optional[str]) -> None:
+    if name is not None and name not in available_routers():
+        raise KeyError(f"unknown protocol {name!r}; known: "
+                       f"{', '.join(available_routers())}")
+
+
+def _scenario_config(args) -> ScenarioConfig:
+    """Resolve a subcommand's scenario + overrides into one config."""
+    overrides = parse_assignments(args.set or [])
+    _check_protocol(getattr(args, "protocol", None))
+    if getattr(args, "protocol", None):
+        overrides["protocol"] = args.protocol
+    return make_scenario(args.scenario, overrides)
+
+
+# ----------------------------------------------------------------- subcommands
+def cmd_list(args) -> int:
+    """``list``: show the scenario catalog and the protocol registry."""
+    scenarios = [entry.describe() for entry in scenario_entries()]
+    protocols = [{"name": name, "summary": router_summary(name)}
+                 for name in available_routers()]
+    if args.json:
+        _emit({"scenarios": scenarios, "protocols": protocols})
+        return 0
+    print(f"Scenarios ({len(scenarios)}):")
+    width = max(len(s["name"]) for s in scenarios)
+    for entry in scenarios:
+        print(f"  {entry['name']:<{width}}  [{entry['kind']:9s}] "
+              f"{entry['summary']}")
+    print()
+    print(f"Protocols ({len(protocols)}):")
+    width = max(len(p["name"]) for p in protocols)
+    for proto in protocols:
+        print(f"  {proto['name']:<{width}}  {proto['summary']}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``run``: run one scenario averaged over seeds."""
+    config = _scenario_config(args)
+    seeds = parse_seeds(args.seeds)
+    result = run_averaged(config, seeds, backend=args.backend)
+    if args.json:
+        _emit({
+            "scenario": args.scenario,
+            "protocol": config.protocol,
+            "backend": args.backend or "serial",
+            "summary": result.as_dict(),
+            "reports": [report.as_dict() for report in result.reports],
+        })
+        return 0
+    print(f"scenario {args.scenario!r} protocol {config.protocol!r} "
+          f"seeds {seeds} backend {args.backend or 'serial'}")
+    print()
+    print(format_report_table(result.reports))
+    print()
+    for metric in _HEADLINE_METRICS:
+        print(f"mean {metric:<22s} {result.mean(metric):10.4f} "
+              f"(std {result.std(metric):.4f})")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``sweep``: run a scenario across a parameter grid."""
+    config = _scenario_config(args)
+    seeds = parse_seeds(args.seeds)
+    grid = parse_grid(args.grid)
+    points = run_sweep(config, grid, seeds=seeds, backend=args.backend)
+    rows = [{"overrides": point.overrides,
+             "delivery_ratio": point.value("delivery_ratio"),
+             "latency": point.value("average_latency"),
+             "goodput": point.value("goodput"),
+             "overhead_ratio": point.value("overhead_ratio")}
+            for point in points]
+    if args.json:
+        _emit({"scenario": args.scenario, "grid": grid, "seeds": seeds,
+               "points": rows})
+        return 0
+    keys = list(grid)
+    header = keys + ["delivery_ratio", "latency", "goodput", "overhead_ratio"]
+    table = [header]
+    for row in rows:
+        table.append([str(row["overrides"][key]) for key in keys]
+                     + [f"{row['delivery_ratio']:.4f}",
+                        f"{row['latency']:.1f}",
+                        f"{row['goodput']:.4f}",
+                        f"{row['overhead_ratio']:.2f}"])
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(header))]
+    for index, line in enumerate(table):
+        text = "  ".join(cell.ljust(widths[col])
+                         for col, cell in enumerate(line)).rstrip()
+        print(text)
+        if index == 0:
+            print("-" * len(text))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """``figure``: regenerate one paper figure / ablation."""
+    if args.scale == "paper":
+        base = ScenarioConfig.paper_scale()
+    else:
+        base = ScenarioConfig.bench_scale()
+    overrides = parse_assignments(args.set or [])
+    if overrides:
+        base = apply_overrides(base, overrides)
+    seeds = parse_seeds(args.seeds)
+    common = dict(seeds=seeds, base=base, backend=args.backend)
+    name = args.figure
+    if name == "fig2":
+        figure = figure2_comparison(
+            node_counts=args.nodes, protocols=_csv_names(args.protocols),
+            **common)
+    elif name == "fig3":
+        figure = figure3_lambda_eer(node_counts=args.nodes,
+                                    lambdas=args.lambdas, **common)
+    elif name == "fig4":
+        figure = figure4_lambda_cr(node_counts=args.nodes,
+                                   lambdas=args.lambdas, **common)
+    elif name == "ablation-alpha":
+        figure = ablation_alpha(alphas=_csv_floats(args.values or "0.1,0.28,0.5,1.0"),
+                                **common)
+    elif name == "ablation-ttl":
+        figure = ablation_ttl(ttls=_csv_floats(args.values or "300,600,1200,2400"),
+                              **common)
+    else:
+        figure = ablation_buffer(
+            buffers=_csv_floats(args.values or "262144,524288,1048576,2097152"),
+            **common)
+    payload = figure.as_dict()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.json:
+        _emit(payload)
+    else:
+        print(format_figure(figure))
+    return 0
+
+
+# ---------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DTN routing reproduction (conf_icpp_ChenL11): run "
+                    "scenarios, sweeps and paper figures from the command "
+                    "line.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="list registered scenarios and protocols")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    list_parser.set_defaults(func=cmd_list)
+
+    def add_common(p, scenario: bool = True):
+        if scenario:
+            p.add_argument("scenario", choices=available_scenarios(),
+                           metavar="SCENARIO",
+                           help="a scenario name from 'list'")
+            p.add_argument("--protocol", default=None,
+                           help="routing protocol (default: the scenario's)")
+        p.add_argument("--seeds", default="1",
+                       help="seed spec: N, A-B or A,B,C (default: 1)")
+        p.add_argument("--backend", choices=("serial", "process"),
+                       default=None,
+                       help="execution backend (default: serial)")
+        p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override a scenario field (repeatable; "
+                            "router.NAME goes to router_params)")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    run_parser = sub.add_parser(
+        "run", help="run one scenario, averaged over seeds")
+    add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a scenario across a parameter grid")
+    add_common(sweep_parser)
+    sweep_parser.add_argument(
+        "--grid", action="append", required=True, metavar="KEY=V1,V2,...",
+        help="one grid axis (repeatable; crossed as a Cartesian product)")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    figure_parser = sub.add_parser(
+        "figure", help="regenerate a paper figure or ablation")
+    figure_parser.add_argument("figure", choices=FIGURE_NAMES,
+                               metavar="FIGURE",
+                               help=f"one of: {', '.join(FIGURE_NAMES)}")
+    figure_parser.add_argument("--scale", choices=("bench", "paper"),
+                               default="bench",
+                               help="base scenario scale (default: bench)")
+    figure_parser.add_argument("--nodes", type=_csv_ints, default=[40, 80, 120],
+                               metavar="N1,N2,...",
+                               help="node counts (default: 40,80,120)")
+    figure_parser.add_argument("--lambdas", type=_csv_ints,
+                               default=[6, 8, 10, 12], metavar="L1,L2,...",
+                               help="replica quotas for fig3/fig4")
+    figure_parser.add_argument("--protocols",
+                               default="eer,cr,ebr,maxprop,spray-and-wait,"
+                                       "spray-and-focus",
+                               metavar="P1,P2,...",
+                               help="protocols for fig2")
+    figure_parser.add_argument("--values", default=None, metavar="V1,V2,...",
+                               help="sweep values for the ablations")
+    figure_parser.add_argument("--output", default=None, metavar="FILE",
+                               help="also write the figure JSON to FILE")
+    add_common(figure_parser, scenario=False)
+    figure_parser.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,6 +1,14 @@
-"""Experiment drivers: scenario configuration, builders, runners and figures."""
+"""Experiment drivers: scenario configuration, catalog, builders, runners and figures."""
 
-from repro.experiments.scenario import ScenarioConfig, MobilityKind
+from repro.experiments.scenario import ScenarioConfig, MobilityKind, apply_overrides
+from repro.experiments.catalog import (
+    ScenarioEntry,
+    available_scenarios,
+    get_scenario_entry,
+    make_scenario,
+    register_scenario,
+    scenario_entries,
+)
 from repro.experiments.backend import (
     ExecutionBackend,
     SerialBackend,
@@ -24,11 +32,22 @@ from repro.experiments.figures import (
     ablation_buffer,
     FigureResult,
 )
-from repro.experiments.tables import format_series_table, format_report_table
+from repro.experiments.tables import (
+    format_series_table,
+    format_report_table,
+    format_figure,
+)
 
 __all__ = [
     "ScenarioConfig",
     "MobilityKind",
+    "apply_overrides",
+    "ScenarioEntry",
+    "available_scenarios",
+    "get_scenario_entry",
+    "make_scenario",
+    "register_scenario",
+    "scenario_entries",
     "build_scenario",
     "BuiltScenario",
     "run_scenario",
@@ -50,4 +69,5 @@ __all__ = [
     "FigureResult",
     "format_series_table",
     "format_report_table",
+    "format_figure",
 ]

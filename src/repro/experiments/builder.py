@@ -14,9 +14,14 @@ from repro.mobility.map_route import BusRoute, MapRouteMovement, generate_bus_ro
 from repro.mobility.random_waypoint import RandomWaypointMovement
 from repro.mobility.roadmap import RoadMap
 from repro.mobility.shortest_path import ShortestPathMapBasedMovement
+from repro.mobility.stationary import StationaryMovement
 from repro.net.generators import MessageEventGenerator, TrafficSpec
 from repro.routing.registry import create_router
 from repro.sim.engine import Simulator
+from repro.traces.contact_trace import ContactTrace
+from repro.traces.generators import generate_trace
+from repro.traces.io import load_trace
+from repro.traces.replay import TraceReplayWorld
 from repro.world.interface import Interface
 from repro.world.node import DTNNode
 from repro.world.world import World
@@ -33,6 +38,8 @@ class BuiltScenario:
     traffic: MessageEventGenerator
     roadmap: Optional[RoadMap] = None
     routes: Optional[List[BusRoute]] = None
+    #: the replayed contact trace (``MobilityKind.TRACE`` scenarios only)
+    trace: Optional[ContactTrace] = None
 
     def run(self) -> float:
         """Run the simulation to the configured horizon; returns the end time."""
@@ -115,14 +122,64 @@ def _shortest_path_movements(config: ScenarioConfig):
     return roadmap, movements, communities
 
 
+def _load_scenario_trace(config: ScenarioConfig):
+    """Resolve a TRACE config's contact trace (file or named generator).
+
+    Returns the trace and an optional ground-truth node -> community mapping
+    (only the ``community`` generator provides one).
+    """
+    if config.trace_path is not None:
+        trace = load_trace(config.trace_path, config.trace_format,
+                           window=config.trace_window,
+                           remap=config.trace_remap_ids)
+        return trace, None
+    params = dict(config.trace_params)
+    params.setdefault("num_nodes", config.num_nodes)
+    params.setdefault("duration", config.sim_time)
+    params.setdefault("seed", config.seed)
+    if config.trace_generator == "community":
+        params.setdefault("num_communities", config.num_communities)
+    return generate_trace(config.trace_generator, **params)
+
+
+def _trace_movements(config: ScenarioConfig):
+    """Build the trace-replay pieces: trace, stationary movements, communities."""
+    trace, trace_communities = _load_scenario_trace(config)
+    ids = trace.node_ids()
+    highest = ids[-1] if ids else -1
+    if highest >= config.num_nodes:
+        hint = ("raise num_nodes" if config.trace_remap_ids or
+                config.trace_path is None
+                else "raise num_nodes or enable trace_remap_ids")
+        raise ValueError(
+            f"trace references node id {highest} but the scenario has only "
+            f"{config.num_nodes} nodes; {hint}")
+    movements: List[MovementModel] = []
+    communities: List[int] = []
+    for index in range(config.num_nodes):
+        movements.append(StationaryMovement((float(index), 0.0)))
+        if trace_communities is not None and index in trace_communities:
+            communities.append(trace_communities[index])
+        else:
+            communities.append(index % config.num_communities)
+    return trace, movements, communities
+
+
 def build_scenario(config: ScenarioConfig) -> BuiltScenario:
-    """Assemble the simulator, world, nodes, routers and traffic for *config*."""
+    """Assemble the simulator, world, nodes, routers and traffic for *config*.
+
+    Geometric mobility kinds get a :class:`~repro.world.world.World` with
+    range-based connectivity detection; ``MobilityKind.TRACE`` gets a
+    :class:`~repro.traces.replay.TraceReplayWorld` whose link events come from
+    the configured contact trace.  Everything downstream (routers, traffic,
+    statistics, runners, backends) is identical for both.
+    """
     simulator = Simulator(seed=config.seed, end_time=config.sim_time)
     stats = StatsCollector(keep_records=config.keep_records)
-    world = World(simulator, update_interval=config.update_interval, stats=stats)
 
     roadmap: Optional[RoadMap] = None
     routes: Optional[List[BusRoute]] = None
+    trace: Optional[ContactTrace] = None
     if config.mobility is MobilityKind.BUS:
         roadmap, routes, movements, communities = _bus_movements(config, simulator)
     elif config.mobility is MobilityKind.COMMUNITY:
@@ -131,8 +188,18 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         movements, communities = _random_waypoint_movements(config)
     elif config.mobility is MobilityKind.SHORTEST_PATH:
         roadmap, movements, communities = _shortest_path_movements(config)
+    elif config.mobility is MobilityKind.TRACE:
+        trace, movements, communities = _trace_movements(config)
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown mobility kind {config.mobility!r}")
+
+    if trace is not None:
+        world: World = TraceReplayWorld(
+            simulator, trace, update_interval=config.update_interval,
+            stats=stats)
+    else:
+        world = World(simulator, update_interval=config.update_interval,
+                      stats=stats)
 
     interface = Interface(transmit_range=config.transmit_range,
                           transmit_speed=config.transmit_speed)
@@ -163,4 +230,4 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     traffic = MessageEventGenerator(simulator, world, spec)
     return BuiltScenario(config=config, simulator=simulator, world=world,
                          stats=stats, traffic=traffic, roadmap=roadmap,
-                         routes=routes)
+                         routes=routes, trace=trace)

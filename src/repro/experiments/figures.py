@@ -45,31 +45,38 @@ class FigureResult:
 
     def add_point(self, metric: str, series: str, x: float, y: float,
                   extra: bool = False) -> None:
-        """Append one (x, y) point to a series."""
+        """Append one ``(x, y)`` point to the *series* curve of *metric*.
+
+        With ``extra=True`` the point goes to the free-form :attr:`extra`
+        store instead of the headline metrics.
+        """
         target = self.extra if extra else self.metrics
         target.setdefault(metric, {}).setdefault(series, []).append((float(x), float(y)))
 
     def series(self, metric: str, label: str) -> List[Tuple[float, float]]:
-        """The points of one curve."""
+        """The ``(x, y)`` points of the *label* curve for *metric* (a copy;
+        empty list when the curve does not exist)."""
         return list(self.metrics.get(metric, {}).get(label, []))
 
     def series_labels(self, metric: str) -> List[str]:
-        """All curve labels available for *metric*."""
+        """All curve labels available for *metric*, in insertion order."""
         return list(self.metrics.get(metric, {}))
 
     def values(self, metric: str, label: str) -> List[float]:
-        """Just the y-values of one curve, in x order."""
+        """Just the y-values of the *label* curve for *metric*, in x order."""
         return [y for _, y in sorted(self.series(metric, label))]
 
     def mean_value(self, metric: str, label: str) -> float:
-        """Mean of a curve's y-values (used by shape assertions)."""
+        """Mean of a curve's y-values (``nan`` for an empty curve; used by
+        the benchmarks' shape assertions)."""
         values = self.values(metric, label)
         if not values:
             return float("nan")
         return sum(values) / len(values)
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-friendly representation."""
+        """JSON-friendly representation (what ``python -m repro figure``
+        emits with ``--json``/``--output``)."""
         return {
             "figure_id": self.figure_id,
             "title": self.title,
@@ -108,6 +115,27 @@ def figure2_comparison(node_counts: Sequence[int] = (40, 80, 120),
     whole protocol × node-count × seed grid fans out over *backend* in one
     batch; the figure is assembled in grid order, so it is identical for
     every backend.
+
+    Parameters
+    ----------
+    node_counts:
+        Network sizes forming the x axis.
+    protocols:
+        Protocol names (one curve each), in legend order.
+    seeds:
+        Seeds averaged at every point (the paper uses 10 runs per point).
+    base:
+        Base scenario; defaults to ``ScenarioConfig.bench_scale()``.
+    copies:
+        The replica quota lambda applied to every protocol.
+    backend:
+        Execution backend instance, name (``"serial"``/``"process"``) or
+        ``None`` for serial.
+
+    Returns
+    -------
+    FigureResult
+        Headline metrics plus overhead/control-plane extras per protocol.
     """
     config = _base_config(base)
     figure = FigureResult("fig2", "Protocol comparison (lambda=10)", "num_nodes")
@@ -144,7 +172,21 @@ def figure3_lambda_eer(node_counts: Sequence[int] = (40, 80, 120),
                        seeds: Sequence[int] = (1,),
                        base: Optional[ScenarioConfig] = None,
                        backend: BackendLike = None) -> FigureResult:
-    """Figure 3: effect of the initial replica count lambda on EER."""
+    """Figure 3: effect of the initial replica count lambda on EER.
+
+    Parameters
+    ----------
+    node_counts:
+        Network sizes forming the x axis.
+    lambdas:
+        Replica quotas, one ``lambda=L`` curve each.
+    seeds, base, backend:
+        As for :func:`figure2_comparison`.
+
+    Returns
+    -------
+    FigureResult
+    """
     return _lambda_sweep("fig3", "eer", node_counts, lambdas, seeds, base,
                          backend=backend)
 
@@ -154,7 +196,21 @@ def figure4_lambda_cr(node_counts: Sequence[int] = (40, 80, 120),
                       seeds: Sequence[int] = (1,),
                       base: Optional[ScenarioConfig] = None,
                       backend: BackendLike = None) -> FigureResult:
-    """Figure 4: effect of the initial replica count lambda on CR."""
+    """Figure 4: effect of the initial replica count lambda on CR.
+
+    Parameters
+    ----------
+    node_counts:
+        Network sizes forming the x axis.
+    lambdas:
+        Replica quotas, one ``lambda=L`` curve each.
+    seeds, base, backend:
+        As for :func:`figure2_comparison`.
+
+    Returns
+    -------
+    FigureResult
+    """
     return _lambda_sweep("fig4", "cr", node_counts, lambdas, seeds, base,
                          backend=backend)
 
@@ -169,6 +225,21 @@ def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
 
     The paper fixes alpha = 0.28 "indicated to be a reasonable value from the
     preliminary simulations" and omits the sweep; this regenerates it.
+
+    Parameters
+    ----------
+    alphas:
+        Horizon scaling values forming the x axis.
+    protocol:
+        Protocol under the sweep (``eer`` or ``cr`` make sense).
+    num_nodes:
+        Fixed network size.
+    seeds, base, backend:
+        As for :func:`figure2_comparison`.
+
+    Returns
+    -------
+    FigureResult
     """
     config = _base_config(base)
     figure = FigureResult("ablation-alpha", f"Effect of alpha on {protocol.upper()}",
@@ -188,7 +259,19 @@ def ablation_ttl(ttls: Sequence[float] = (300.0, 600.0, 1200.0, 2400.0),
                  seeds: Sequence[int] = (1,),
                  base: Optional[ScenarioConfig] = None,
                  backend: BackendLike = None) -> FigureResult:
-    """Ablation A2: effect of the message TTL."""
+    """Ablation A2: effect of the message TTL.
+
+    Parameters
+    ----------
+    ttls:
+        TTL values in seconds, forming the x axis.
+    protocol, num_nodes, seeds, base, backend:
+        As for :func:`ablation_alpha`.
+
+    Returns
+    -------
+    FigureResult
+    """
     config = _base_config(base)
     figure = FigureResult("ablation-ttl", f"Effect of TTL on {protocol.upper()}",
                           "ttl_seconds")
@@ -206,7 +289,19 @@ def ablation_buffer(buffers: Sequence[float] = (256 * 1024, 512 * 1024,
                     seeds: Sequence[int] = (1,),
                     base: Optional[ScenarioConfig] = None,
                     backend: BackendLike = None) -> FigureResult:
-    """Ablation A3: effect of the per-node buffer capacity."""
+    """Ablation A3: effect of the per-node buffer capacity.
+
+    Parameters
+    ----------
+    buffers:
+        Buffer capacities in bytes, forming the x axis.
+    protocol, num_nodes, seeds, base, backend:
+        As for :func:`ablation_alpha`.
+
+    Returns
+    -------
+    FigureResult
+    """
     config = _base_config(base)
     figure = FigureResult("ablation-buffer", f"Effect of buffer size on {protocol.upper()}",
                           "buffer_bytes")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 
 class MobilityKind(enum.Enum):
@@ -32,6 +32,9 @@ class MobilityKind(enum.Enum):
     RANDOM_WAYPOINT = "random_waypoint"
     #: pedestrians walking shortest paths on the road map
     SHORTEST_PATH = "shortest_path"
+    #: connectivity replayed from a contact trace (file or named generator);
+    #: nodes are stationary and the trace drives link-up/link-down
+    TRACE = "trace"
 
 
 @dataclass
@@ -65,6 +68,22 @@ class ScenarioConfig:
     stop_wait: Tuple[float, float] = (10.0, 30.0)
     local_probability: float = 0.85  # community mobility only
 
+    # trace replay (MobilityKind.TRACE only; exactly one source must be set)
+    #: path to an external trace file (ONE report or CSV, see repro.traces.io)
+    trace_path: Optional[str] = None
+    #: trace file format: "auto", "one" or "csv"
+    trace_format: str = "auto"
+    #: name of a synthetic generator from repro.traces.generators
+    #: ("periodic", "memoryless", "community")
+    trace_generator: Optional[str] = None
+    #: extra keyword arguments for the generator (seed/num_nodes/duration
+    #: default to the scenario's own values)
+    trace_params: Dict[str, object] = field(default_factory=dict)
+    #: optional (start, end) clip window applied to file traces, rebased to 0
+    trace_window: Optional[Tuple[float, Optional[float]]] = None
+    #: compact sparse file-trace node ids onto 0..n-1 before building nodes
+    trace_remap_ids: bool = True
+
     # radio / buffers
     transmit_range: float = 10.0
     transmit_speed: float = 2_000_000 / 8
@@ -95,6 +114,14 @@ class ScenarioConfig:
             raise ValueError("num_communities must be >= 1")
         if isinstance(self.mobility, str):
             self.mobility = MobilityKind(self.mobility)
+        if self.mobility is MobilityKind.TRACE:
+            if (self.trace_path is None) == (self.trace_generator is None):
+                raise ValueError(
+                    "a TRACE scenario needs exactly one of trace_path or "
+                    "trace_generator")
+        elif self.trace_path is not None or self.trace_generator is not None:
+            raise ValueError(
+                "trace_path/trace_generator require mobility=MobilityKind.TRACE")
 
     # ------------------------------------------------------------------ presets
     @classmethod
@@ -153,3 +180,34 @@ class ScenarioConfig:
         if self.traffic_end is not None:
             return self.traffic_end
         return self.sim_time
+
+
+def apply_overrides(config: ScenarioConfig,
+                    overrides: Mapping[str, object]) -> ScenarioConfig:
+    """Apply a flat override mapping, routing ``router.``-prefixed keys.
+
+    Keys like ``router.alpha`` are merged into ``router_params`` (this is the
+    convention shared by :func:`repro.experiments.sweep.sweep`, the scenario
+    catalog and the CLI's ``--set``); every other key replaces the scenario
+    field of the same name.
+
+    Parameters
+    ----------
+    config:
+        The base scenario.
+    overrides:
+        Field name (or ``router.<param>``) -> new value.
+
+    Returns
+    -------
+    ScenarioConfig
+        A new, re-validated configuration; *config* is untouched.
+    """
+    plain: Dict[str, object] = {}
+    router_params = dict(config.router_params)
+    for key, value in overrides.items():
+        if key.startswith("router."):
+            router_params[key[len("router."):]] = value
+        else:
+            plain[key] = value
+    return config.with_overrides(router_params=router_params, **plain)

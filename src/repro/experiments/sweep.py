@@ -14,7 +14,7 @@ from typing import Dict, List, Mapping, Sequence
 
 from repro.experiments.backend import BackendLike
 from repro.experiments.runner import AveragedResult, run_many_averaged
-from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.scenario import ScenarioConfig, apply_overrides
 
 
 @dataclass
@@ -27,18 +27,6 @@ class SweepPoint:
     def value(self, metric: str) -> float:
         """Mean metric value at this point."""
         return self.result.mean(metric)
-
-
-def _apply_overrides(config: ScenarioConfig, overrides: Mapping[str, object]) -> ScenarioConfig:
-    """Apply overrides, routing unknown keys prefixed ``router.`` to router_params."""
-    plain = {}
-    router_params = dict(config.router_params)
-    for key, value in overrides.items():
-        if key.startswith("router."):
-            router_params[key[len("router."):]] = value
-        else:
-            plain[key] = value
-    return config.with_overrides(router_params=router_params, **plain)
 
 
 def sweep(base: ScenarioConfig, grid: Mapping[str, Sequence[object]],
@@ -72,7 +60,7 @@ def sweep(base: ScenarioConfig, grid: Mapping[str, Sequence[object]],
     for combination in itertools.product(*(grid[key] for key in keys)):
         overrides = dict(zip(keys, combination))
         all_overrides.append(overrides)
-        configs.append(_apply_overrides(base, overrides))
+        configs.append(apply_overrides(base, overrides))
     results = run_many_averaged(configs, seeds, backend=backend)
     return [SweepPoint(overrides=overrides, result=result)
             for overrides, result in zip(all_overrides, results)]

@@ -30,11 +30,51 @@ _BUILTIN: Dict[str, str] = {
 }
 
 
-def register_router(name: str, factory: Callable[..., Router]) -> None:
-    """Register a custom router factory under *name* (overrides built-ins)."""
+#: one-line summaries for the CLI's ``list`` output and docs/protocols.md
+_SUMMARIES: Dict[str, str] = {
+    "epidemic": "flood every contact (Vahdat & Becker 2000)",
+    "direct": "source holds until it meets the destination "
+              "(Grossglauser & Tse 2002)",
+    "first-contact": "single copy, forwarded to the first contact "
+                     "(Jain et al. 2004)",
+    "prophet": "delivery predictability with transitivity "
+               "(Lindgren et al. 2003)",
+    "maxprop": "priority schedule from delivery likelihood "
+               "(Burgess et al. 2006)",
+    "spray-and-wait": "binary replica quota, then direct delivery "
+                      "(Spyropoulos et al. 2005)",
+    "spray-and-focus": "spray, then utility-based single-copy focus "
+                       "(Spyropoulos et al. 2007)",
+    "ebr": "encounter-ratio-proportional replica splitting "
+           "(Nelson et al. 2009)",
+    "eer": "expected-encounter-based replication (the paper, Sec. IV-A)",
+    "cr": "community-aware expected-encounter routing (the paper, Sec. IV-B)",
+}
+
+
+def register_router(name: str, factory: Callable[..., Router],
+                    summary: str = "") -> None:
+    """Register a custom router factory under *name* (overrides built-ins).
+
+    Parameters
+    ----------
+    name:
+        Protocol name as used by scenario configs and the CLI.
+    factory:
+        Callable returning a fresh :class:`~repro.routing.base.Router`.
+    summary:
+        Optional one-liner shown by ``python -m repro list``.
+    """
     if not callable(factory):
         raise TypeError("factory must be callable")
     ROUTER_REGISTRY[name] = factory
+    if summary:
+        _SUMMARIES[name] = summary
+
+
+def router_summary(name: str) -> str:
+    """One-line description of a protocol ("" when none was provided)."""
+    return _SUMMARIES.get(name, "")
 
 
 def available_routers() -> list:

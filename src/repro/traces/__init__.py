@@ -6,6 +6,21 @@ from repro.traces.generators import (
     periodic_contact_trace,
     random_waypoint_like_trace,
     community_structured_trace,
+    generate_trace,
+    TRACE_GENERATORS,
+)
+from repro.traces.io import (
+    TraceFormatError,
+    clip_trace,
+    detect_format,
+    load_csv_trace,
+    load_one_trace,
+    load_trace,
+    parse_csv_trace,
+    parse_one_trace,
+    remap_node_ids,
+    save_csv_trace,
+    validate_trace,
 )
 
 __all__ = [
@@ -16,4 +31,17 @@ __all__ = [
     "periodic_contact_trace",
     "random_waypoint_like_trace",
     "community_structured_trace",
+    "generate_trace",
+    "TRACE_GENERATORS",
+    "TraceFormatError",
+    "clip_trace",
+    "detect_format",
+    "load_csv_trace",
+    "load_one_trace",
+    "load_trace",
+    "parse_csv_trace",
+    "parse_one_trace",
+    "remap_node_ids",
+    "save_csv_trace",
+    "validate_trace",
 ]

@@ -146,15 +146,15 @@ class ContactTrace:
 
     @classmethod
     def load(cls, path) -> "ContactTrace":
-        """Read a trace written by :meth:`save` (blank lines and ``#`` comments allowed)."""
-        path = Path(path)
-        events = []
-        for line in path.read_text().splitlines():
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            events.append(ContactEvent.from_line(line))
-        return cls(events)
+        """Read a trace written by :meth:`save` (blank lines and ``#`` comments allowed).
+
+        Delegates to :func:`repro.traces.io.load_one_trace`, the single
+        ONE-format parser, so malformed lines raise
+        :class:`~repro.traces.io.TraceFormatError` with their line number.
+        """
+        from repro.traces.io import load_one_trace  # deferred: io imports us
+
+        return load_one_trace(path)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ContactTrace({len(self._events)} events, {len(self.node_ids())} nodes)"

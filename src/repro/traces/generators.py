@@ -123,3 +123,48 @@ def community_structured_trace(num_nodes: int, num_communities: int,
             _emit_pair_contacts(events, rng, a, b, duration, period,
                                 contact_duration, jitter, periodic=True)
     return ContactTrace(events), assignment
+
+
+#: named generators, resolvable from picklable scenario configs
+#: (``ScenarioConfig.trace_generator``) and the scenario catalog
+TRACE_GENERATORS = {
+    "periodic": periodic_contact_trace,
+    "memoryless": random_waypoint_like_trace,
+    "community": community_structured_trace,
+}
+
+
+def generate_trace(name: str, **params) -> Tuple[ContactTrace,
+                                                 Optional[Dict[int, int]]]:
+    """Run the generator registered under *name* with *params*.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`TRACE_GENERATORS` (``periodic``, ``memoryless``,
+        ``community``).
+    params:
+        Forwarded to the generator (``num_nodes``, ``duration``, ``seed``, …).
+
+    Returns
+    -------
+    (ContactTrace, dict or None)
+        The trace and, for generators with community structure, the
+        ground-truth node -> community assignment (``None`` otherwise).
+
+    Raises
+    ------
+    KeyError
+        If *name* is not a registered generator.
+    """
+    try:
+        generator = TRACE_GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace generator {name!r}; known: "
+            f"{', '.join(sorted(TRACE_GENERATORS))}") from None
+    result = generator(**params)
+    if isinstance(result, tuple):
+        trace, communities = result
+        return trace, dict(communities)
+    return result, None

@@ -1,0 +1,449 @@
+"""External contact-trace ingestion.
+
+This module is the boundary between on-disk trace files and the in-memory
+:class:`~repro.traces.contact_trace.ContactTrace` the replay machinery
+consumes.  Two text formats are supported:
+
+* **ONE report** — the ONE simulator's ``StandardEventsReader`` connectivity
+  style, one whitespace-separated event per line::
+
+      <time> CONN <node_a> <node_b> up
+      <time> CONN <node_a> <node_b> down
+
+  Blank lines and ``#`` comments are ignored.
+
+* **Generic CSV** — one ``up``/``down`` event per row with the columns
+  ``time,node_a,node_b,event`` (a header row is detected and skipped; blank
+  lines and ``#`` comments are ignored)::
+
+      time,node_a,node_b,event
+      12.0,0,3,up
+      40.5,0,3,down
+
+On top of parsing, the module provides the three transforms real traces need
+before they can drive a simulation (see DESIGN.md, *trace ingestion
+contract*):
+
+* :func:`validate_trace` — structural checks (duplicate ups, orphan downs,
+  down-before-up) reported with pair and time;
+* :func:`remap_node_ids` — compact arbitrary sparse node ids onto
+  ``0..n-1`` so they can index the contact matrices;
+* :func:`clip_trace` — cut a time window out of a longer trace, synthesising
+  boundary events so the clipped trace is self-contained.
+
+:func:`load_trace` chains all of the above behind one call and is what
+:mod:`repro.experiments.builder` uses for ``MobilityKind.TRACE`` scenarios.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.traces.contact_trace import ContactEvent, ContactTrace
+
+#: recognised trace formats (``auto`` sniffs, see :func:`detect_format`)
+TRACE_FORMATS = ("auto", "one", "csv")
+
+_CSV_STATES = {"up": True, "down": False, "1": True, "0": False}
+
+
+class TraceFormatError(ValueError):
+    """A trace file (or line) could not be parsed.
+
+    Carries the source path/label and the 1-based line number when known, so
+    CLI users get actionable messages.
+    """
+
+    def __init__(self, message: str, *, source: str = "<trace>",
+                 line_number: Optional[int] = None) -> None:
+        location = source if line_number is None else f"{source}:{line_number}"
+        super().__init__(f"{location}: {message}")
+        self.source = source
+        self.line_number = line_number
+
+
+def _event_lines(text: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, stripped_line)`` for non-blank, non-comment lines."""
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield number, line
+
+
+def _parse_int(token: str, what: str, *, source: str,
+               line_number: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise TraceFormatError(f"{what} must be an integer, got {token!r}",
+                               source=source, line_number=line_number) from None
+
+
+def _parse_time(token: str, *, source: str, line_number: int) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise TraceFormatError(f"event time must be a number, got {token!r}",
+                               source=source, line_number=line_number) from None
+    if value < 0:
+        raise TraceFormatError(f"event time must be non-negative, got {value}",
+                               source=source, line_number=line_number)
+    return value
+
+
+def _make_event(time: float, a: int, b: int, up: bool, *, source: str,
+                line_number: int) -> ContactEvent:
+    if a == b:
+        raise TraceFormatError(f"self-contact of node {a}",
+                               source=source, line_number=line_number)
+    return ContactEvent(time, a, b, up)
+
+
+# ------------------------------------------------------------------ ONE format
+def parse_one_trace(text: str, *, source: str = "<one>") -> ContactTrace:
+    """Parse ONE-report connectivity text into a :class:`ContactTrace`.
+
+    Parameters
+    ----------
+    text:
+        Full file contents (``<time> CONN <a> <b> up|down`` lines).
+    source:
+        Label used in :class:`TraceFormatError` messages.
+
+    Raises
+    ------
+    TraceFormatError
+        On any malformed line, with its line number.
+    """
+    events: List[ContactEvent] = []
+    for number, line in _event_lines(text):
+        parts = line.split()
+        if len(parts) != 5:
+            raise TraceFormatError(
+                f"expected 5 fields '<time> CONN <a> <b> up|down', got "
+                f"{len(parts)}: {line!r}", source=source, line_number=number)
+        time_token, tag, a_token, b_token, state = parts
+        if tag.upper() != "CONN":
+            raise TraceFormatError(
+                f"expected CONN event tag, got {tag!r}",
+                source=source, line_number=number)
+        if state.lower() not in ("up", "down"):
+            raise TraceFormatError(
+                f"connection state must be 'up' or 'down', got {state!r}",
+                source=source, line_number=number)
+        events.append(_make_event(
+            _parse_time(time_token, source=source, line_number=number),
+            _parse_int(a_token, "node id", source=source, line_number=number),
+            _parse_int(b_token, "node id", source=source, line_number=number),
+            state.lower() == "up", source=source, line_number=number))
+    return ContactTrace(events)
+
+
+def load_one_trace(path) -> ContactTrace:
+    """Read a ONE-report connectivity file from *path*."""
+    path = Path(path)
+    return parse_one_trace(path.read_text(), source=str(path))
+
+
+# ------------------------------------------------------------------ CSV format
+def parse_csv_trace(text: str, *, source: str = "<csv>") -> ContactTrace:
+    """Parse generic ``time,node_a,node_b,event`` CSV text.
+
+    The event column accepts ``up``/``down`` (case-insensitive) or ``1``/``0``.
+    A leading header row is skipped when its first cell is not a number.
+
+    Raises
+    ------
+    TraceFormatError
+        On wrong column counts, non-numeric times/ids or unknown states.
+    """
+    events: List[ContactEvent] = []
+    first_data_line = True
+    for number, line in _event_lines(text):
+        cells = [cell.strip() for cell in line.split(",")]
+        if len(cells) != 4:
+            raise TraceFormatError(
+                f"expected 4 columns 'time,node_a,node_b,event', got "
+                f"{len(cells)}: {line!r}", source=source, line_number=number)
+        if first_data_line:
+            first_data_line = False
+            try:
+                float(cells[0])
+            except ValueError:
+                # a header row has non-numeric id columns too; a data row
+                # with just a typo'd time must still raise, not vanish
+                if not (cells[1].lstrip("-").isdigit()
+                        or cells[2].lstrip("-").isdigit()):
+                    continue  # header row
+        state = cells[3].lower()
+        if state not in _CSV_STATES:
+            raise TraceFormatError(
+                f"event column must be up/down/1/0, got {cells[3]!r}",
+                source=source, line_number=number)
+        events.append(_make_event(
+            _parse_time(cells[0], source=source, line_number=number),
+            _parse_int(cells[1], "node id", source=source, line_number=number),
+            _parse_int(cells[2], "node id", source=source, line_number=number),
+            _CSV_STATES[state], source=source, line_number=number))
+    return ContactTrace(events)
+
+
+def load_csv_trace(path) -> ContactTrace:
+    """Read a ``time,node_a,node_b,event`` CSV file from *path*."""
+    path = Path(path)
+    return parse_csv_trace(path.read_text(), source=str(path))
+
+
+def save_csv_trace(trace: ContactTrace, path) -> None:
+    """Write *trace* to *path* in the generic CSV format (with header).
+
+    Round-trips exactly through :func:`load_csv_trace` (times are written
+    with millisecond precision, matching :meth:`ContactEvent.to_line`).
+    """
+    path = Path(path)
+    lines = ["time,node_a,node_b,event"]
+    for event in trace:
+        state = "up" if event.up else "down"
+        lines.append(f"{event.time:.3f},{event.node_a},{event.node_b},{state}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+# ------------------------------------------------------------------ transforms
+def validate_trace(trace: ContactTrace, *, strict: bool = False) -> List[str]:
+    """Check a trace for structural problems.
+
+    Looks for pairs brought *up* twice without an intervening *down* and
+    *down* events with no open contact.  Both appear in real converted traces
+    (lost beacons, truncated captures) and silently corrupt replay state.
+
+    Parameters
+    ----------
+    trace:
+        The trace to check (events are already time-sorted by construction).
+    strict:
+        When true, raise :class:`TraceFormatError` on the first issue instead
+        of returning the list.
+
+    Returns
+    -------
+    list of str
+        One human-readable description per issue (empty when clean).
+    """
+    issues: List[str] = []
+    open_pairs: Dict[Tuple[int, int], float] = {}
+    for event in trace:
+        pair = event.pair
+        if event.up:
+            if pair in open_pairs:
+                issues.append(
+                    f"pair {pair} brought up again at t={event.time:g} "
+                    f"(already up since t={open_pairs[pair]:g})")
+            else:
+                open_pairs[pair] = event.time
+        else:
+            if pair not in open_pairs:
+                issues.append(
+                    f"pair {pair} brought down at t={event.time:g} "
+                    f"without a matching up event")
+            else:
+                del open_pairs[pair]
+    if strict and issues:
+        raise TraceFormatError("invalid trace: " + "; ".join(issues))
+    return issues
+
+
+def remap_node_ids(trace: ContactTrace,
+                   mapping: Optional[Dict[int, int]] = None,
+                   ) -> Tuple[ContactTrace, Dict[int, int]]:
+    """Rewrite node ids onto a compact ``0..n-1`` range.
+
+    Real traces use sparse or offset ids (MAC-derived, 1-based, …); the
+    simulator wants dense ids it can use as matrix indices.
+
+    Parameters
+    ----------
+    trace:
+        The trace to remap.
+    mapping:
+        Optional explicit old-id -> new-id mapping.  By default the sorted
+        distinct ids of the trace are numbered ``0..n-1`` (order-preserving).
+
+    Returns
+    -------
+    (ContactTrace, dict)
+        The remapped trace and the old-id -> new-id mapping used.
+
+    Raises
+    ------
+    TraceFormatError
+        If an explicit *mapping* misses an id present in the trace.
+    """
+    if mapping is None:
+        mapping = {old: new for new, old in enumerate(trace.node_ids())}
+    events: List[ContactEvent] = []
+    for event in trace:
+        try:
+            a = mapping[event.node_a]
+            b = mapping[event.node_b]
+        except KeyError as missing:
+            raise TraceFormatError(
+                f"id mapping has no entry for node {missing.args[0]}") from None
+        events.append(ContactEvent(event.time, a, b, event.up))
+    return ContactTrace(events), dict(mapping)
+
+
+def clip_trace(trace: ContactTrace, start: float = 0.0,
+               end: Optional[float] = None, *,
+               rebase: bool = True) -> ContactTrace:
+    """Cut the ``[start, end]`` window out of *trace*.
+
+    Clipping semantics (the *trace ingestion contract*, see DESIGN.md):
+
+    * contacts already open at *start* get a synthetic ``up`` event at the
+      window start;
+    * events with ``start <= time <= end`` are kept as-is;
+    * contacts still open at *end* get a synthetic ``down`` event at the
+      window end, so every contact in the result is closed inside it;
+    * with ``rebase`` (the default) all times are shifted by ``-start`` so
+      the clipped trace starts at ``t = 0`` — what a fresh simulation expects.
+
+    Parameters
+    ----------
+    trace:
+        The source trace.
+    start, end:
+        Window bounds in trace time; *end* defaults to the trace duration.
+
+    Returns
+    -------
+    ContactTrace
+        The self-contained window.
+
+    Raises
+    ------
+    ValueError
+        If the window is empty or negative.
+    """
+    if end is None:
+        end = trace.duration()
+    if start < 0 or end <= start:
+        raise ValueError(f"invalid clip window [{start}, {end}]")
+    shift = start if rebase else 0.0
+    open_pairs: set = set()
+    events: List[ContactEvent] = []
+    for event in trace:
+        if event.time > end:
+            break
+        if event.time < start:
+            # before the window: only roll the open/closed state forward
+            if event.up:
+                open_pairs.add(event.pair)
+            else:
+                open_pairs.discard(event.pair)
+            continue
+        if not events:
+            # entering the window: materialise the carried-over contacts
+            events.extend(ContactEvent(start - shift, a, b, True)
+                          for a, b in sorted(open_pairs))
+        if event.up:
+            open_pairs.add(event.pair)
+        else:
+            open_pairs.discard(event.pair)
+        events.append(ContactEvent(event.time - shift, event.node_a,
+                                   event.node_b, event.up))
+    if not events:
+        # no event fell inside the window; contacts may still span it
+        events.extend(ContactEvent(start - shift, a, b, True)
+                      for a, b in sorted(open_pairs))
+    # close whatever the window leaves open so the result is self-contained
+    events.extend(ContactEvent(end - shift, a, b, False)
+                  for a, b in sorted(open_pairs))
+    return ContactTrace(events)
+
+
+# ------------------------------------------------------------------ dispatcher
+def _sniff_format(path: Path, text: str) -> str:
+    """Decide ONE vs CSV from the extension and the first non-comment line."""
+    if path.suffix.lower() == ".csv":
+        return "csv"
+    for _, line in _event_lines(text):
+        if "CONN" in line.upper().split():
+            return "one"
+        if "," in line:
+            return "csv"
+        break
+    raise TraceFormatError("cannot detect trace format (not ONE, not CSV)",
+                           source=str(path))
+
+
+def detect_format(path) -> str:
+    """Sniff whether *path* is a ONE report or a CSV trace.
+
+    ``.csv`` extensions win immediately; otherwise the first non-comment line
+    decides (a ``CONN`` token means ONE, a comma means CSV).  Reads at most
+    the leading comment block plus one line.
+
+    Raises
+    ------
+    TraceFormatError
+        When neither signature matches.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        return "csv"
+    with path.open() as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            return _sniff_format(path, line)
+    raise TraceFormatError("cannot detect trace format (not ONE, not CSV)",
+                           source=str(path))
+
+
+def load_trace(path, fmt: str = "auto", *,
+               window: Optional[Tuple[float, Optional[float]]] = None,
+               remap: bool = False, strict: bool = True) -> ContactTrace:
+    """Load, validate and normalise an external trace in one call.
+
+    Parameters
+    ----------
+    path:
+        Trace file (ONE report or CSV, see the module docstring).
+    fmt:
+        ``"one"``, ``"csv"`` or ``"auto"`` (sniff via :func:`detect_format`).
+    window:
+        Optional ``(start, end)`` clip window (*end* may be ``None`` for the
+        trace duration); applied via :func:`clip_trace` with rebasing, before
+        any remapping.
+    remap:
+        Compact node ids onto ``0..n-1`` via :func:`remap_node_ids`.
+    strict:
+        Run :func:`validate_trace` and raise on structural issues.
+
+    Returns
+    -------
+    ContactTrace
+        Ready for :class:`~repro.traces.replay.TraceReplayWorld`.
+    """
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}")
+    path = Path(path)
+    text = path.read_text()  # read once; sniffing and parsing share it
+    if fmt == "auto":
+        fmt = _sniff_format(path, text)
+    if fmt == "one":
+        trace = parse_one_trace(text, source=str(path))
+    else:
+        trace = parse_csv_trace(text, source=str(path))
+    if strict:
+        validate_trace(trace, strict=True)
+    if window is not None:
+        start, end = window
+        trace = clip_trace(trace, start, end)
+    if remap:
+        trace, _ = remap_node_ids(trace)
+    return trace

@@ -10,8 +10,7 @@ world, so any protocol can be evaluated on recorded or synthetic traces.
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.metrics.collector import StatsCollector
 from repro.mobility.stationary import StationaryMovement
@@ -26,12 +25,19 @@ from repro.world.world import World
 class TraceReplayWorld(World):
     """A world whose connectivity follows a contact trace.
 
+    The base class's detector and sorted link-code diffing are bypassed (the
+    inherited ``_link_codes`` array stays empty); the trace is the sole
+    source of link-up/link-down events.  A trace event is applied at the
+    first world update whose time is ``>= `` the event time, so the
+    effective contact timing is quantised to ``update_interval``.
+
     Parameters
     ----------
     simulator, update_interval, stats:
         As for :class:`~repro.world.world.World`.
     trace:
-        The contact trace to replay.
+        The contact trace to replay (its events are already time-sorted by
+        :class:`~repro.traces.contact_trace.ContactTrace` construction).
     """
 
     def __init__(self, simulator: Simulator, trace: ContactTrace,
@@ -45,7 +51,16 @@ class TraceReplayWorld(World):
         self._active_pairs: Set[Tuple[int, int]] = set()
 
     def _refresh_connectivity(self, now: float) -> None:
-        # advance through trace events up to (and including) the current time
+        """Advance the trace cursor to *now* and diff the prescribed links.
+
+        Replaces the geometric detection phase entirely: trace events up to
+        (and including) the current time update the active-pair set, which is
+        then diffed against the live connection table.  Events referencing
+        node ids that were never registered are skipped.  Link events fire in
+        ascending ``(id, id)`` pair order, matching the deterministic
+        within-tick ordering contract of the vectorized
+        :meth:`~repro.world.world.World._refresh_connectivity` (DESIGN.md).
+        """
         while (self._event_index < len(self._events)
                and self._events[self._event_index].time <= now):
             event = self._events[self._event_index]
@@ -59,9 +74,9 @@ class TraceReplayWorld(World):
                 self._active_pairs.discard(pair)
         previous = set(self._connections)
         current = set(self._active_pairs)
-        for key in previous - current:
+        for key in sorted(previous - current):
             self._link_down(key, now)
-        for key in current - previous:
+        for key in sorted(current - previous):
             self._link_up(key, now)
 
 
@@ -76,12 +91,28 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
                       ) -> Tuple[Simulator, TraceReplayWorld]:
     """Build a simulator + trace-replay world with one router per trace node.
 
+    This is the low-level assembly helper behind trace experiments; prefer
+    ``MobilityKind.TRACE`` scenarios via
+    :func:`repro.experiments.builder.build_scenario` when you want traffic,
+    statistics and backend fan-out wired up too.
+
     Parameters
     ----------
     trace:
         The contact trace to replay.
     protocol:
-        Router name from the registry.
+        Router name from :mod:`repro.routing.registry`.
+    seed:
+        Simulator seed (drives the per-node RNG streams and traffic, not the
+        trace, which is fixed).
+    update_interval:
+        World tick in seconds; trace events are applied at the first tick at
+        or after their timestamp.
+    buffer_capacity:
+        Per-node buffer size in bytes.
+    transmit_range, transmit_speed:
+        Radio parameters: the range is irrelevant to connectivity here (the
+        trace decides) but the speed still bounds transfer bandwidth.
     num_nodes:
         Number of nodes to create; defaults to ``max(trace node id) + 1`` so
         node ids can be used as MI-matrix indices.
@@ -93,6 +124,13 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
     Returns
     -------
     (Simulator, TraceReplayWorld)
+        Ready to run with ``simulator.run(until=...)``; attach a
+        :class:`~repro.net.generators.MessageEventGenerator` for traffic.
+
+    Raises
+    ------
+    ValueError
+        If *num_nodes* is too small for the ids appearing in the trace.
     """
     simulator = Simulator(seed=seed)
     world = TraceReplayWorld(simulator, trace, update_interval=update_interval)

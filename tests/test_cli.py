@@ -1,0 +1,133 @@
+"""CLI tests: argument parsing units and list/run/sweep/figure smoke runs."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    main,
+    parse_assignments,
+    parse_grid,
+    parse_seeds,
+    parse_value,
+)
+
+
+# ------------------------------------------------------------------- parsing
+def test_parse_seeds_forms():
+    assert parse_seeds("7") == [7]
+    assert parse_seeds("1-4") == [1, 2, 3, 4]
+    assert parse_seeds("1,3,9") == [1, 3, 9]
+    with pytest.raises(ValueError):
+        parse_seeds("a-b")
+    with pytest.raises(ValueError):
+        parse_seeds("4-1")
+
+
+def test_parse_value_types():
+    assert parse_value("3") == 3
+    assert parse_value("0.5") == 0.5
+    assert parse_value("true") is True
+    assert parse_value("eer") == "eer"
+    assert parse_value("[20, 30]") == (20, 30)
+    assert parse_value('"quoted"') == "quoted"
+
+
+def test_parse_assignments_and_grid():
+    overrides = parse_assignments(["sim_time=500", "router.alpha=0.3"])
+    assert overrides == {"sim_time": 500, "router.alpha": 0.3}
+    with pytest.raises(ValueError):
+        parse_assignments(["no-equals"])
+    grid = parse_grid(["message_copies=4,8", "router.alpha=0.1,0.2"])
+    assert grid == {"message_copies": [4, 8], "router.alpha": [0.1, 0.2]}
+    with pytest.raises(ValueError):
+        parse_grid(["key="])
+
+
+# --------------------------------------------------------------------- list
+def test_list_human(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bench" in out and "trace-csv" in out
+    assert "epidemic" in out and "eer" in out
+
+
+def test_list_json(capsys):
+    assert main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = [entry["name"] for entry in payload["scenarios"]]
+    assert len(names) >= 6
+    assert "bench" in names
+    protocols = [entry["name"] for entry in payload["protocols"]]
+    assert "epidemic" in protocols and "eer" in protocols
+
+
+# ---------------------------------------------------------------------- run
+def test_run_json_smoke(capsys):
+    code = main(["run", "trace-csv", "--protocol", "epidemic",
+                 "--seeds", "1", "--set", "sim_time=600", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "trace-csv"
+    assert payload["protocol"] == "epidemic"
+    assert len(payload["reports"]) == 1
+    assert 0.0 <= payload["summary"]["delivery_ratio"] <= 1.0
+
+
+def test_run_human_smoke(capsys):
+    code = main(["run", "trace-csv", "--seeds", "1",
+                 "--set", "sim_time=600"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "delivery_ratio" in out
+    assert "trace-csv" in out
+
+
+def test_run_unknown_scenario_fails_with_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["run", "does-not-exist"])
+    assert exc_info.value.code == 2
+
+
+def test_run_unknown_protocol_is_reported(capsys):
+    code = main(["run", "trace-csv", "--protocol", "warp-drive"])
+    assert code == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_run_bad_seed_spec_is_reported(capsys):
+    code = main(["run", "trace-csv", "--seeds", "x"])
+    assert code == 2
+    assert "seed spec" in capsys.readouterr().err
+
+
+def test_run_type_invalid_set_value_is_reported(capsys):
+    # '01' is invalid JSON so it falls back to a string; the resulting
+    # TypeError must surface as a friendly error, not a traceback
+    code = main(["run", "trace-csv", "--set", "num_nodes=01"])
+    assert code == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+# -------------------------------------------------------------------- sweep
+def test_sweep_json_smoke(capsys):
+    code = main(["sweep", "trace-csv", "--protocol", "epidemic",
+                 "--seeds", "1", "--set", "sim_time=400",
+                 "--grid", "message_copies=2,6", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["points"]) == 2
+    assert payload["points"][0]["overrides"] == {"message_copies": 2}
+
+
+# ------------------------------------------------------------------- figure
+def test_figure_json_smoke(capsys, tmp_path):
+    output = tmp_path / "fig3.json"
+    code = main(["figure", "fig3", "--nodes", "8", "--lambdas", "2",
+                 "--seeds", "1", "--set", "sim_time=200", "--json",
+                 "--output", str(output)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure_id"] == "fig3"
+    assert "delivery_ratio" in payload["metrics"]
+    assert json.loads(output.read_text()) == payload

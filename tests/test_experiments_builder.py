@@ -81,3 +81,22 @@ def test_different_seed_changes_results():
                 built.stats.contacts)
 
     assert run_once(1) != run_once(2)
+
+
+def test_build_trace_scenario_replays_through_the_world():
+    from repro.experiments.scenario import MobilityKind
+    from repro.traces.replay import TraceReplayWorld
+
+    config = ScenarioConfig(
+        mobility=MobilityKind.TRACE, trace_generator="periodic",
+        trace_params={"period_range": (60.0, 120.0)},
+        protocol="epidemic", num_nodes=8, sim_time=400.0,
+        message_interval=(40.0, 60.0))
+    built = build_scenario(config)
+    assert isinstance(built.world, TraceReplayWorld)
+    assert built.roadmap is None and built.routes is None
+    built.run()
+    # the replayed contacts and the recorded statistics agree
+    assert built.stats.contacts > 0
+    assert built.trace is not None
+    assert built.stats.contacts <= len(built.trace.contacts())

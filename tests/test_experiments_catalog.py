@@ -1,0 +1,158 @@
+"""Scenario-catalog tests: registry behaviour, trace scenarios end-to-end."""
+
+import json
+
+import pytest
+
+from repro.experiments.builder import build_scenario
+from repro.experiments.catalog import (
+    ScenarioEntry,
+    available_scenarios,
+    get_scenario_entry,
+    make_scenario,
+    register_scenario,
+    scenario_entries,
+)
+from repro.experiments.runner import run_averaged
+from repro.experiments.scenario import MobilityKind, ScenarioConfig
+from repro.traces.replay import TraceReplayWorld
+
+
+# -------------------------------------------------------------------- registry
+def test_builtin_catalog_has_at_least_six_scenarios():
+    names = available_scenarios()
+    assert len(names) >= 6
+    for expected in ("paper", "bench", "trace-periodic", "trace-csv",
+                     "trace-one"):
+        assert expected in names
+
+
+def test_entries_describe_shape():
+    for entry in scenario_entries():
+        description = entry.describe()
+        assert description["name"] == entry.name
+        assert description["kind"] in ("geometric", "trace")
+        assert description["num_nodes"] >= 2
+        # descriptions must be JSON-serialisable for the CLI
+        json.dumps(description)
+
+
+def test_trace_entries_are_marked():
+    assert get_scenario_entry("trace-periodic").kind == "trace"
+    assert get_scenario_entry("bench").kind == "geometric"
+
+
+def test_make_scenario_applies_overrides_and_router_params():
+    config = make_scenario("bench", protocol="cr", num_nodes=60)
+    assert config.protocol == "cr"
+    assert config.num_nodes == 60
+    config = make_scenario("bench", {"router.alpha": 0.5, "sim_time": 100.0})
+    assert config.router_params == {"alpha": 0.5}
+    assert config.sim_time == 100.0
+
+
+def test_make_scenario_returns_fresh_configs():
+    assert make_scenario("bench") is not make_scenario("bench")
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError) as exc_info:
+        get_scenario_entry("nope")
+    assert "bench" in str(exc_info.value)
+
+
+def test_register_scenario_and_duplicate_protection():
+    name = "test-only-scenario"
+    try:
+        entry = register_scenario(
+            name, lambda: ScenarioConfig.bench_scale(num_nodes=10),
+            summary="registry test", overwrite=True)
+        assert isinstance(entry, ScenarioEntry)
+        assert make_scenario(name).num_nodes == 10
+        with pytest.raises(ValueError):
+            register_scenario(name, lambda: ScenarioConfig.bench_scale())
+        register_scenario(name, lambda: ScenarioConfig.bench_scale(num_nodes=12),
+                          overwrite=True)
+        assert make_scenario(name).num_nodes == 12
+        with pytest.raises(ValueError):
+            register_scenario("bad", "not-callable")
+    finally:
+        from repro.experiments import catalog
+        catalog._SCENARIOS.pop(name, None)
+
+
+# ------------------------------------------------------------- trace scenarios
+def tiny_trace_overrides(**extra):
+    overrides = dict(num_nodes=10, sim_time=400.0,
+                     message_interval=(30.0, 50.0))
+    overrides.update(extra)
+    return overrides
+
+
+def test_generator_trace_scenario_builds_a_replay_world():
+    config = make_scenario("trace-periodic", tiny_trace_overrides())
+    built = build_scenario(config)
+    assert isinstance(built.world, TraceReplayWorld)
+    assert built.trace is not None and len(built.trace) > 0
+    assert built.world.num_nodes == 10
+    built.run()
+    assert built.stats.contacts > 0
+    assert built.stats.created > 0
+
+
+def test_community_trace_scenario_carries_ground_truth_communities():
+    config = make_scenario("trace-community",
+                           tiny_trace_overrides(num_communities=2))
+    built = build_scenario(config)
+    communities = {built.world.community_of(n) for n in built.world.node_ids()}
+    assert communities == {0, 1}
+
+
+def test_csv_trace_scenario_through_run_averaged():
+    # acceptance criterion: a CSV-trace scenario runs end-to-end through
+    # run_averaged
+    config = make_scenario("trace-csv", protocol="epidemic", sim_time=800.0)
+    result = run_averaged(config, seeds=(1, 2))
+    assert len(result.reports) == 2
+    assert result.mean("delivery_ratio") > 0.0
+    assert all(report.contacts > 0 for report in result.reports)
+
+
+def test_one_and_csv_fixture_scenarios_replay_identically():
+    # same contacts on disk in two formats -> identical simulations
+    reports = {}
+    for name in ("trace-csv", "trace-one"):
+        config = make_scenario(name, {"protocol": "epidemic",
+                                      "sim_time": 800.0, "name": "fixture"})
+        report = run_averaged(config, seeds=(3,)).reports[0]
+        reports[name] = json.dumps(report.as_dict(), sort_keys=True)
+    assert reports["trace-csv"] == reports["trace-one"]
+
+
+def test_trace_scenario_serial_process_parity():
+    # acceptance criterion: process backend identical to serial
+    config = make_scenario("trace-periodic",
+                           tiny_trace_overrides(protocol="epidemic"))
+    seeds = (1, 2, 3, 4)
+    serial = run_averaged(config, seeds, backend="serial")
+    parallel = run_averaged(config, seeds, backend="process")
+    serial_dicts = [report.as_dict() for report in serial.reports]
+    parallel_dicts = [report.as_dict() for report in parallel.reports]
+    assert json.dumps(serial_dicts, sort_keys=True) == \
+        json.dumps(parallel_dicts, sort_keys=True)
+
+
+def test_trace_scenario_requires_enough_nodes():
+    config = make_scenario("trace-csv", num_nodes=4)
+    with pytest.raises(ValueError):
+        build_scenario(config)
+
+
+def test_trace_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(mobility=MobilityKind.TRACE)  # no source
+    with pytest.raises(ValueError):
+        ScenarioConfig(mobility=MobilityKind.TRACE, trace_path="x",
+                       trace_generator="periodic")  # both sources
+    with pytest.raises(ValueError):
+        ScenarioConfig(trace_generator="periodic")  # trace field, no TRACE

@@ -66,3 +66,25 @@ def test_effective_traffic_end_defaults_to_sim_time():
     assert config.effective_traffic_end == 500.0
     explicit = ScenarioConfig(sim_time=500.0, traffic_end=300.0)
     assert explicit.effective_traffic_end == 300.0
+
+
+def test_trace_mobility_validation():
+    config = ScenarioConfig(mobility="trace", trace_generator="periodic")
+    assert config.mobility is MobilityKind.TRACE
+    with pytest.raises(ValueError):
+        ScenarioConfig(mobility="trace")  # needs a trace source
+    with pytest.raises(ValueError):
+        ScenarioConfig(mobility="trace", trace_path="t.csv",
+                       trace_generator="periodic")  # ambiguous source
+    with pytest.raises(ValueError):
+        ScenarioConfig(trace_path="t.csv")  # trace field without TRACE
+
+
+def test_apply_overrides_routes_router_params():
+    from repro.experiments.scenario import apply_overrides
+
+    config = ScenarioConfig(protocol="eer")
+    changed = apply_overrides(config, {"router.alpha": 0.4, "num_nodes": 10})
+    assert changed.router_params == {"alpha": 0.4}
+    assert changed.num_nodes == 10
+    assert config.router_params == {}

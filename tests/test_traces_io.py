@@ -1,0 +1,249 @@
+"""Trace ingestion tests: parsing, round-trips, validation, remap, clipping."""
+
+import pytest
+
+from repro.experiments.catalog import TRACE_DATA_DIR
+from repro.traces.contact_trace import ContactEvent, ContactTrace
+from repro.traces.generators import periodic_contact_trace
+from repro.traces.io import (
+    TraceFormatError,
+    clip_trace,
+    detect_format,
+    load_csv_trace,
+    load_one_trace,
+    load_trace,
+    parse_csv_trace,
+    parse_one_trace,
+    remap_node_ids,
+    save_csv_trace,
+    validate_trace,
+)
+
+
+def small_trace() -> ContactTrace:
+    return ContactTrace([
+        ContactEvent(1.0, 0, 1, True),
+        ContactEvent(5.0, 0, 1, False),
+        ContactEvent(3.0, 1, 2, True),
+        ContactEvent(9.0, 1, 2, False),
+    ])
+
+
+# ------------------------------------------------------------------ round-trips
+def generated_trace() -> ContactTrace:
+    """A generator trace quantised to the formats' millisecond precision."""
+    raw = periodic_contact_trace(num_nodes=6, duration=800.0, seed=3)
+    return ContactTrace([
+        ContactEvent(round(e.time, 3), e.node_a, e.node_b, e.up) for e in raw])
+
+
+def test_one_format_round_trip(tmp_path):
+    trace = generated_trace()
+    path = tmp_path / "trace.txt"
+    trace.save(path)
+    loaded = load_one_trace(path)
+    assert loaded.events == trace.events
+
+
+def test_csv_round_trip(tmp_path):
+    trace = generated_trace()
+    path = tmp_path / "trace.csv"
+    save_csv_trace(trace, path)
+    loaded = load_csv_trace(path)
+    assert loaded.events == trace.events
+
+
+def test_csv_accepts_header_comments_and_numeric_states():
+    text = ("# a comment\n"
+            "time,node_a,node_b,event\n"
+            "1.0, 0, 1, up\n"
+            "2.0,0,1,DOWN\n"
+            "3.0,1,2,1\n"
+            "4.0,1,2,0\n")
+    trace = parse_csv_trace(text)
+    assert [e.up for e in trace] == [True, False, True, False]
+
+
+def test_csv_without_header_keeps_first_row():
+    trace = parse_csv_trace("0.5,0,1,up\n1.5,0,1,down\n")
+    assert len(trace) == 2
+    assert trace.events[0].time == 0.5
+
+
+def test_csv_malformed_first_data_row_is_not_mistaken_for_header():
+    # a typo'd time in row 1 must raise, not be silently dropped as a header
+    with pytest.raises(TraceFormatError) as exc_info:
+        parse_csv_trace("1O.0,0,3,up\n40.5,0,3,down\n", source="x.csv")
+    assert "x.csv:1" in str(exc_info.value)
+
+
+# ---------------------------------------------------------------- malformed input
+@pytest.mark.parametrize("line", [
+    "12.0 CONN 0 1",                # missing state
+    "12.0 LINK 0 1 up",             # wrong tag
+    "12.0 CONN 0 1 sideways",       # bad state
+    "abc CONN 0 1 up",              # bad time
+    "-3.0 CONN 0 1 up",             # negative time
+    "12.0 CONN a 1 up",             # non-integer id
+    "12.0 CONN 2 2 up",             # self contact
+])
+def test_one_malformed_lines_raise_with_line_number(line):
+    with pytest.raises(TraceFormatError) as exc_info:
+        parse_one_trace("0.0 CONN 0 1 up\n" + line + "\n", source="demo")
+    assert "demo:2" in str(exc_info.value)
+
+
+@pytest.mark.parametrize("line", [
+    "1.0,0,1",                      # wrong column count
+    "1.0,0,1,up,extra",             # wrong column count
+    "1.0,0,1,maybe",                # unknown state
+    "1.0,x,1,up",                   # non-integer id
+    "oops,0,1,up",                  # non-numeric time after header
+])
+def test_csv_malformed_rows_raise_with_line_number(line):
+    text = "time,node_a,node_b,event\n0.0,0,1,up\n" + line + "\n"
+    with pytest.raises(TraceFormatError) as exc_info:
+        parse_csv_trace(text, source="demo.csv")
+    assert "demo.csv:3" in str(exc_info.value)
+
+
+def test_trace_format_error_is_value_error():
+    assert issubclass(TraceFormatError, ValueError)
+
+
+# ----------------------------------------------------------------- ONE fixture
+def test_bundled_one_fixture_parses():
+    trace = load_one_trace(TRACE_DATA_DIR / "demo_contacts_one.txt")
+    assert trace.node_ids() == list(range(12))
+    assert validate_trace(trace) == []
+    assert trace.duration() <= 2000.0
+
+
+def test_bundled_fixtures_are_identical_across_formats():
+    one = load_one_trace(TRACE_DATA_DIR / "demo_contacts_one.txt")
+    csv = load_csv_trace(TRACE_DATA_DIR / "demo_contacts.csv")
+    assert one.events == csv.events
+
+
+# ------------------------------------------------------------------ validation
+def test_validate_reports_duplicate_up_and_orphan_down():
+    trace = ContactTrace([
+        ContactEvent(1.0, 0, 1, True),
+        ContactEvent(2.0, 0, 1, True),    # duplicate up
+        ContactEvent(3.0, 2, 3, False),   # down without up
+    ])
+    issues = validate_trace(trace)
+    assert len(issues) == 2
+    assert any("up again" in issue for issue in issues)
+    assert any("without a matching up" in issue for issue in issues)
+    with pytest.raises(TraceFormatError):
+        validate_trace(trace, strict=True)
+
+
+def test_validate_clean_trace_is_empty():
+    assert validate_trace(small_trace()) == []
+
+
+# ---------------------------------------------------------------------- remap
+def test_remap_compacts_sparse_ids():
+    trace = ContactTrace([
+        ContactEvent(1.0, 30, 7, True),
+        ContactEvent(2.0, 30, 7, False),
+        ContactEvent(3.0, 7, 100, True),
+    ])
+    remapped, mapping = remap_node_ids(trace)
+    assert mapping == {7: 0, 30: 1, 100: 2}
+    assert remapped.node_ids() == [0, 1, 2]
+    # contact structure is preserved under the mapping
+    assert remapped.events[0].pair == (0, 1)
+    assert remapped.events[2].pair == (0, 2)
+
+
+def test_remap_with_explicit_mapping_and_missing_id():
+    trace = small_trace()
+    remapped, _ = remap_node_ids(trace, {0: 10, 1: 11, 2: 12})
+    assert remapped.node_ids() == [10, 11, 12]
+    with pytest.raises(TraceFormatError):
+        remap_node_ids(trace, {0: 10, 1: 11})
+
+
+# ------------------------------------------------------------------- clipping
+def test_clip_synthesises_boundary_events_and_rebases():
+    trace = ContactTrace([
+        ContactEvent(0.0, 0, 1, True),     # open before the window
+        ContactEvent(12.0, 0, 1, False),   # closes inside
+        ContactEvent(14.0, 2, 3, True),    # opens inside, never closes
+        ContactEvent(30.0, 4, 5, True),    # entirely after the window
+    ])
+    clipped = clip_trace(trace, start=10.0, end=20.0)
+    assert [(e.time, e.pair, e.up) for e in clipped] == [
+        (0.0, (0, 1), True),    # synthetic up at window start, rebased
+        (2.0, (0, 1), False),
+        (4.0, (2, 3), True),
+        (10.0, (2, 3), False),  # synthetic down at window end
+    ]
+
+
+def test_clip_without_rebase_keeps_absolute_times():
+    trace = small_trace()
+    clipped = clip_trace(trace, start=2.0, end=6.0, rebase=False)
+    times = [event.time for event in clipped]
+    assert times[0] == 2.0 and times[-1] <= 6.0
+
+
+def test_clip_window_with_no_events_still_carries_open_contacts():
+    trace = ContactTrace([
+        ContactEvent(0.0, 0, 1, True),
+        ContactEvent(100.0, 0, 1, False),
+    ])
+    clipped = clip_trace(trace, start=40.0, end=60.0)
+    assert [(e.time, e.up) for e in clipped] == [(0.0, True), (20.0, False)]
+
+
+def test_clip_rejects_bad_windows():
+    with pytest.raises(ValueError):
+        clip_trace(small_trace(), start=5.0, end=5.0)
+    with pytest.raises(ValueError):
+        clip_trace(small_trace(), start=-1.0, end=5.0)
+
+
+# ----------------------------------------------------------------- dispatcher
+def test_detect_format(tmp_path):
+    one = tmp_path / "a.trace"
+    one.write_text("1.0 CONN 0 1 up\n")
+    csv = tmp_path / "b.trace"
+    csv.write_text("1.0,0,1,up\n")
+    named = tmp_path / "c.csv"
+    named.write_text("time,node_a,node_b,event\n")
+    garbage = tmp_path / "d.trace"
+    garbage.write_text("not a trace at all\n")
+    assert detect_format(one) == "one"
+    assert detect_format(csv) == "csv"
+    assert detect_format(named) == "csv"
+    with pytest.raises(TraceFormatError):
+        detect_format(garbage)
+
+
+def test_load_trace_auto_with_window_and_remap(tmp_path):
+    path = tmp_path / "sparse.csv"
+    path.write_text("time,node_a,node_b,event\n"
+                    "5.0,10,20,up\n"
+                    "15.0,10,20,down\n"
+                    "25.0,20,30,up\n"
+                    "35.0,20,30,down\n")
+    trace = load_trace(path, window=(10.0, 30.0), remap=True)
+    assert trace.node_ids() == [0, 1, 2]
+    assert trace.duration() == 20.0
+
+
+def test_load_trace_strict_rejects_invalid(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("1.0,0,1,down\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+    assert len(load_trace(path, strict=False)) == 1
+
+
+def test_load_trace_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        load_trace("whatever.txt", fmt="xml")
