@@ -1,0 +1,427 @@
+"""The ``python -m repro bench`` performance-trajectory harness.
+
+Every PR that touches a hot path needs a number to beat.  This module runs a
+small set of *paired* benchmarks — each workload executes twice, once through
+the pure-Python reference implementations (the pre-vectorization baseline
+kept in-tree precisely for this purpose) and once through the production
+vectorized path — and writes one machine-readable ``BENCH_*.json`` holding
+both timings, the speedup, and checksums proving the two paths computed the
+same answers:
+
+``encounter_pipeline``
+    The headline: a 1000-node EER knowledge layer fed a synthetic encounter
+    stream.  Every encounter records a contact, refreshes the owner's MI row
+    and evaluates the expected encounter value (Theorem 1); every few
+    encounters a batch of single-replica forwarding decisions queries the
+    MEMD (Theorems 2+3).  Baseline: dict-of-deques history, per-peer Python
+    estimator loops, and one fresh Dijkstra per (source, destination) query.
+    Current: ring-buffer history, batch kernels, and the version-keyed
+    delay-vector cache.  The EEV/MEMD checksums must match bit for bit.
+``buffer_churn``
+    Message adds under eviction pressure plus per-tick expiry sweeps.
+    Baseline: the sort-per-add / scan-per-tick reference buffer.  Current:
+    the heap-indexed buffer.
+``collector_ingest``
+    A million-ish event stream into the stats collector, lists vs columnar
+    record mode (both must yield identical metrics).
+``scenario_eer``
+    An end-to-end catalog scenario run, reference vs vectorized router
+    internals: wall-clock ms/tick, encounters processed per wall-second, and
+    the full delivery-metric checksum set, which must be identical — the
+    vectorized hot path must not change a single routing decision.
+
+``--compare`` turns the harness into a regression gate: current throughputs
+are checked against a committed baseline JSON (CI fails on >25% regression
+by default).  See docs/performance.md for the JSON schema and CI wiring.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.contacts.history import ContactHistory, ContactHistoryReference
+from repro.contacts.md_matrix import build_delay_matrix
+from repro.contacts.memd import MemdCache, minimum_expected_meeting_delay
+from repro.contacts.mi_matrix import MeetingIntervalMatrix
+from repro.core.expectation import expected_encounter_value
+from repro.experiments.builder import build_scenario
+from repro.experiments.catalog import make_scenario
+from repro.metrics.collector import StatsCollector
+from repro.net.buffer import DropPolicy, MessageBuffer, ReferenceMessageBuffer
+from repro.net.message import Message
+from repro.version import __version__
+
+#: benchmark scales: (encounter stream, buffer ops, collector events,
+#: scenario sim_time) — "smoke" exists so tests and pre-merge hooks finish in
+#: seconds; "quick" is the CI default; "full" is for real trajectory points
+SCALES: Dict[str, Dict[str, float]] = {
+    "smoke": dict(nodes=120, encounters=150, memd_every=8, memd_batch=2,
+                  buffer_ops=2_000, collector_events=20_000,
+                  scenario_time=200.0, scenario_repeats=1),
+    "quick": dict(nodes=1000, encounters=600, memd_every=8, memd_batch=4,
+                  buffer_ops=20_000, collector_events=200_000,
+                  scenario_time=600.0, scenario_repeats=3),
+    "full": dict(nodes=1000, encounters=2_400, memd_every=8, memd_batch=4,
+                 buffer_ops=100_000, collector_events=1_000_000,
+                 scenario_time=2_000.0, scenario_repeats=3),
+}
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process in MiB (``None`` off-POSIX).
+
+    Process-wide and monotonic: per-benchmark values record the high-water
+    mark *up to* that point of the run, which is why the memory-sensitive
+    benchmarks run their lean mode first.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+# ------------------------------------------------------------------ encounter
+def _encounter_stream(num_nodes: int, encounters: int, seed: int):
+    """Deterministic synthetic contact stream for the knowledge layer."""
+    rng = np.random.default_rng(seed)
+    peers = rng.integers(1, num_nodes, size=encounters)
+    # strictly increasing integer-ish times, several contacts per tick
+    times = np.cumsum(rng.integers(1, 30, size=encounters)).astype(float)
+    dests = rng.integers(1, num_nodes, size=encounters)
+    return peers, times, dests
+
+
+def _seed_mi_matrix(num_nodes: int, owner: int, seed: int) -> MeetingIntervalMatrix:
+    """An MI matrix populated as if rows had been learned from exchanges."""
+    rng = np.random.default_rng(seed + 1)
+    values = rng.integers(60, 3600, size=(num_nodes, num_nodes)).astype(float)
+    # mark a share of pairs unknown, symmetrically-ish
+    values[rng.random((num_nodes, num_nodes)) < 0.3] = np.inf
+    np.fill_diagonal(values, 0.0)
+    mi = MeetingIntervalMatrix(num_nodes, owner)
+    mi.load_state(values, np.zeros(num_nodes))
+    return mi
+
+
+def bench_encounter_pipeline(scale: Dict[str, float], seed: int,
+                             reference: bool) -> Dict[str, object]:
+    """Run the contacts -> estimators -> MEMD pipeline in one mode."""
+    num_nodes = int(scale["nodes"])
+    encounters = int(scale["encounters"])
+    memd_every = int(scale["memd_every"])
+    memd_batch = int(scale["memd_batch"])
+    peers, times, dests = _encounter_stream(num_nodes, encounters, seed)
+    owner = 0
+    mi = _seed_mi_matrix(num_nodes, owner, seed)
+    history = (ContactHistoryReference if reference else ContactHistory)(
+        owner, 20)
+    cache = MemdCache(refresh=0.0)
+    horizon = 0.28 * 1200.0  # alpha * TTL, the paper's operating point
+    eev_checksum = 0.0
+    memd_checksum = 0.0
+    memd_finite = 0
+    start = time.perf_counter()
+    for i in range(encounters):
+        now = float(times[i])
+        history.record_contact(int(peers[i]), now)
+        mean = history.mean_interval(int(peers[i]))
+        if mean is not None:
+            mi.update_own_row({int(peers[i]): mean}, now)
+        eev_checksum += expected_encounter_value(history, now, horizon)
+        if i % memd_every == memd_every - 1:
+            # a batch of single-replica forwarding decisions
+            for j in range(memd_batch):
+                dest = int(dests[(i + j) % encounters])
+                if dest == owner:
+                    continue
+                if reference:
+                    # pre-PR pattern: fresh MD build + Dijkstra per query
+                    md = build_delay_matrix(history, mi, now)
+                    value = minimum_expected_meeting_delay(md, owner, dest)
+                else:
+                    value = float(cache.delays(history, mi, now)[dest])
+                if np.isfinite(value):
+                    memd_checksum += value
+                    memd_finite += 1
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "encounters_per_s": round(encounters / seconds, 2),
+        "checksums": {
+            "eev_sum": eev_checksum,
+            "memd_sum": memd_checksum,
+            "memd_finite": memd_finite,
+        },
+    }
+
+
+# --------------------------------------------------------------------- buffer
+def bench_buffer_churn(scale: Dict[str, float], seed: int,
+                       reference: bool) -> Dict[str, object]:
+    """Adds under eviction pressure + per-tick expiry sweeps, one mode."""
+    ops = int(scale["buffer_ops"])
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(10_000, 40_000, size=ops)
+    ttls = rng.integers(200, 2_000, size=ops).astype(float)
+    buffer_cls = ReferenceMessageBuffer if reference else MessageBuffer
+    buffer = buffer_cls(capacity=1024 * 1024,
+                        drop_policy=DropPolicy.OLDEST_RECEIVED)
+    evicted_total = 0
+    expired_total = 0
+    start = time.perf_counter()
+    for i in range(ops):
+        now = float(i)
+        message = Message(f"m{i}", 0, 1, int(sizes[i]), now, ttl=float(ttls[i]))
+        message.received_time = now
+        evicted_total += len(buffer.add(message))
+        # the per-tick TTL sweep every router performs
+        expired_total += len(buffer.drop_expired(now))
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "ops_per_s": round(ops / seconds, 2),
+        "checksums": {
+            "evicted": evicted_total,
+            "expired": expired_total,
+            "stored": len(buffer),
+            "occupancy": buffer.occupancy,
+        },
+    }
+
+
+# ------------------------------------------------------------------ collector
+def bench_collector_ingest(scale: Dict[str, float], seed: int,
+                           mode: str) -> Dict[str, object]:
+    """A relay/delivery event stream into one collector mode."""
+    events = int(scale["collector_events"])
+    rng = np.random.default_rng(seed)
+    froms = rng.integers(0, 1000, size=events)
+    tos = rng.integers(0, 1000, size=events)
+    collector = StatsCollector(mode=mode)
+    messages = [Message(f"m{i}", int(froms[i]), int(tos[i]), 25_000,
+                        float(i % 997)) for i in range(min(events, 997))]
+    start = time.perf_counter()
+    for i in range(events):
+        message = messages[i % len(messages)]
+        if i % 101 == 0:
+            collector.message_created(message)
+        collector.message_relayed(message, int(froms[i]), int(tos[i]),
+                                  float(i), 1, False)
+        if i % 97 == 0:
+            collector.message_delivered(message, float(i + 10))
+        if i % 89 == 0:
+            collector.message_dropped(message, int(froms[i]), float(i), "buffer")
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "events_per_s": round(events / seconds, 2),
+        "record_storage_mb": round(collector.record_storage_bytes() / 2**20, 2),
+        "checksums": {
+            "created": collector.created,
+            "relayed": collector.relayed,
+            "delivered": collector.delivered,
+            "dropped": collector.dropped,
+            "delivery_ratio": collector.delivery_ratio,
+            "average_latency": collector.average_latency,
+            "overhead_ratio": collector.overhead_ratio,
+            "average_hop_count": collector.average_hop_count,
+        },
+    }
+
+
+# ------------------------------------------------------------------- scenario
+def bench_scenario(scale: Dict[str, float], seed: int,
+                   reference: bool) -> Dict[str, object]:
+    """One end-to-end catalog scenario run, reference vs vectorized.
+
+    The run repeats ``scenario_repeats`` times (fresh world each time,
+    identical results by construction) and reports the fastest wall time —
+    the standard way to strip allocator/OS noise from a sub-second workload.
+    """
+    overrides: Dict[str, object] = {
+        "sim_time": float(scale["scenario_time"]),
+        "protocol": "eer",
+        "seed": seed,
+    }
+    if reference:
+        overrides["router.reference_impl"] = True
+    config = make_scenario("bench", overrides)
+    seconds = float("inf")
+    for _ in range(int(scale.get("scenario_repeats", 1))):
+        built = build_scenario(config)
+        start = time.perf_counter()
+        built.run()
+        seconds = min(seconds, time.perf_counter() - start)
+    stats = built.stats
+    ticks = max(1, built.world.updates)
+    return {
+        "seconds": round(seconds, 4),
+        "ms_per_tick": round(1000.0 * seconds / ticks, 4),
+        "encounters_per_s": round(stats.contacts / seconds, 2),
+        "ticks": ticks,
+        "checksums": {
+            "created": stats.created,
+            "delivered": stats.delivered,
+            "relayed": stats.relayed,
+            "dropped": stats.dropped,
+            "contacts": stats.contacts,
+            "control_rows_exchanged": stats.control_rows_exchanged,
+            "delivery_ratio": stats.delivery_ratio,
+            "average_latency": stats.average_latency,
+            "goodput": stats.goodput,
+            "overhead_ratio": stats.overhead_ratio,
+            "average_hop_count": stats.average_hop_count,
+        },
+    }
+
+
+# ------------------------------------------------------------------- assembly
+def _paired(name: str, baseline: Dict[str, object], current: Dict[str, object],
+            throughput_key: str, workload: Dict[str, object]) -> Dict[str, object]:
+    base_rate = float(baseline[throughput_key])  # type: ignore[arg-type]
+    cur_rate = float(current[throughput_key])  # type: ignore[arg-type]
+    return {
+        "workload": workload,
+        "throughput_key": throughput_key,
+        "baseline": baseline,
+        "current": current,
+        "speedup": round(cur_rate / base_rate, 3) if base_rate else None,
+        "checksums_match": baseline["checksums"] == current["checksums"],
+    }
+
+
+def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object]:
+    """Run every paired benchmark at *scale_name* and assemble the payload."""
+    if scale_name not in SCALES:
+        raise KeyError(f"unknown bench scale {scale_name!r}; "
+                       f"known: {', '.join(SCALES)}")
+    scale = SCALES[scale_name]
+    benchmarks: Dict[str, object] = {}
+
+    benchmarks["encounter_pipeline"] = _paired(
+        "encounter_pipeline",
+        bench_encounter_pipeline(scale, seed, reference=True),
+        bench_encounter_pipeline(scale, seed, reference=False),
+        "encounters_per_s",
+        {"nodes": int(scale["nodes"]), "encounters": int(scale["encounters"]),
+         "memd_every": int(scale["memd_every"]),
+         "memd_batch": int(scale["memd_batch"])})
+
+    benchmarks["buffer_churn"] = _paired(
+        "buffer_churn",
+        bench_buffer_churn(scale, seed, reference=True),
+        bench_buffer_churn(scale, seed, reference=False),
+        "ops_per_s",
+        {"ops": int(scale["buffer_ops"])})
+
+    benchmarks["collector_ingest"] = _paired(
+        "collector_ingest",
+        bench_collector_ingest(scale, seed, mode="lists"),
+        bench_collector_ingest(scale, seed, mode="columnar"),
+        "events_per_s",
+        {"events": int(scale["collector_events"])})
+
+    benchmarks["scenario_eer"] = _paired(
+        "scenario_eer",
+        bench_scenario(scale, seed, reference=True),
+        bench_scenario(scale, seed, reference=False),
+        "encounters_per_s",
+        {"scenario": "bench", "protocol": "eer",
+         "sim_time": float(scale["scenario_time"])})
+
+    return {
+        "schema": 1,
+        "tool": "python -m repro bench",
+        "repro_version": __version__,
+        "scale": scale_name,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "peak_rss_mb": peak_rss_mb(),
+        "benchmarks": benchmarks,
+    }
+
+
+def compare_to_baseline(payload: Dict[str, object], baseline: Dict[str, object],
+                        max_regression: float = 0.25) -> List[str]:
+    """Regressions of *payload* against a committed baseline payload.
+
+    Every benchmark is *paired* — reference and vectorized run back to back
+    on the same machine — so the hardware-neutral trajectory metric is the
+    **speedup ratio**, not the absolute throughput (a CI runner is not the
+    laptop that wrote the committed baseline).  A benchmark regresses when
+    its current speedup fell more than ``max_regression`` (fraction) below
+    the committed one: that means the vectorized path lost ground against
+    the very same reference code on the very same machine.  Returns
+    human-readable failure strings (empty = gate passes); a scale mismatch
+    is reported as a failure since workloads would not be comparable.
+    """
+    failures: List[str] = []
+    if payload.get("scale") != baseline.get("scale"):
+        failures.append(
+            f"scale mismatch: current {payload.get('scale')!r} vs "
+            f"baseline {baseline.get('scale')!r}")
+        return failures
+    current_benchmarks = payload.get("benchmarks", {})
+    for name, base_entry in baseline.get("benchmarks", {}).items():
+        entry = current_benchmarks.get(name)  # type: ignore[union-attr]
+        if entry is None:
+            failures.append(f"{name}: benchmark missing from current run")
+            continue
+        base_speedup = base_entry.get("speedup")
+        cur_speedup = entry.get("speedup")
+        if base_speedup is None or cur_speedup is None:
+            continue
+        floor = (1.0 - max_regression) * float(base_speedup)
+        if float(cur_speedup) < floor:
+            failures.append(
+                f"{name}: speedup {float(cur_speedup):.2f}x fell below "
+                f"{floor:.2f}x ({(1.0 - max_regression) * 100:.0f}% of the "
+                f"committed {float(base_speedup):.2f}x)")
+    return failures
+
+
+def format_summary(payload: Dict[str, object]) -> str:
+    """Human-readable table of one bench payload."""
+    lines = [f"repro bench — scale {payload['scale']}, seed {payload['seed']}, "
+             f"python {payload['python']}, numpy {payload['numpy']}"]
+    header = (f"{'benchmark':<22}{'baseline':>14}{'current':>14}"
+              f"{'speedup':>9}  {'checksums':<9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, entry in payload["benchmarks"].items():  # type: ignore[union-attr]
+        key = entry["throughput_key"]
+        base = entry["baseline"][key]
+        cur = entry["current"][key]
+        match = "match" if entry["checksums_match"] else "MISMATCH"
+        speedup = entry["speedup"]
+        lines.append(f"{name:<22}{base:>14,.0f}{cur:>14,.0f}"
+                     f"{speedup:>8.2f}x  {match:<9} ({key})")
+    rss = payload.get("peak_rss_mb")
+    if rss is not None:
+        lines.append(f"peak RSS: {rss:.1f} MiB")
+    return "\n".join(lines)
+
+
+def write_payload(payload: Dict[str, object], path: str) -> None:
+    """Write the payload as pretty JSON (the ``BENCH_*.json`` artifact)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    """Read a previously written ``BENCH_*.json``."""
+    with open(path) as handle:
+        return json.load(handle)

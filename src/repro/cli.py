@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Four subcommands expose the scenario catalog and the experiment drivers
+Five subcommands expose the scenario catalog and the experiment drivers
 without writing any Python:
 
 ``list``
@@ -11,10 +11,14 @@ without writing any Python:
     Run a scenario across a parameter grid.
 ``figure``
     Regenerate one of the paper's figures or ablations.
+``bench``
+    Run the paired performance benchmarks (vectorized hot path vs the
+    in-tree pure-Python reference implementations), write a ``BENCH_*.json``
+    trajectory point and optionally gate against a committed baseline.
 
 Every subcommand takes ``--json`` for machine-readable output; the default is
 a human-aligned text table.  See ``docs/cli.md`` for the full reference with
-copy-paste examples.
+copy-paste examples and ``docs/performance.md`` for the bench workflow.
 """
 
 from __future__ import annotations
@@ -229,6 +233,44 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """``bench``: run the paired benchmarks, write/compare BENCH JSON."""
+    from repro import bench
+
+    if args.quick and args.scale is not None and args.scale != "quick":
+        raise ValueError(
+            f"--quick contradicts --scale {args.scale}; pass one of them")
+    scale = args.scale or "quick"
+    payload = bench.run_benchmarks(scale_name=scale, seed=args.seed)
+    if args.output:
+        bench.write_payload(payload, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.json:
+        _emit(payload)
+    else:
+        print(bench.format_summary(payload))
+    status = 0
+    mismatched = [name for name, entry in payload["benchmarks"].items()
+                  if not entry["checksums_match"]]
+    if mismatched:
+        print(f"error: checksum mismatch in {', '.join(mismatched)} — the "
+              "vectorized path diverged from the reference implementation",
+              file=sys.stderr)
+        status = 1
+    if args.compare:
+        baseline = bench.load_payload(args.compare)
+        failures = bench.compare_to_baseline(payload, baseline,
+                                             max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"regression: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"no regression vs {args.compare} "
+                  f"(threshold {args.max_regression:.0%})", file=sys.stderr)
+    return status
+
+
 def cmd_figure(args) -> int:
     """``figure``: regenerate one paper figure / ablation."""
     if args.scale == "paper":
@@ -345,6 +387,29 @@ def build_parser() -> argparse.ArgumentParser:
                                help="also write the figure JSON to FILE")
     add_common(figure_parser, scenario=False)
     figure_parser.set_defaults(func=cmd_figure)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the paired performance benchmarks")
+    bench_parser.add_argument("--scale", choices=("smoke", "quick", "full"),
+                              default=None,
+                              help="benchmark scale (default: quick)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="shorthand for --scale quick (rejected "
+                                   "alongside a different --scale)")
+    bench_parser.add_argument("--seed", type=int, default=1,
+                              help="workload seed (default: 1)")
+    bench_parser.add_argument("--output", default=None, metavar="FILE",
+                              help="write the BENCH JSON payload to FILE")
+    bench_parser.add_argument("--compare", default=None, metavar="FILE",
+                              help="fail when a paired speedup regresses vs "
+                                   "a committed BENCH_*.json")
+    bench_parser.add_argument("--max-regression", type=float, default=0.25,
+                              metavar="FRACTION",
+                              help="allowed speedup drop for --compare "
+                                   "(default: 0.25)")
+    bench_parser.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 

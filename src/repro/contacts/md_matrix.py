@@ -7,6 +7,13 @@ own row holds the elapsed-time-conditioned expected meeting delays
 average meeting intervals :math:`I_{jk}` taken from the exchanged MI matrix.
 The minimum expected meeting delay (MEMD, Theorem 3) is then the Dijkstra
 shortest path over ``MD``.
+
+With a vectorized :class:`~repro.contacts.history.ContactHistory` the owner's
+row is produced by one call to
+:func:`~repro.core.expectation.batch_expected_delays` over the whole
+``(peers, window)`` interval matrix; reference histories fall back to the
+original per-peer loop.  Both paths are bit-identical (see
+:mod:`repro.core.expectation`).
 """
 
 from __future__ import annotations
@@ -15,12 +22,16 @@ from typing import Optional
 
 import numpy as np
 
-from repro.contacts.history import ContactHistory
 from repro.contacts.mi_matrix import MeetingIntervalMatrix
-from repro.core.expectation import OverduePolicy, expected_meeting_delay
+import repro.core.expectation as expectation
+from repro.core.expectation import (
+    OverduePolicy,
+    batch_expected_delays,
+    expected_meeting_delay,
+)
 
 
-def build_delay_matrix(history: ContactHistory, mi: MeetingIntervalMatrix,
+def build_delay_matrix(history, mi: MeetingIntervalMatrix,
                        now: float,
                        overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
                        node_filter: Optional[np.ndarray] = None) -> np.ndarray:
@@ -53,19 +64,33 @@ def build_delay_matrix(history: ContactHistory, mi: MeetingIntervalMatrix,
     if history.owner_id != owner:
         raise ValueError("history and MI matrix belong to different nodes")
     md = mi.values.copy()
-    # Owner's row: Theorem 2 conditioned on the elapsed time since last contact.
-    own_row = np.full(n, np.inf)
-    own_row[owner] = 0.0
-    for peer in history.peers():
-        if not 0 <= peer < n:
-            continue
-        intervals = history.intervals(peer)
-        elapsed = history.elapsed_since(peer, now)
-        if elapsed is None:
-            continue
-        emd = expected_meeting_delay(intervals, elapsed, overdue_policy)
-        if emd is not None:
-            own_row[peer] = emd
+    # Owner's row: Theorem 2 conditioned on the elapsed time since last
+    # contact.  Vectorized histories with enough peers go through the batch
+    # kernel; small or reference histories take the (bit-identical) loop.
+    arrays = (history.interval_arrays()
+              if hasattr(history, "interval_arrays") else None)
+    if arrays is not None and len(arrays[0]) >= expectation.BATCH_MIN_PEERS:
+        own_row = np.full(n, np.inf)
+        peer_ids, intervals, counts, last = arrays
+        elapsed = np.maximum(0.0, now - last)
+        emd = batch_expected_delays(intervals, counts, elapsed,
+                                    overdue_policy)
+        usable = ~np.isnan(emd) & (peer_ids >= 0) & (peer_ids < n)
+        own_row[peer_ids[usable]] = emd[usable]
+        own_row[owner] = 0.0
+    else:
+        own_row = np.full(n, np.inf)
+        own_row[owner] = 0.0
+        for peer in history.peers():
+            if not 0 <= peer < n:
+                continue
+            intervals = history.intervals(peer)
+            elapsed = history.elapsed_since(peer, now)
+            if elapsed is None:
+                continue
+            emd = expected_meeting_delay(intervals, elapsed, overdue_policy)
+            if emd is not None:
+                own_row[peer] = emd
     md[owner, :] = own_row
     np.fill_diagonal(md, 0.0)
     if node_filter is not None:

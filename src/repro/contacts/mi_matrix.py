@@ -39,6 +39,7 @@ class MeetingIntervalMatrix:
         self._values = np.full((num_nodes, num_nodes), np.inf)
         np.fill_diagonal(self._values, 0.0)
         self._row_updated = np.full(num_nodes, -np.inf)
+        self._version = 0
 
     # ------------------------------------------------------------------ views
     @property
@@ -50,6 +51,17 @@ class MeetingIntervalMatrix:
     def row_update_times(self) -> np.ndarray:
         """Per-row last-update timestamps (``-inf`` for never-updated rows)."""
         return self._row_updated
+
+    @property
+    def version(self) -> int:
+        """Counter bumped whenever a stored *value* actually changes.
+
+        Timestamp-only refreshes (re-recording an unchanged own row, merges
+        that copy zero rows) leave it untouched, so the MEMD delay-vector
+        cache (:class:`repro.contacts.memd.MemdCache`) is invalidated only
+        when a merged row really changed the matrix.
+        """
+        return self._version
 
     def interval(self, i: int, j: int) -> float:
         """The stored average meeting interval between nodes *i* and *j*."""
@@ -72,6 +84,7 @@ class MeetingIntervalMatrix:
             Timestamp recorded for the row.
         """
         i = self.owner_id
+        changed = False
         for peer, value in averages.items():
             peer = int(peer)
             if peer == i:
@@ -80,8 +93,13 @@ class MeetingIntervalMatrix:
                 raise IndexError(f"peer id {peer} out of range")
             if value <= 0:
                 raise ValueError(f"average meeting interval must be positive, got {value}")
-            self._values[i, peer] = float(value)
+            value = float(value)
+            if self._values[i, peer] != value:
+                self._values[i, peer] = value
+                changed = True
         self._row_updated[i] = float(now)
+        if changed:
+            self._version += 1
 
     # -------------------------------------------------------------- exchange
     def merge_from(self, other: "MeetingIntervalMatrix") -> int:
@@ -97,7 +115,10 @@ class MeetingIntervalMatrix:
         fresher[self.owner_id] = False
         rows = np.nonzero(fresher)[0]
         if rows.size:
-            self._values[rows, :] = other._values[rows, :]
+            incoming = other._values[rows, :]
+            if not np.array_equal(self._values[rows, :], incoming):
+                self._version += 1
+            self._values[rows, :] = incoming
             self._row_updated[rows] = other._row_updated[rows]
         return int(rows.size)
 
@@ -114,7 +135,27 @@ class MeetingIntervalMatrix:
         clone = MeetingIntervalMatrix(self.num_nodes, self.owner_id)
         clone._values = self._values.copy()
         clone._row_updated = self._row_updated.copy()
+        clone._version = self._version
         return clone
+
+    def load_state(self, values: np.ndarray, row_times: np.ndarray) -> None:
+        """Bulk-load learned rows (benchmark / test fixture helper).
+
+        Overwrites the full matrix and row timestamps (the diagonal is
+        re-zeroed) as if the rows had been learned through exchanges, and
+        bumps the version.
+        """
+        values = np.asarray(values, dtype=float)
+        row_times = np.asarray(row_times, dtype=float)
+        if values.shape != (self.num_nodes, self.num_nodes):
+            raise ValueError(f"values must have shape "
+                             f"({self.num_nodes}, {self.num_nodes})")
+        if row_times.shape != (self.num_nodes,):
+            raise ValueError("row_times must have one entry per node")
+        self._values = values.copy()
+        np.fill_diagonal(self._values, 0.0)
+        self._row_updated = row_times.copy()
+        self._version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MeetingIntervalMatrix(n={self.num_nodes}, owner={self.owner_id}, "

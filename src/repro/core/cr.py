@@ -29,8 +29,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.contacts.md_matrix import build_delay_matrix
-from repro.contacts.memd import dijkstra_delays
+from repro.contacts.memd import MemdCache
 from repro.contacts.mi_matrix import MeetingIntervalMatrix
 from repro.core.expectation import (
     OverduePolicy,
@@ -79,25 +78,26 @@ class CommunityRouter(ContactAwareRouter):
 
     def __init__(self, alpha: float = 0.28, window_size: int = 20,
                  overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
-                 memd_refresh: float = 5.0, forward_margin: float = 0.35) -> None:
-        super().__init__(window_size=window_size)
+                 memd_refresh: float = 5.0, forward_margin: float = 0.35,
+                 reference_impl: bool = False) -> None:
+        super().__init__(window_size=window_size, reference_impl=reference_impl)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
-        if memd_refresh < 0:
-            raise ValueError("memd_refresh must be non-negative")
         if not 0.0 <= forward_margin < 1.0:
             raise ValueError("forward_margin must be in [0, 1)")
         self.alpha = float(alpha)
         self.overdue_policy = overdue_policy
-        self.memd_refresh = float(memd_refresh)
         self.forward_margin = float(forward_margin)
         self._intra_mi: Optional[MeetingIntervalMatrix] = None
         self._communities: Optional[Dict[int, List[int]]] = None
         self._community_of: Optional[Dict[int, int]] = None
-        self._memd_cache: Optional[np.ndarray] = None
-        self._memd_cache_time: float = -np.inf
-        self._memd_cache_revision: int = -1
-        self._revision = 0
+        self._member_mask: Optional[np.ndarray] = None
+        self._memd = MemdCache(refresh=memd_refresh)
+
+    @property
+    def memd_refresh(self) -> float:
+        """Maximum staleness (seconds) of the cached intra-community MEMD'."""
+        return self._memd.refresh
 
     # ----------------------------------------------------------- community map
     @property
@@ -155,8 +155,15 @@ class CommunityRouter(ContactAwareRouter):
             self._intra_mi = MeetingIntervalMatrix(n, self.node_id)
         return self._intra_mi
 
-    def _invalidate(self) -> None:
-        self._revision += 1
+    def _membership_mask(self) -> np.ndarray:
+        """Boolean mask over node ids for this node's own community (static)."""
+        if self._member_mask is None:
+            mask = np.zeros(self.intra_mi.num_nodes, dtype=bool)
+            for member in self.community_members(self.community):
+                if member < mask.shape[0]:
+                    mask[member] = True
+            self._member_mask = mask
+        return self._member_mask
 
     # --------------------------------------------------------------- predictions
     def horizon_for(self, residual_ttl: float) -> float:
@@ -180,32 +187,24 @@ class CommunityRouter(ContactAwareRouter):
     def intra_expected_ev(self, now: float, horizon: float) -> float:
         """Intra-community expected encounter value ``EEV'``."""
         assert self.history is not None
-        own = self.community
         return expected_encounter_value(
             self.history, now, horizon, self.overdue_policy,
-            peer_filter=lambda peer: self.community_of(peer) == own)
+            peer_filter=self._membership_mask())
 
     def intra_memd_to(self, destination: int) -> float:
-        """Intra-community MEMD' from this node to *destination*."""
-        now = self.now
-        stale = (self._memd_cache is None
-                 or self._memd_cache_revision != self._revision
-                 or now - self._memd_cache_time > self.memd_refresh)
-        if stale:
-            assert self.history is not None
-            mask = np.zeros(self.intra_mi.num_nodes, dtype=bool)
-            for member in self.community_members(self.community):
-                if member < mask.shape[0]:
-                    mask[member] = True
-            md = build_delay_matrix(self.history, self.intra_mi, now,
-                                    self.overdue_policy, node_filter=mask)
-            self._memd_cache = dijkstra_delays(md, self.node_id)
-            self._memd_cache_time = now
-            self._memd_cache_revision = self._revision
-        assert self._memd_cache is not None
-        if not 0 <= destination < len(self._memd_cache):
+        """Intra-community MEMD' from this node to *destination*.
+
+        Served from the version-keyed delay-vector cache restricted to the
+        destination community's members (communities are predefined and
+        static, so the membership mask never invalidates the cache).
+        """
+        assert self.history is not None
+        delays = self._memd.delays(self.history, self.intra_mi, self.now,
+                                   self.overdue_policy,
+                                   node_filter=self._membership_mask())
+        if not 0 <= destination < len(delays):
             return float("inf")
-        return float(self._memd_cache[destination])
+        return float(delays[destination])
 
     # ------------------------------------------------------------------ contacts
     def on_contact_recorded(self, connection: Connection, peer: "DTNNode") -> None:
@@ -219,20 +218,19 @@ class CommunityRouter(ContactAwareRouter):
             if mean is not None:
                 updates[peer.node_id] = mean
             self.intra_mi.update_own_row(updates, self.now)
-            self._invalidate()
         if not isinstance(peer_router, CommunityRouter):
             return
         if not self.is_exchange_initiator(peer):
             return
         if same_community:
-            # intra-community MI exchange, restricted to community members
+            # intra-community MI exchange, restricted to community members;
+            # the matrices bump their versions when copied rows actually
+            # change, which invalidates the MEMD' caches
             to_me = self.intra_mi.merge_from(peer_router.intra_mi)
             to_peer = peer_router.intra_mi.merge_from(self.intra_mi)
             row_bytes = 8 * len(self.community_members(self.community))
             self.stats.control_exchange(rows=to_me + to_peer,
                                         size_bytes=(to_me + to_peer) * row_bytes)
-            self._invalidate()
-            peer_router._invalidate()
         else:
             # inter-community contacts exchange only two scalars
             # (ENEC / P_ic summaries), counted as two rows of overhead

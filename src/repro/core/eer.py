@@ -24,8 +24,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.contacts.md_matrix import build_delay_matrix
-from repro.contacts.memd import dijkstra_delays
+from repro.contacts.memd import MemdCache
 from repro.contacts.mi_matrix import MeetingIntervalMatrix
 from repro.core.expectation import OverduePolicy, expected_encounter_value
 from repro.core.replication import split_replicas
@@ -54,7 +53,15 @@ class EERRouter(ContactAwareRouter):
         Maximum staleness (seconds) of the cached MEMD vector before it is
         recomputed.  Meeting delays are on the order of hundreds of seconds,
         so a few seconds of staleness does not change forwarding decisions but
-        avoids one Dijkstra run per world tick.
+        avoids one Dijkstra run per world tick.  Within that budget the
+        vector is additionally keyed on the contact-history / MI-matrix
+        versions (see :class:`~repro.contacts.memd.MemdCache`), so it is only
+        recomputed when a recorded contact or an exchanged row actually
+        changed the routing state.
+    reference_impl:
+        Run the contact bookkeeping and estimators through the pure-Python
+        reference implementations (see
+        :class:`~repro.routing.active.ContactAwareRouter`).
     forward_margin:
         Relative improvement of the encounter's MEMD over ours required before
         the single replica is handed over (``theirs < (1 - margin) * mine``).
@@ -70,26 +77,25 @@ class EERRouter(ContactAwareRouter):
 
     def __init__(self, alpha: float = 0.28, window_size: int = 20,
                  overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
-                 memd_refresh: float = 5.0, forward_margin: float = 0.35) -> None:
-        super().__init__(window_size=window_size)
+                 memd_refresh: float = 5.0, forward_margin: float = 0.35,
+                 reference_impl: bool = False) -> None:
+        super().__init__(window_size=window_size, reference_impl=reference_impl)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
-        if memd_refresh < 0:
-            raise ValueError("memd_refresh must be non-negative")
         if not 0.0 <= forward_margin < 1.0:
             raise ValueError("forward_margin must be in [0, 1)")
         self.alpha = float(alpha)
         self.overdue_policy = overdue_policy
-        self.memd_refresh = float(memd_refresh)
         self.forward_margin = float(forward_margin)
         self._mi: Optional[MeetingIntervalMatrix] = None
-        # MEMD cache: distances from this node over its current MD matrix,
-        # valid while the routing state revision is unchanged and the cache is
-        # younger than ``memd_refresh``.
-        self._memd_cache: Optional[np.ndarray] = None
-        self._memd_cache_time: float = -np.inf
-        self._memd_cache_revision: int = -1
-        self._revision = 0
+        # MEMD delay-vector cache: one Dijkstra yields the delays to every
+        # destination; invalidated by version changes or staleness.
+        self._memd = MemdCache(refresh=memd_refresh)
+
+    @property
+    def memd_refresh(self) -> float:
+        """Maximum staleness (seconds) of the cached MEMD vector."""
+        return self._memd.refresh
 
     # ----------------------------------------------------------------- MI state
     @property
@@ -105,9 +111,6 @@ class EERRouter(ContactAwareRouter):
             self._mi = MeetingIntervalMatrix(n, self.node_id)
         return self._mi
 
-    def _invalidate(self) -> None:
-        self._revision += 1
-
     # ------------------------------------------------------------------ horizon
     def horizon_for(self, residual_ttl: float) -> float:
         """The EEV prediction horizon :math:`\\alpha \\cdot TTL_k`."""
@@ -121,21 +124,19 @@ class EERRouter(ContactAwareRouter):
 
     # -------------------------------------------------------------------- MEMD
     def memd_to(self, destination: int) -> float:
-        """Minimum expected meeting delay from this node to *destination*."""
-        now = self.now
-        stale = (self._memd_cache is None
-                 or self._memd_cache_revision != self._revision
-                 or now - self._memd_cache_time > self.memd_refresh)
-        if stale:
-            assert self.history is not None
-            md = build_delay_matrix(self.history, self.mi, now, self.overdue_policy)
-            self._memd_cache = dijkstra_delays(md, self.node_id)
-            self._memd_cache_time = now
-            self._memd_cache_revision = self._revision
-        assert self._memd_cache is not None
-        if not 0 <= destination < len(self._memd_cache):
+        """Minimum expected meeting delay from this node to *destination*.
+
+        Served from the per-source delay-vector cache: one Dijkstra run over
+        the MD matrix answers every destination until a recorded contact or
+        an effective MI merge changes the routing state (or the vector goes
+        stale, see ``memd_refresh``).
+        """
+        assert self.history is not None
+        delays = self._memd.delays(self.history, self.mi, self.now,
+                                   self.overdue_policy)
+        if not 0 <= destination < len(delays):
             return float("inf")
-        return float(self._memd_cache[destination])
+        return float(delays[destination])
 
     # ---------------------------------------------------------------- contacts
     def on_contact_recorded(self, connection: Connection, peer: "DTNNode") -> None:
@@ -145,17 +146,16 @@ class EERRouter(ContactAwareRouter):
         if mean is not None:
             updates[peer.node_id] = mean
         self.mi.update_own_row(updates, self.now)
-        self._invalidate()
         peer_router = peer.router
         if isinstance(peer_router, EERRouter) and self.is_exchange_initiator(peer):
-            # mutual MI exchange (only rows with fresher update times travel)
+            # mutual MI exchange (only rows with fresher update times travel);
+            # the MI matrices bump their versions when copied rows actually
+            # change, which is what invalidates the MEMD caches
             to_me = self.mi.merge_from(peer_router.mi)
             to_peer = peer_router.mi.merge_from(self.mi)
             row_bytes = 8 * self.mi.num_nodes  # one float per column
             self.stats.control_exchange(rows=to_me + to_peer,
                                         size_bytes=(to_me + to_peer) * row_bytes)
-            self._invalidate()
-            peer_router._invalidate()
 
     # ------------------------------------------------------------------ update
     def on_update(self, now: float) -> None:

@@ -20,16 +20,27 @@ and the conditional probability is 0/0.  :class:`OverduePolicy` makes the
 choice explicit; the default ``REFRESH`` treats the overdue meeting as a fresh
 renewal drawn from the full window, which is the standard empirical-renewal
 fallback and is what the reference experiments use.
+
+Two execution paths share these definitions.  When the history is the
+vectorized :class:`~repro.contacts.history.ContactHistory`, the estimators
+reduce over the whole ``(peers, window)`` interval matrix in a few NumPy
+operations (:func:`batch_encounter_probabilities`,
+:func:`batch_expected_delays`).  Any other history object (in particular
+:class:`~repro.contacts.history.ContactHistoryReference`) falls back to the
+original per-peer Python loops.  The batch kernels are *bit-exact* against
+the loops: counts are integers, quotients are single IEEE divisions, and
+every order-sensitive float sum is performed left to right via ``cumsum``
+over chronologically ordered rows (masked-out entries contribute an exact
+``+0.0``), so both paths produce identical routing decisions — the parity
+property tests and the benchmark checksums rely on this.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
-if TYPE_CHECKING:  # pragma: no cover - avoid a runtime cycle with repro.contacts,
-    # whose MD builder uses Theorem 2 from this module
-    from repro.contacts.history import ContactHistory
+import numpy as np
 
 
 class OverduePolicy(enum.Enum):
@@ -41,6 +52,132 @@ class OverduePolicy(enum.Enum):
     OPTIMISTIC = "optimistic"
     #: assume nothing can be said (probability 0, unknown expected delay)
     PESSIMISTIC = "pessimistic"
+
+
+def _sequential_row_sum(values: np.ndarray) -> np.ndarray:
+    """Left-to-right per-row sum of a ``(p, w)`` matrix.
+
+    ``cumsum`` accumulates strictly sequentially, so the last column equals
+    the Python ``sum()`` of the same row — bit for bit — which keeps the
+    batch kernels exactly interchangeable with the reference loops.
+    """
+    if values.shape[1] == 0:
+        return np.zeros(values.shape[0], dtype=float)
+    return np.cumsum(values, axis=1)[:, -1]
+
+
+# ------------------------------------------------------------- batch kernels
+def batch_encounter_probabilities(intervals: np.ndarray, counts: np.ndarray,
+                                  elapsed: np.ndarray, horizon: float,
+                                  overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                                  ) -> np.ndarray:
+    """Theorem 1 for every peer at once.
+
+    Parameters
+    ----------
+    intervals:
+        ``(p, w)`` chronological interval matrix (column ``>= counts[row]``
+        entries are ignored).
+    counts:
+        ``(p,)`` number of valid intervals per row.
+    elapsed:
+        ``(p,)`` elapsed time since the last contact per peer
+        (non-negative).
+    horizon:
+        Prediction horizon :math:`\\tau` (non-negative).
+    overdue_policy:
+        Fallback when no recorded interval exceeds the elapsed time.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(p,)`` conditional encounter probabilities in ``[0, 1]``; 0 for
+        peers without any recorded interval.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    peers, window = intervals.shape
+    if peers == 0:
+        return np.zeros(0, dtype=float)
+    valid = np.arange(window)[None, :] < counts[:, None]
+    conditioned = valid & (intervals > elapsed[:, None])
+    m = conditioned.sum(axis=1)
+    within = (conditioned & (intervals <= (elapsed + horizon)[:, None])).sum(axis=1)
+    safe_m = np.maximum(m, 1)
+    p = np.where(m > 0, within / safe_m, 0.0)
+    overdue = (m == 0) & (counts > 0)
+    if overdue.any():
+        if overdue_policy is OverduePolicy.OPTIMISTIC:
+            p[overdue] = 1.0
+        elif overdue_policy is OverduePolicy.PESSIMISTIC:
+            p[overdue] = 0.0
+        else:  # REFRESH: renewal drawn from the full window
+            refreshed = (valid & (intervals <= horizon)).sum(axis=1)
+            safe_counts = np.maximum(counts, 1)
+            p = np.where(overdue, refreshed / safe_counts, p)
+    return p
+
+
+def batch_expected_delays(intervals: np.ndarray, counts: np.ndarray,
+                          elapsed: np.ndarray,
+                          overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
+                          ) -> np.ndarray:
+    """Theorem 2 for every peer at once.
+
+    Same input conventions as :func:`batch_encounter_probabilities`.
+    Returns a ``(p,)`` vector of expected meeting delays with ``nan`` where
+    nothing can be predicted (no recorded intervals, or the pessimistic
+    overdue policy applies) — the vector analogue of the scalar function
+    returning ``None``.
+    """
+    peers, window = intervals.shape
+    if peers == 0:
+        return np.zeros(0, dtype=float)
+    valid = np.arange(window)[None, :] < counts[:, None]
+    conditioned = valid & (intervals > elapsed[:, None])
+    m = conditioned.sum(axis=1)
+    conditioned_sum = _sequential_row_sum(np.where(conditioned, intervals, 0.0))
+    emd = np.where(m > 0, conditioned_sum / np.maximum(m, 1) - elapsed, np.nan)
+    overdue = (m == 0) & (counts > 0)
+    if overdue.any():
+        if overdue_policy is OverduePolicy.OPTIMISTIC:
+            emd[overdue] = 0.0
+        elif overdue_policy is OverduePolicy.REFRESH:
+            # the overdue meeting is a fresh renewal: plain window mean
+            window_sum = _sequential_row_sum(np.where(valid, intervals, 0.0))
+            means = window_sum / np.maximum(counts, 1)
+            emd = np.where(overdue, means, emd)
+        # PESSIMISTIC keeps nan
+    emd[counts == 0] = np.nan
+    return emd
+
+
+#: below this many recorded peers the per-peer Python loop beats the batch
+#: kernel's fixed NumPy call overhead (measured crossover ~13 peers); both
+#: paths are bit-identical, so the dispatch never changes a result
+BATCH_MIN_PEERS = 14
+
+
+def _history_arrays(history, min_peers: Optional[int] = None):
+    """Batch views of a vectorized history, or ``None`` to use the loop path.
+
+    Returns ``None`` both for reference histories (no array accessor) and for
+    vectorized histories too small for the kernel to pay off.  *min_peers*
+    defaults to the module-level :data:`BATCH_MIN_PEERS` (read at call time,
+    so tests can tune it).
+    """
+    accessor = getattr(history, "interval_arrays", None)
+    if accessor is None:
+        return None
+    arrays = accessor()
+    if len(arrays[0]) < (BATCH_MIN_PEERS if min_peers is None else min_peers):
+        return None
+    return arrays
+
+
+def _elapsed_vector(last: np.ndarray, now: float) -> np.ndarray:
+    # clamped at zero exactly like ContactHistory.elapsed_since
+    return np.maximum(0.0, now - last)
 
 
 # --------------------------------------------------------------------------- Theorem 1
@@ -86,9 +223,26 @@ def conditional_encounter_probability(intervals: Sequence[float], elapsed: float
     return within / len(intervals)
 
 
-def expected_encounter_value(history: ContactHistory, now: float, horizon: float,
+#: a peer filter is either a predicate on the peer id or a boolean mask
+#: indexed by node id (the CR protocol passes its community-membership mask)
+PeerFilter = Union[Callable[[int], bool], np.ndarray]
+
+
+def _filter_mask(peer_ids: np.ndarray, peer_filter: Optional[PeerFilter]) -> Optional[np.ndarray]:
+    if peer_filter is None:
+        return None
+    if isinstance(peer_filter, np.ndarray):
+        mask = np.zeros(len(peer_ids), dtype=bool)
+        in_range = (peer_ids >= 0) & (peer_ids < len(peer_filter))
+        mask[in_range] = peer_filter[peer_ids[in_range]]
+        return mask
+    return np.fromiter((bool(peer_filter(int(pid))) for pid in peer_ids),
+                       dtype=bool, count=len(peer_ids))
+
+
+def expected_encounter_value(history, now: float, horizon: float,
                              overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
-                             peer_filter: Optional[Callable[[int], bool]] = None,
+                             peer_filter: Optional[PeerFilter] = None,
                              ) -> float:
     """Theorem 1: the expected encounter value ``EEV_i(t, tau)``.
 
@@ -99,7 +253,7 @@ def expected_encounter_value(history: ContactHistory, now: float, horizon: float
     Parameters
     ----------
     history:
-        The node's contact history.
+        The node's contact history (vectorized or reference).
     now:
         Current time :math:`t`.
     horizon:
@@ -108,13 +262,38 @@ def expected_encounter_value(history: ContactHistory, now: float, horizon: float
     overdue_policy:
         See :class:`OverduePolicy`.
     peer_filter:
-        Optional predicate restricting which peers count; the CR protocol's
-        intra-community EEV' passes a same-community filter.
+        Optional restriction on which peers count: a predicate on the peer
+        id, or a boolean mask indexed by node id (the CR protocol's
+        intra-community EEV' passes its same-community mask).
     """
+    arrays = _history_arrays(history)
+    if arrays is None:
+        return _expected_encounter_value_reference(
+            history, now, horizon, overdue_policy, peer_filter)
+    peer_ids, intervals, counts, last = arrays
+    if peer_ids.size == 0:
+        return 0.0
+    elapsed = _elapsed_vector(last, now)
+    p = batch_encounter_probabilities(intervals, counts, elapsed, horizon,
+                                      overdue_policy)
+    mask = _filter_mask(peer_ids, peer_filter)
+    if mask is not None:
+        # excluded peers contribute an exact +0.0 to the sequential sum
+        p = np.where(mask, p, 0.0)
+    return float(np.cumsum(p)[-1])
+
+
+def _expected_encounter_value_reference(history, now, horizon, overdue_policy,
+                                        peer_filter):
     total = 0.0
+    is_mask = isinstance(peer_filter, np.ndarray)
     for peer in history.peers():
-        if peer_filter is not None and not peer_filter(peer):
-            continue
+        if peer_filter is not None:
+            if is_mask:
+                if not (0 <= peer < len(peer_filter) and peer_filter[peer]):
+                    continue
+            elif not peer_filter(peer):
+                continue
         elapsed = history.elapsed_since(peer, now)
         if elapsed is None:
             continue
@@ -155,7 +334,7 @@ def expected_meeting_delay(intervals: Sequence[float], elapsed: float,
 
 
 # --------------------------------------------------------------------------- Theorem 4
-def community_encounter_probability(history: ContactHistory, now: float, horizon: float,
+def community_encounter_probability(history, now: float, horizon: float,
                                     members: Iterable[int],
                                     overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
                                     ) -> float:
@@ -165,6 +344,29 @@ def community_encounter_probability(history: ContactHistory, now: float, horizon
     conditional encounter probability of Theorem 1.  Members the node has
     never met contribute probability 0.
     """
+    arrays = _history_arrays(history)
+    if arrays is None:
+        return _community_encounter_probability_reference(
+            history, now, horizon, members, overdue_policy)
+    peer_ids, intervals, counts, last = arrays
+    if peer_ids.size == 0:
+        return 0.0
+    elapsed = _elapsed_vector(last, now)
+    p = batch_encounter_probabilities(intervals, counts, elapsed, horizon,
+                                      overdue_policy)
+    # gather the met members in the caller's member order so the sequential
+    # product matches the reference loop exactly
+    slots = [slot for member in members
+             if member != history.owner_id
+             and (slot := history.slot_of(member)) is not None]
+    if not slots:
+        return 0.0
+    miss = np.cumprod(1.0 - p[np.asarray(slots, dtype=np.intp)])[-1]
+    return 1.0 - float(miss)
+
+
+def _community_encounter_probability_reference(history, now, horizon, members,
+                                               overdue_policy):
     miss = 1.0
     for member in members:
         if member == history.owner_id:
@@ -180,7 +382,7 @@ def community_encounter_probability(history: ContactHistory, now: float, horizon
     return 1.0 - miss
 
 
-def expected_num_encountering_communities(history: ContactHistory, now: float,
+def expected_num_encountering_communities(history, now: float,
                                           horizon: float,
                                           communities: Mapping[int, Iterable[int]],
                                           own_community: Optional[int],

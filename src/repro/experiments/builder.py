@@ -175,7 +175,8 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     statistics, runners, backends) is identical for both.
     """
     simulator = Simulator(seed=config.seed, end_time=config.sim_time)
-    stats = StatsCollector(keep_records=config.keep_records)
+    stats = StatsCollector(keep_records=config.keep_records,
+                           mode=config.record_mode)
 
     roadmap: Optional[RoadMap] = None
     routes: Optional[List[BusRoute]] = None

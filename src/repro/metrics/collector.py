@@ -4,13 +4,31 @@ The world, connections and routers report to a single :class:`StatsCollector`
 instance per simulation run.  It keeps both raw event records (see
 :mod:`repro.metrics.events`) and the running aggregates needed by the paper's
 three metrics.
+
+Record keeping has three modes (:class:`RecordMode`):
+
+* ``lists`` — the historical default: one frozen dataclass per event,
+  appended to per-type Python lists.
+* ``columnar`` — per-event *fields* appended to growable NumPy column stores
+  (:mod:`repro.metrics.columns`).  The ``*_records`` properties materialize
+  dataclass lists on demand, so the API is unchanged, but million-event
+  sweeps stop allocating an object per relay and the analysis layer can read
+  whole columns without touching records.
+* ``off`` — aggregates only (the old ``keep_records=False``).
+
+All three modes produce identical aggregates and derived metrics; the
+collector-mode parity tests pin that.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+import numpy as np
+
+from repro.metrics.columns import ColumnTable
 from repro.metrics.events import (
     ContactRecord,
     MessageCreated,
@@ -22,25 +40,75 @@ from repro.metrics.events import (
 from repro.net.message import Message
 
 
+class RecordMode(enum.Enum):
+    """How (and whether) per-event records are kept."""
+
+    OFF = "off"
+    LISTS = "lists"
+    COLUMNAR = "columnar"
+
+
+def _resolve_mode(keep_records: bool, columnar: bool,
+                  mode: Union[RecordMode, str, None]) -> RecordMode:
+    if mode is not None:
+        return RecordMode(mode)
+    if not keep_records:
+        return RecordMode.OFF
+    return RecordMode.COLUMNAR if columnar else RecordMode.LISTS
+
+
+#: column layouts per event type, in dataclass-field order
+_TABLE_SPECS = {
+    "created": ((("message_id", "object"), ("source", "i8"),
+                 ("destination", "i8"), ("size", "i8"), ("time", "f8"),
+                 ("copies", "i8")), MessageCreated),
+    "relayed": ((("message_id", "object"), ("from_node", "i8"),
+                 ("to_node", "i8"), ("time", "f8"), ("copies", "i8"),
+                 ("final_delivery", "?")), MessageRelayed),
+    "delivered": ((("message_id", "object"), ("source", "i8"),
+                   ("destination", "i8"), ("created_at", "f8"),
+                   ("delivered_at", "f8"), ("hop_count", "i8")),
+                  MessageDelivered),
+    "dropped": ((("message_id", "object"), ("node", "i8"), ("time", "f8"),
+                 ("reason", "object")), MessageDropped),
+    "aborted": ((("message_id", "object"), ("from_node", "i8"),
+                 ("to_node", "i8"), ("time", "f8"), ("bytes_left", "f8")),
+                TransferAborted),
+    "contacts": ((("node_a", "i8"), ("node_b", "i8"), ("start", "f8"),
+                  ("end", "f8")), ContactRecord),
+}
+
+
 class StatsCollector:
     """Accumulates simulation statistics.
 
     The collector is deliberately passive: it never mutates simulation state,
     and all of its record-keeping is O(1) per event, so it can stay enabled
     for benchmark runs.
+
+    Parameters
+    ----------
+    keep_records:
+        ``False`` disables per-event records entirely (aggregates are always
+        kept); shorthand for ``mode="off"``.
+    columnar:
+        Use the columnar store instead of per-event dataclass lists;
+        shorthand for ``mode="columnar"``.
+    mode:
+        Explicit :class:`RecordMode` (or its string value); overrides the two
+        boolean shorthands.
     """
 
-    def __init__(self, keep_records: bool = True) -> None:
-        #: whether to keep per-event records (aggregates are always kept)
-        self.keep_records = keep_records
+    def __init__(self, keep_records: bool = True, columnar: bool = False,
+                 mode: Union[RecordMode, str, None] = None) -> None:
+        self.record_mode = _resolve_mode(keep_records, columnar, mode)
 
-        # raw records
-        self.created_records: List[MessageCreated] = []
-        self.relayed_records: List[MessageRelayed] = []
-        self.delivered_records: List[MessageDelivered] = []
-        self.dropped_records: List[MessageDropped] = []
-        self.aborted_records: List[TransferAborted] = []
-        self.contact_records: List[ContactRecord] = []
+        self._lists: Dict[str, list] = {name: [] for name in _TABLE_SPECS}
+        self._tables: Dict[str, ColumnTable] = {}
+        if self.record_mode is RecordMode.COLUMNAR:
+            self._tables = {name: ColumnTable(fields, record_type)
+                            for name, (fields, record_type) in
+                            _TABLE_SPECS.items()}
 
         # aggregates
         self.created = 0
@@ -63,15 +131,121 @@ class StatsCollector:
         self._open_contacts: Dict[tuple, float] = {}
         self._per_node_drops: Dict[int, int] = defaultdict(int)
 
+    @property
+    def keep_records(self) -> bool:
+        """Whether any per-event records are kept (derived from the mode).
+
+        Read-only: record keeping was historically toggled by assigning this
+        flag, which would now silently do nothing — pick the mode at
+        construction time instead (``StatsCollector(mode=...)``).
+        """
+        return self.record_mode is not RecordMode.OFF
+
+    # ------------------------------------------------------------ record views
+    def _records(self, name: str) -> list:
+        table = self._tables.get(name)
+        if table is not None:
+            return table.materialize()
+        return self._lists[name]
+
+    @property
+    def created_records(self) -> List[MessageCreated]:
+        """Recorded :class:`MessageCreated` events (materialized on demand)."""
+        return self._records("created")
+
+    @property
+    def relayed_records(self) -> List[MessageRelayed]:
+        """Recorded :class:`MessageRelayed` events (materialized on demand)."""
+        return self._records("relayed")
+
+    @property
+    def delivered_records(self) -> List[MessageDelivered]:
+        """Recorded :class:`MessageDelivered` events (materialized on demand)."""
+        return self._records("delivered")
+
+    @property
+    def dropped_records(self) -> List[MessageDropped]:
+        """Recorded :class:`MessageDropped` events (materialized on demand)."""
+        return self._records("dropped")
+
+    @property
+    def aborted_records(self) -> List[TransferAborted]:
+        """Recorded :class:`TransferAborted` events (materialized on demand)."""
+        return self._records("aborted")
+
+    @property
+    def contact_records(self) -> List[ContactRecord]:
+        """Recorded :class:`ContactRecord` events (materialized on demand)."""
+        return self._records("contacts")
+
+    def record_columns(self, name: str) -> Dict[str, np.ndarray]:
+        """Raw column arrays for one event type (columnar mode only).
+
+        *name* is one of ``created``, ``relayed``, ``delivered``,
+        ``dropped``, ``aborted``, ``contacts``.
+        """
+        table = self._tables.get(name)
+        if table is None:
+            raise RuntimeError(
+                "record_columns requires RecordMode.COLUMNAR "
+                f"(collector is in mode {self.record_mode.value!r})")
+        return table.columns()
+
+    def record_storage_bytes(self) -> int:
+        """Approximate bytes retained by the per-event record storage.
+
+        Counts container overhead plus per-record objects (lists mode) or
+        column buffers (columnar mode); string payloads are excluded in both
+        modes since message-id objects are shared with the live messages.
+        The benchmark harness reports this as the columnar mode's footprint
+        advantage.
+        """
+        import sys as _sys
+
+        total = 0
+        if self.record_mode is RecordMode.COLUMNAR:
+            for table in self._tables.values():
+                for (name, dtype), column in zip(table.fields, table._columns):
+                    if isinstance(column, list):
+                        total += _sys.getsizeof(column)
+                    else:
+                        total += column._data.nbytes
+            return total
+        if self.record_mode is RecordMode.LISTS:
+            for records in self._lists.values():
+                total += _sys.getsizeof(records)
+                if records:
+                    sample = records[:256]
+                    per_record = sum(_sys.getsizeof(r) for r in sample) / len(sample)
+                    total += int(per_record * len(records))
+            return total
+        return 0
+
+    def delivered_latencies(self) -> np.ndarray:
+        """End-to-end latencies of first deliveries, as one array.
+
+        Reads the columnar store directly when available (no record
+        materialization); empty when records are off.
+        """
+        table = self._tables.get("delivered")
+        if table is not None:
+            return table.column("delivered_at") - table.column("created_at")
+        return np.asarray([rec.latency for rec in self._lists["delivered"]],
+                          dtype=float)
+
     # ----------------------------------------------------------- message life
     def message_created(self, message: Message) -> None:
         """Record a bundle entering the network."""
         self.created += 1
         self._creation_time[message.message_id] = message.creation_time
-        if self.keep_records:
-            self.created_records.append(MessageCreated(
+        if self.record_mode is RecordMode.LISTS:
+            self._lists["created"].append(MessageCreated(
                 message.message_id, message.source, message.destination,
                 message.size, message.creation_time, message.copies))
+        elif self.record_mode is RecordMode.COLUMNAR:
+            self._tables["created"].append(
+                message.message_id, message.source, message.destination,
+                message.size, message.creation_time, message.copies)
 
     def transfer_started(self) -> None:
         """Record a transfer being enqueued on a connection."""
@@ -81,9 +255,14 @@ class StatsCollector:
                         time: float, copies: int, final_delivery: bool) -> None:
         """Record a completed replica transfer (the goodput denominator)."""
         self.relayed += 1
-        if self.keep_records:
-            self.relayed_records.append(MessageRelayed(
-                message.message_id, from_node, to_node, time, copies, final_delivery))
+        if self.record_mode is RecordMode.LISTS:
+            self._lists["relayed"].append(MessageRelayed(
+                message.message_id, from_node, to_node, time, copies,
+                final_delivery))
+        elif self.record_mode is RecordMode.COLUMNAR:
+            self._tables["relayed"].append(
+                message.message_id, from_node, to_node, time, copies,
+                final_delivery)
 
     def message_delivered(self, message: Message, time: float) -> bool:
         """Record an arrival at the destination.
@@ -100,10 +279,14 @@ class StatsCollector:
         latency = time - created_at
         self.latency_sum += latency
         self.hop_count_sum += message.hop_count
-        if self.keep_records:
-            self.delivered_records.append(MessageDelivered(
+        if self.record_mode is RecordMode.LISTS:
+            self._lists["delivered"].append(MessageDelivered(
                 message.message_id, message.source, message.destination,
                 created_at, time, message.hop_count))
+        elif self.record_mode is RecordMode.COLUMNAR:
+            self._tables["delivered"].append(
+                message.message_id, message.source, message.destination,
+                created_at, time, message.hop_count)
         return True
 
     def message_dropped(self, message: Message, node: int, time: float,
@@ -113,17 +296,22 @@ class StatsCollector:
         if reason == "expired":
             self.expired += 1
         self._per_node_drops[node] += 1
-        if self.keep_records:
-            self.dropped_records.append(MessageDropped(
+        if self.record_mode is RecordMode.LISTS:
+            self._lists["dropped"].append(MessageDropped(
                 message.message_id, node, time, reason))
+        elif self.record_mode is RecordMode.COLUMNAR:
+            self._tables["dropped"].append(message.message_id, node, time, reason)
 
     def transfer_aborted(self, message: Message, from_node: int, to_node: int,
                          time: float, bytes_left: float) -> None:
         """Record a transfer interrupted by a link tear-down."""
         self.aborted += 1
-        if self.keep_records:
-            self.aborted_records.append(TransferAborted(
+        if self.record_mode is RecordMode.LISTS:
+            self._lists["aborted"].append(TransferAborted(
                 message.message_id, from_node, to_node, time, bytes_left))
+        elif self.record_mode is RecordMode.COLUMNAR:
+            self._tables["aborted"].append(
+                message.message_id, from_node, to_node, time, bytes_left)
 
     # --------------------------------------------------------------- contacts
     def contact_up(self, node_a: int, node_b: int, time: float) -> None:
@@ -136,8 +324,13 @@ class StatsCollector:
         """Record a link going down; closes the matching open contact."""
         key = (min(node_a, node_b), max(node_a, node_b))
         start = self._open_contacts.pop(key, None)
-        if self.keep_records and start is not None:
-            self.contact_records.append(ContactRecord(key[0], key[1], start, time))
+        if start is None:
+            return
+        if self.record_mode is RecordMode.LISTS:
+            self._lists["contacts"].append(
+                ContactRecord(key[0], key[1], start, time))
+        elif self.record_mode is RecordMode.COLUMNAR:
+            self._tables["contacts"].append(key[0], key[1], start, time)
 
     # ---------------------------------------------------------------- control
     def control_exchange(self, rows: int, size_bytes: int = 0) -> None:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageCreated:
     """A new bundle entered the network at its source."""
 
@@ -23,7 +23,7 @@ class MessageCreated:
     copies: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageRelayed:
     """A transfer completed: one replica moved from one node to another."""
 
@@ -36,7 +36,7 @@ class MessageRelayed:
     final_delivery: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageDelivered:
     """First arrival of a bundle at its destination."""
 
@@ -53,7 +53,7 @@ class MessageDelivered:
         return self.delivered_at - self.created_at
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageDropped:
     """A stored replica was removed without being forwarded."""
 
@@ -64,7 +64,7 @@ class MessageDropped:
     reason: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferAborted:
     """An in-flight or queued transfer was cut short by a link going down."""
 
@@ -75,7 +75,7 @@ class TransferAborted:
     bytes_left: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContactRecord:
     """One contact (link-up .. link-down interval) between two nodes."""
 

@@ -65,10 +65,9 @@ class SimulationReport:
 
 
 def _latency_percentiles(collector: StatsCollector) -> Dict[str, float]:
-    latencies = [rec.latency for rec in collector.delivered_records]
-    if not latencies:
+    arr = collector.delivered_latencies()
+    if not arr.size:
         return {}
-    arr = np.asarray(latencies, dtype=float)
     return {
         "p50": float(np.percentile(arr, 50)),
         "p90": float(np.percentile(arr, 90)),

@@ -250,19 +250,36 @@ class Router:
             self._considered_per_contact.pop(connection.key, None)
             self._evaluated_contacts.discard(connection.key)
 
+    def batch_changed_connections(self, events: List[tuple]) -> None:
+        """One tick's worth of link changes for this node, in one call.
+
+        *events* is a list of ``(connection, up)`` pairs: this node's link
+        tear-downs first, then its link establishments, each group in
+        ascending ``(id, id)`` pair order (the world's sorted link diff).
+        The default implementation dispatches to :meth:`changed_connection`
+        per event; routers with per-contact setup costs can override this to
+        amortize work across the batch.
+        """
+        for connection, up in events:
+            self.changed_connection(connection, up)
+
     # -------------------------------------------------------------- common moves
     def send_deliverable(self, connection: Connection) -> int:
         """Send every buffered message whose destination is the connected peer.
 
         All protocols do this first; returns the number of transfers queued.
+        Candidates come from the buffer's per-destination index, so a tick
+        with no deliverable messages costs O(1) instead of a buffer scan.
         """
         assert self.node is not None
         peer = connection.other(self.node)
+        candidates = self.buffer.messages_for_destination(peer.node_id)
+        if not candidates:
+            return 0
+        peer_router = self.peer_router(connection)
         sent = 0
-        for message in self.buffer.messages():
-            if message.destination != peer.node_id:
-                continue
-            if self.peer_router(connection).delivered_here(message.message_id):
+        for message in candidates:
+            if peer_router.delivered_here(message.message_id):
                 continue
             if self.send(connection, message, copies=message.copies, forwarding=True):
                 sent += 1

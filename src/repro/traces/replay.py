@@ -74,10 +74,10 @@ class TraceReplayWorld(World):
                 self._active_pairs.discard(pair)
         previous = set(self._connections)
         current = set(self._active_pairs)
-        for key in sorted(previous - current):
-            self._link_down(key, now)
-        for key in sorted(current - previous):
-            self._link_up(key, now)
+        down_keys = sorted(previous - current)
+        up_keys = sorted(current - previous)
+        if down_keys or up_keys:
+            self._apply_link_changes(down_keys, up_keys, now)
 
 
 def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",

@@ -43,6 +43,20 @@ def _empty_codes() -> np.ndarray:
     return np.empty(0, dtype=np.int64)
 
 
+def _sorted_diff(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a \\ b`` for sorted unique int arrays, without re-sorting.
+
+    Equivalent to ``np.setdiff1d(a, b, assume_unique=True)`` but exploits
+    that both inputs are already sorted (one ``searchsorted`` instead of a
+    concatenate-and-sort), which the per-tick link diff calls twice.
+    """
+    if not len(a) or not len(b):
+        return a
+    idx = np.searchsorted(b, a)
+    idx[idx == len(b)] = len(b) - 1
+    return a[b[idx] != a]
+
+
 class World:
     """Container and update driver for a set of DTN nodes.
 
@@ -215,20 +229,49 @@ class World:
         else:
             codes = _empty_codes()
         previous = self._link_codes
-        if len(previous):
-            for code in np.setdiff1d(previous, codes, assume_unique=True):
-                self._link_down(self._decode(code), now)
-        if len(codes):
-            for code in np.setdiff1d(codes, previous, assume_unique=True):
-                self._link_up(self._decode(code), now)
+        down_keys = [self._decode(code) for code in _sorted_diff(previous, codes)]
+        up_keys = [self._decode(code) for code in _sorted_diff(codes, previous)]
         self._link_codes = codes
+        if down_keys or up_keys:
+            self._apply_link_changes(down_keys, up_keys, now)
 
     @staticmethod
     def _decode(code: np.int64) -> Tuple[int, int]:
         value = int(code)
         return value >> 32, value & 0xFFFFFFFF
 
-    def _link_up(self, key: Tuple[int, int], now: float) -> None:
+    def _apply_link_changes(self, down_keys: List[Tuple[int, int]],
+                            up_keys: List[Tuple[int, int]], now: float) -> None:
+        """Apply one tick's sorted link diff and notify routers in batches.
+
+        Phase 1 performs all world-side bookkeeping in the deterministic
+        event order (tear-downs in ascending pair order — aborting transfers
+        and closing contacts — then establishments in ascending pair order).
+        Phase 2 hands every affected router *all* of its link changes in one
+        :meth:`~repro.routing.base.Router.batch_changed_connections` call,
+        in ascending node-id order.  Ascending dispatch preserves the
+        contact-state exchange invariant (see
+        :meth:`~repro.routing.active.ContactAwareRouter.is_exchange_initiator`):
+        the larger-id endpoint of every new contact — the exchange initiator —
+        is always notified after the smaller-id endpoint has folded the
+        contact into its own state.
+        """
+        events_by_node: Dict[int, List[Tuple[Connection, bool]]] = {}
+        for key in down_keys:
+            connection = self._teardown_link(key, now)
+            events_by_node.setdefault(key[0], []).append((connection, False))
+            events_by_node.setdefault(key[1], []).append((connection, False))
+        for key in up_keys:
+            connection = self._establish_link(key, now)
+            events_by_node.setdefault(key[0], []).append((connection, True))
+            events_by_node.setdefault(key[1], []).append((connection, True))
+        for node_id in sorted(events_by_node):
+            router = self._nodes[node_id].router
+            assert router is not None
+            router.batch_changed_connections(events_by_node[node_id])
+
+    def _establish_link(self, key: Tuple[int, int], now: float) -> Connection:
+        """World-side bookkeeping for a new link (no router notification)."""
         node_a = self._nodes[key[0]]
         node_b = self._nodes[key[1]]
         bitrate = node_a.interface.link_bitrate(node_b.interface)
@@ -237,11 +280,10 @@ class World:
         node_a.connections[node_b.node_id] = connection
         node_b.connections[node_a.node_id] = connection
         self.stats.contact_up(node_a.node_id, node_b.node_id, now)
-        assert node_a.router is not None and node_b.router is not None
-        node_a.router.changed_connection(connection, up=True)
-        node_b.router.changed_connection(connection, up=True)
+        return connection
 
-    def _link_down(self, key: Tuple[int, int], now: float) -> None:
+    def _teardown_link(self, key: Tuple[int, int], now: float) -> Connection:
+        """World-side bookkeeping for a lost link (no router notification)."""
         connection = self._connections.pop(key)
         aborted = connection.tear_down(now)
         for transfer in aborted:
@@ -255,9 +297,15 @@ class World:
         node_a.connections.pop(node_b.node_id, None)
         node_b.connections.pop(node_a.node_id, None)
         self.stats.contact_down(node_a.node_id, node_b.node_id, now)
-        assert node_a.router is not None and node_b.router is not None
-        node_a.router.changed_connection(connection, up=False)
-        node_b.router.changed_connection(connection, up=False)
+        return connection
+
+    def _link_up(self, key: Tuple[int, int], now: float) -> None:
+        """Establish one link and notify both routers (single-event path)."""
+        self._apply_link_changes([], [key], now)
+
+    def _link_down(self, key: Tuple[int, int], now: float) -> None:
+        """Tear down one link and notify both routers (single-event path)."""
+        self._apply_link_changes([key], [], now)
 
     def _advance_transfers(self, now: float, dt: float) -> None:
         for connection in list(self._connections.values()):

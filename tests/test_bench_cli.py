@@ -1,0 +1,91 @@
+"""Smoke tests for ``python -m repro bench`` and the regression gate."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One shared smoke-scale bench run (the expensive part)."""
+    return bench.run_benchmarks(scale_name="smoke", seed=1)
+
+
+def test_payload_shape_and_checksums(smoke_payload):
+    payload = smoke_payload
+    assert payload["schema"] == 1
+    assert payload["scale"] == "smoke"
+    names = set(payload["benchmarks"])
+    assert names == {"encounter_pipeline", "buffer_churn",
+                     "collector_ingest", "scenario_eer"}
+    for name, entry in payload["benchmarks"].items():
+        assert entry["checksums_match"], (
+            f"{name}: vectorized path diverged from the reference")
+        key = entry["throughput_key"]
+        assert entry["baseline"][key] > 0
+        assert entry["current"][key] > 0
+        assert entry["speedup"] is not None
+    # the paired run proves decision-identity end to end
+    scenario = payload["benchmarks"]["scenario_eer"]
+    assert scenario["baseline"]["checksums"] == scenario["current"]["checksums"]
+    # payload is JSON-serialisable as-is
+    json.dumps(payload)
+
+
+def test_compare_to_baseline_gate(smoke_payload):
+    assert bench.compare_to_baseline(smoke_payload, smoke_payload) == []
+    # a committed baseline with 10x the speedup must trip the gate
+    import copy
+
+    inflated = copy.deepcopy(smoke_payload)
+    for entry in inflated["benchmarks"].values():
+        entry["speedup"] = entry["speedup"] * 10
+    failures = bench.compare_to_baseline(smoke_payload, inflated,
+                                         max_regression=0.25)
+    assert len(failures) == len(smoke_payload["benchmarks"])
+    # scale mismatch is refused outright
+    wrong_scale = dict(inflated, scale="full")
+    assert bench.compare_to_baseline(smoke_payload, wrong_scale) \
+        == ["scale mismatch: current 'smoke' vs baseline 'full'"]
+
+
+def test_cli_bench_writes_and_compares(tmp_path, smoke_payload, monkeypatch,
+                                       capsys):
+    # stub the heavy run with the shared payload: the CLI wiring is the
+    # subject here, not the benchmarks themselves
+    monkeypatch.setattr(bench, "run_benchmarks",
+                        lambda scale_name, seed: dict(smoke_payload))
+    out = tmp_path / "BENCH_test.json"
+    assert main(["bench", "--scale", "smoke", "--output", str(out)]) == 0
+    written = json.loads(out.read_text())
+    assert written["benchmarks"].keys() == smoke_payload["benchmarks"].keys()
+    capsys.readouterr()
+    # comparing a payload against itself passes the gate
+    assert main(["bench", "--scale", "smoke", "--compare", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "no regression" in captured.err
+
+
+def test_cli_bench_fails_on_regression(tmp_path, smoke_payload, monkeypatch,
+                                       capsys):
+    import copy
+
+    inflated = copy.deepcopy(smoke_payload)
+    for entry in inflated["benchmarks"].values():
+        entry["speedup"] = entry["speedup"] * 10
+    baseline_file = tmp_path / "BENCH_baseline.json"
+    bench.write_payload(inflated, str(baseline_file))
+    monkeypatch.setattr(bench, "run_benchmarks",
+                        lambda scale_name, seed: dict(smoke_payload))
+    assert main(["bench", "--scale", "smoke",
+                 "--compare", str(baseline_file)]) == 1
+    captured = capsys.readouterr()
+    assert "regression" in captured.err
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(KeyError):
+        bench.run_benchmarks(scale_name="galactic")

@@ -132,8 +132,31 @@ def test_memd_cache_refreshes_after_interval():
                                   router_params={"memd_refresh": 5.0})
     simulator.run(until=20.0)
     router = world.get_node(0).router
-    first = router.memd_to(1)
-    first_key = router._memd_cache_time
+    router.memd_to(1)
+    computes = router._memd.computes
+    # repeat queries inside the staleness budget are served from the cache
+    router.memd_to(1)
+    router.memd_to(2)
+    assert router._memd.computes == computes
+    assert router._memd.hits >= 2
+    # ... but after memd_refresh seconds the vector is recomputed
     simulator.run(until=40.0)
     router.memd_to(1)
-    assert router._memd_cache_time > first_key
+    assert router._memd.computes > computes
+
+
+def test_memd_cache_invalidated_only_by_effective_state_changes():
+    trace = make_contact_plan([(10.0, 500.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="eer", num_nodes=3,
+                                  router_params={"memd_refresh": 1e9})
+    simulator.run(until=20.0)
+    router = world.get_node(0).router
+    router.memd_to(1)
+    computes = router._memd.computes
+    # nothing changed: stays cached regardless of elapsed queries
+    router.memd_to(2)
+    assert router._memd.computes == computes
+    # a recorded contact changes the history version -> recompute
+    router.history.record_contact(2, 21.0)
+    router.memd_to(1)
+    assert router._memd.computes == computes + 1

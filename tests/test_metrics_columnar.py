@@ -1,0 +1,128 @@
+"""Collector record-mode parity: lists vs columnar vs off.
+
+The three record modes must be observationally identical everywhere except
+storage: same aggregates, same derived metrics, and (for the two that keep
+records) the same materialized record lists — across both direct event feeds
+and a full catalog scenario run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.builder import build_scenario
+from repro.experiments.catalog import make_scenario
+from repro.metrics.collector import RecordMode, StatsCollector
+from repro.metrics.reports import build_report
+from repro.net.message import Message
+
+METRICS = ("delivery_ratio", "average_latency", "goodput", "overhead_ratio",
+           "average_hop_count")
+
+
+def feed(collector: StatsCollector) -> None:
+    a = Message("A", 0, 1, 100, 0.0, ttl=500.0, copies=4)
+    b = Message("B", 2, 3, 100, 10.0, ttl=500.0, copies=4)
+    collector.message_created(a)
+    collector.message_created(b)
+    collector.contact_up(0, 2, 1.0)
+    collector.message_relayed(a, 0, 2, 5.0, 2, False)
+    collector.contact_down(0, 2, 9.0)
+    delivered = a.replicate(1, receiver=1, now=42.0)
+    collector.message_relayed(delivered, 2, 1, 42.0, 1, True)
+    collector.message_delivered(delivered, 42.0)
+    collector.message_delivered(delivered, 50.0)  # duplicate
+    collector.message_dropped(b, 2, 60.0, "buffer")
+    collector.message_dropped(b, 3, 70.0, "expired")
+    collector.transfer_aborted(b, 2, 3, 80.0, 55.0)
+
+
+def test_mode_resolution():
+    assert StatsCollector().record_mode is RecordMode.LISTS
+    assert StatsCollector(keep_records=False).record_mode is RecordMode.OFF
+    assert StatsCollector(columnar=True).record_mode is RecordMode.COLUMNAR
+    assert StatsCollector(mode="columnar").record_mode is RecordMode.COLUMNAR
+    assert StatsCollector(keep_records=False, mode="lists").record_mode \
+        is RecordMode.LISTS
+    assert StatsCollector(mode="off").keep_records is False
+
+
+def test_event_feed_parity_across_modes():
+    collectors = {mode: StatsCollector(mode=mode)
+                  for mode in ("off", "lists", "columnar")}
+    for collector in collectors.values():
+        feed(collector)
+    lists_mode = collectors["lists"]
+    for name, collector in collectors.items():
+        assert collector.created == 2
+        assert collector.delivered == 1
+        assert collector.duplicate_deliveries == 1
+        assert collector.relayed == 2
+        assert collector.dropped == 2 and collector.expired == 1
+        assert collector.aborted == 1
+        assert collector.contacts == 1
+        for metric in METRICS:
+            assert getattr(collector, metric) == getattr(lists_mode, metric), \
+                (name, metric)
+    # identical materialized records between lists and columnar
+    columnar = collectors["columnar"]
+    assert columnar.created_records == lists_mode.created_records
+    assert columnar.relayed_records == lists_mode.relayed_records
+    assert columnar.delivered_records == lists_mode.delivered_records
+    assert columnar.dropped_records == lists_mode.dropped_records
+    assert columnar.aborted_records == lists_mode.aborted_records
+    assert columnar.contact_records == lists_mode.contact_records
+    # off keeps no records but all aggregates
+    off = collectors["off"]
+    assert off.created_records == [] and off.delivered_records == []
+    # latency arrays agree
+    assert np.array_equal(columnar.delivered_latencies(),
+                          lists_mode.delivered_latencies())
+
+
+def test_record_columns_access():
+    collector = StatsCollector(mode="columnar")
+    feed(collector)
+    columns = collector.record_columns("delivered")
+    assert columns["delivered_at"].tolist() == [42.0]
+    assert columns["hop_count"].tolist() == [1]
+    with pytest.raises(RuntimeError):
+        StatsCollector(mode="lists").record_columns("delivered")
+
+
+def test_record_storage_reporting():
+    lists_mode = StatsCollector(mode="lists")
+    columnar = StatsCollector(mode="columnar")
+    off = StatsCollector(mode="off")
+    for collector in (lists_mode, columnar, off):
+        feed(collector)
+    assert lists_mode.record_storage_bytes() > 0
+    assert columnar.record_storage_bytes() > 0
+    assert off.record_storage_bytes() == 0
+
+
+@pytest.mark.parametrize("scenario", ["bench"])
+def test_scenario_metrics_identical_across_record_modes(scenario):
+    """Delivery ratio / latency / overhead / hops identical for off, lists
+    and columnar across a catalog scenario run."""
+    reports = {}
+    for mode in ("off", "lists", "columnar"):
+        config = make_scenario(scenario, {"sim_time": 400.0, "seed": 3,
+                                          "protocol": "epidemic",
+                                          "record_mode": mode})
+        built = build_scenario(config)
+        built.run()
+        reports[mode] = build_report(
+            built.stats, protocol=config.protocol, num_nodes=config.num_nodes,
+            sim_time=config.sim_time, seed=config.seed)
+        assert built.stats.record_mode.value == mode
+    base = reports["lists"]
+    assert base.delivered > 0  # the run must actually exercise the collector
+    for mode in ("off", "columnar"):
+        report = reports[mode]
+        for metric in METRICS + ("created", "delivered", "relayed", "dropped",
+                                 "contacts", "control_rows_exchanged"):
+            assert report.metric(metric) == base.metric(metric), (mode, metric)
+    # percentiles come from records: identical between lists and columnar,
+    # absent (empty) when records are off
+    assert reports["columnar"].latency_percentiles == base.latency_percentiles
+    assert reports["off"].latency_percentiles == {}

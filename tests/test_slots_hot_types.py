@@ -1,0 +1,66 @@
+"""Hot-path types must stay slotted.
+
+A ``__dict__`` on :class:`Message`, :class:`Transfer` or the per-event metric
+records adds ~100 bytes and a dict allocation per instance — at millions of
+events that is the difference between fitting a sweep in RAM or not.  This
+test fails the build if someone accidentally drops ``__slots__`` (e.g. by
+adding a field to the dataclasses without ``slots=True``).
+"""
+
+import pytest
+
+from repro.contacts.history import ContactHistory
+from repro.contacts.memd import MemdCache
+from repro.metrics.events import (
+    ContactRecord,
+    MessageCreated,
+    MessageDelivered,
+    MessageDropped,
+    MessageRelayed,
+    TransferAborted,
+)
+from repro.net.connection import Transfer
+from repro.net.message import Message
+
+EVENT_INSTANCES = [
+    MessageCreated("m", 0, 1, 10, 0.0, 1),
+    MessageRelayed("m", 0, 1, 1.0, 1, False),
+    MessageDelivered("m", 0, 1, 0.0, 5.0, 2),
+    MessageDropped("m", 0, 1.0, "buffer"),
+    TransferAborted("m", 0, 1, 1.0, 5.0),
+    ContactRecord(0, 1, 0.0, 5.0),
+]
+
+
+@pytest.mark.parametrize("instance", EVENT_INSTANCES,
+                         ids=lambda i: type(i).__name__)
+def test_metric_event_records_are_slotted(instance):
+    assert not hasattr(instance, "__dict__"), (
+        f"{type(instance).__name__} grew a __dict__; keep slots=True on the "
+        "hot metric record dataclasses")
+    assert hasattr(type(instance), "__slots__")
+
+
+def test_message_is_slotted():
+    message = Message("m", 0, 1, 10, 0.0)
+    assert not hasattr(message, "__dict__")
+    with pytest.raises(AttributeError):
+        message.surprise = 1  # type: ignore[attr-defined]
+
+
+def test_transfer_is_slotted():
+    assert "__slots__" in vars(Transfer)
+    assert not any("__dict__" in vars(base)
+                   for base in Transfer.__mro__ if base is not object)
+
+
+def test_contact_history_and_memd_cache_are_slotted():
+    history = ContactHistory(0)
+    assert not hasattr(history, "__dict__")
+    cache = MemdCache()
+    assert not hasattr(cache, "__dict__")
+
+
+def test_delivered_record_latency_property_still_works_with_slots():
+    record = MessageDelivered("m", 0, 1, 2.0, 7.5, 2)
+    assert record.latency == 5.5

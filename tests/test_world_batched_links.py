@@ -1,0 +1,100 @@
+"""Per-tick batched link-event dispatch (World._apply_link_changes).
+
+The world hands every affected router *all* of its link changes for a tick in
+one ``batch_changed_connections`` call.  These tests pin the dispatch
+contract: downs before ups, pair-sorted within each group, routers notified
+in ascending node-id order — which is exactly what keeps the contact-state
+exchange invariant (smaller endpoint folds the contact in before the
+larger-id initiator runs the exchange).
+"""
+
+from repro.routing.epidemic import EpidemicRouter
+from repro.sim.engine import Simulator
+from repro.traces.contact_trace import ContactTrace
+from repro.traces.replay import build_trace_world
+
+
+class RecordingRouter(EpidemicRouter):
+    """Epidemic router that logs the batched notifications it receives."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.batches = []
+
+    def batch_changed_connections(self, events) -> None:
+        self.batches.append([(connection.key, up) for connection, up in events])
+        super().batch_changed_connections(events)
+
+
+def make_trace(intervals):
+    """intervals: list of (start, end, a, b)."""
+    from repro.traces.contact_trace import ContactEvent
+
+    events = []
+    for start, end, a, b in intervals:
+        events.append(ContactEvent(start, a, b, True))
+        events.append(ContactEvent(end, a, b, False))
+    return ContactTrace(events)
+
+
+def test_batched_events_downs_first_then_ups_pair_sorted():
+    # at t=10 three links come up; at t=20 two go down while one comes up
+    trace = make_trace([
+        (10.0, 20.0, 0, 1),
+        (10.0, 20.0, 1, 2),
+        (10.0, 50.0, 0, 3),
+        (20.0, 50.0, 1, 4),
+    ])
+    simulator, world = build_trace_world(trace, protocol="epidemic",
+                                         num_nodes=5)
+    routers = {}
+    for node_id in range(5):
+        node = world.get_node(node_id)
+        router = RecordingRouter()
+        node.router = None
+        router.attach(node, world)
+        routers[node_id] = router
+    simulator.run(until=30.0)
+
+    # node 1 saw (0,1) and (1,2) come up in one batch, pair-sorted
+    assert [((0, 1), True), ((1, 2), True)] in routers[1].batches
+    # at t=20 node 1's batch carries both downs before the new up
+    assert [((0, 1), False), ((1, 2), False), ((1, 4), True)] \
+        in routers[1].batches
+    # every router's live connection table matches the trace at t=30
+    assert set(world._connections) == {(0, 3), (1, 4)}
+
+
+def test_ascending_dispatch_preserves_exchange_invariant():
+    """EER's MI exchange relies on the smaller endpoint being notified first."""
+    from repro.core.eer import EERRouter
+
+    trace = make_trace([(10.0, 100.0, 0, 1), (10.0, 100.0, 0, 2),
+                        (10.0, 100.0, 1, 2)])
+    simulator, world = build_trace_world(trace, protocol="eer", num_nodes=3)
+    simulator.run(until=15.0)
+    for node_id in range(3):
+        router = world.get_node(node_id).router
+        assert isinstance(router, EERRouter)
+        # every endpoint recorded its simultaneous contacts exactly once
+        peers = sorted(router.history.peers())
+        assert peers == sorted(set(range(3)) - {node_id})
+        for peer in peers:
+            assert router.history.contact_count(peer) == 1
+    # exchanges ran: the initiators merged rows from their smaller peers
+    assert world.stats.control_exchanges >= 1
+
+
+def test_single_event_paths_still_work():
+    """_link_up/_link_down single-event wrappers keep the legacy behaviour."""
+    trace = make_trace([(5.0, 8.0, 0, 1)])
+    simulator, world = build_trace_world(trace, protocol="epidemic",
+                                         num_nodes=2)
+    simulator.run(until=6.0)
+    assert world.connection_between(0, 1) is not None
+    world._link_down((0, 1), 6.5)
+    assert world.connection_between(0, 1) is None
+    world._link_up((0, 1), 7.0)
+    assert world.connection_between(0, 1) is not None
