@@ -17,7 +17,7 @@ import os
 
 from bench_config import backend, bench_base, node_counts, seeds
 from repro.analysis.render import figure_to_csv, figure_to_json
-from repro.analysis.series import rank_series, relative_factor
+from repro.analysis.series import rank_series
 from repro.experiments.figures import FIGURE2_PROTOCOLS, figure2_comparison
 from repro.experiments.tables import format_figure
 

@@ -29,6 +29,16 @@ same answers:
     internals: wall-clock ms/tick, encounters processed per wall-second, and
     the full delivery-metric checksum set, which must be identical — the
     vectorized hot path must not change a single routing decision.
+``community_detection``
+    The community pipeline's aggregation step: per-node contact histories
+    from a planted-community contact stream are reduced to one aggregate
+    contact graph, repeatedly (as the online tracker does between
+    detections), then Newman detection runs once on the result.  Baseline:
+    the per-edge Python builder (one ``contact_count``/``mean_interval``
+    call per peer).  Current: the vectorized builder over the zero-copy
+    ``interval_arrays()``/``contact_count_arrays()`` views.  The graph
+    checksums (edge count, total weight, mean-interval sum) and the detected
+    assignment CRC must match bit for bit.
 
 ``--compare`` turns the harness into a regression gate: current throughputs
 are checked against a committed baseline JSON (CI fails on >25% regression
@@ -63,13 +73,16 @@ from repro.version import __version__
 SCALES: Dict[str, Dict[str, float]] = {
     "smoke": dict(nodes=120, encounters=150, memd_every=8, memd_batch=2,
                   buffer_ops=2_000, collector_events=20_000,
-                  scenario_time=200.0, scenario_repeats=1),
+                  scenario_time=200.0, scenario_repeats=1,
+                  detect_nodes=60, detect_contacts=4_000, detect_rounds=3),
     "quick": dict(nodes=1000, encounters=600, memd_every=8, memd_batch=4,
                   buffer_ops=20_000, collector_events=200_000,
-                  scenario_time=600.0, scenario_repeats=3),
+                  scenario_time=600.0, scenario_repeats=3,
+                  detect_nodes=200, detect_contacts=30_000, detect_rounds=5),
     "full": dict(nodes=1000, encounters=2_400, memd_every=8, memd_batch=4,
                  buffer_ops=100_000, collector_events=1_000_000,
-                 scenario_time=2_000.0, scenario_repeats=3),
+                 scenario_time=2_000.0, scenario_repeats=3,
+                 detect_nodes=300, detect_contacts=100_000, detect_rounds=8),
 }
 
 
@@ -286,6 +299,121 @@ def bench_scenario(scale: Dict[str, float], seed: int,
     }
 
 
+# ---------------------------------------------------------- community pipeline
+def _planted_history_set(num_nodes: int, contacts: int,
+                         seed: int) -> List[ContactHistory]:
+    """Per-node contact histories from a planted-community contact stream.
+
+    Four round-robin communities; 85% of contacts are intra-community.
+    Global time increases monotonically, so per-pair contact times are valid
+    for :meth:`~repro.contacts.history.ContactHistory.record_contact`.
+    """
+    rng = np.random.default_rng(seed)
+    histories = [ContactHistory(node, 20) for node in range(num_nodes)]
+    communities = 4
+    members: List[List[int]] = [
+        [node for node in range(num_nodes) if node % communities == c]
+        for c in range(communities)]
+    intra = rng.random(contacts) < 0.85
+    steps = rng.integers(1, 5, size=contacts)
+    now = 0.0
+    for index in range(contacts):
+        now += float(steps[index])
+        a = int(rng.integers(0, num_nodes))
+        if intra[index]:
+            pool = members[a % communities]
+            b = int(pool[int(rng.integers(0, len(pool)))])
+        else:
+            b = int(rng.integers(0, num_nodes))
+        if a == b:
+            continue
+        histories[a].record_contact(b, now)
+        histories[b].record_contact(a, now)
+    return histories
+
+
+def _graph_checksums(graph, groups) -> Dict[str, object]:
+    """Deterministic checksums of an aggregate contact graph + detection.
+
+    Pure verification bookkeeping (the caller times the workload — this
+    runs outside the timer).  Edges are visited in sorted ``(lo, hi)``
+    order, so the floating-point mean-interval accumulation order is
+    identical for any two graphs with identical contents — a
+    reference/vectorized attribute mismatch of even one ULP changes the
+    sum.
+    """
+    import math
+    import zlib
+
+    from repro.community.online import assignment_from_groups
+
+    weight_sum = 0
+    means: List[float] = []
+    missing_means = 0
+    for lo, hi in sorted((min(u, v), max(u, v)) for u, v in graph.edges):
+        data = graph[lo][hi]
+        weight_sum += int(data["weight"])
+        mean = data.get("mean_interval")
+        if mean is None:
+            missing_means += 1
+        else:
+            means.append(float(mean))
+    assignment = assignment_from_groups(
+        [set(g) for g in groups], max(graph.nodes) + 1 if graph.nodes else 1)
+    signature = ",".join(f"{node}:{community}" for node, community
+                         in sorted(assignment.as_dict().items()))
+    return {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "weight_sum": weight_sum,
+        "mean_sum": math.fsum(means),
+        "missing_means": missing_means,
+        "communities": len(groups),
+        "assignment_crc": zlib.crc32(signature.encode()),
+    }
+
+
+def bench_community_detection(scale: Dict[str, float], seed: int,
+                              reference: bool) -> Dict[str, object]:
+    """Aggregation rounds + one graph build + one detection, per mode.
+
+    The reference mode re-materialises the aggregate graph per round through
+    the per-edge builder (the pre-vectorization pattern).  The current mode
+    reduces the histories to edge *arrays* per round — that is what the
+    online pipeline keeps fresh — and materialises a graph only once, when
+    detection runs, exactly like the tracker's flush.  Both modes end in the
+    same Newman detection and must produce bit-identical graph checksums and
+    assignment CRC.
+    """
+    from repro.community.graph import (
+        contact_edge_arrays,
+        contact_graph_from_history,
+        graph_from_edge_arrays,
+    )
+    from repro.community.newman import newman_modularity_communities
+
+    num_nodes = int(scale["detect_nodes"])
+    contacts = int(scale["detect_contacts"])
+    rounds = int(scale["detect_rounds"])
+    histories = _planted_history_set(num_nodes, contacts, seed)
+    start = time.perf_counter()
+    if reference:
+        for _ in range(rounds):
+            graph = contact_graph_from_history(histories, min_contacts=1)
+    else:
+        for _ in range(rounds):
+            arrays = contact_edge_arrays(histories, min_contacts=1)
+        graph = graph_from_edge_arrays(*arrays)
+    groups = newman_modularity_communities(graph)
+    seconds = time.perf_counter() - start
+    checksums = _graph_checksums(graph, groups)
+    return {
+        "seconds": round(seconds, 4),
+        "aggregations_per_s": round(rounds / seconds, 2),
+        "checksums": checksums,
+    }
+
+
 # ------------------------------------------------------------------- assembly
 def _paired(name: str, baseline: Dict[str, object], current: Dict[str, object],
             throughput_key: str, workload: Dict[str, object]) -> Dict[str, object]:
@@ -339,6 +467,15 @@ def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object
         "encounters_per_s",
         {"scenario": "bench", "protocol": "eer",
          "sim_time": float(scale["scenario_time"])})
+
+    benchmarks["community_detection"] = _paired(
+        "community_detection",
+        bench_community_detection(scale, seed, reference=True),
+        bench_community_detection(scale, seed, reference=False),
+        "aggregations_per_s",
+        {"nodes": int(scale["detect_nodes"]),
+         "contacts": int(scale["detect_contacts"]),
+         "rounds": int(scale["detect_rounds"])})
 
     return {
         "schema": 1,

@@ -194,6 +194,11 @@ def cmd_run(args) -> int:
     for metric in _HEADLINE_METRICS:
         print(f"mean {metric:<22s} {result.mean(metric):10.4f} "
               f"(std {result.std(metric):.4f})")
+    if result.mean("community_detections") > 0:
+        print(f"mean community_detections   "
+              f"{result.mean('community_detections'):10.4f} "
+              f"({result.mean('community_detection_seconds'):.4f} s compute, "
+              f"{result.mean('community_reassignments'):.1f} reassignments)")
     return 0
 
 

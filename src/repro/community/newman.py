@@ -47,7 +47,26 @@ def modularity(graph: nx.Graph, communities: List[Set[int]]) -> float:
 
 def newman_modularity_communities(graph: nx.Graph,
                                   max_communities: int = 0) -> List[Set[int]]:
-    """Greedy modularity maximisation.
+    """Greedy (CNM) modularity maximisation.
+
+    Starting from singleton communities, repeatedly merge the connected pair
+    with the largest modularity *gain* until no merge improves modularity.
+    The gain of merging communities ``i`` and ``j`` is maintained
+    incrementally from the inter-community weight ``e_ij`` and the community
+    degree-weights ``a_i``:
+
+    ``dQ = e_ij / m - a_i * a_j / (2 m^2)``
+
+    which equals ``modularity(after) - modularity(before)`` exactly, so this
+    selects the same merges as recomputing full modularity per candidate —
+    in O(merges * inter-community-pairs) instead of
+    O(merges * pairs * edges).  Exact gain *ties* (common on small-integer
+    contact weights) are resolved lexicographically by community label;
+    the previous full-recompute implementation broke them by Python-set
+    iteration order, so tied inputs may partition differently than under
+    pre-PR4 releases (neither choice is more optimal — greedy CNM makes no
+    guarantee past the chosen merge).  The online tracker re-runs detection
+    inside the simulation loop, which is why the from-scratch cost matters.
 
     Parameters
     ----------
@@ -56,7 +75,7 @@ def newman_modularity_communities(graph: nx.Graph,
     max_communities:
         If positive, keep merging (even past the modularity peak) until at
         most this many communities remain — useful when the CR protocol needs
-        a fixed community count.
+        a fixed community count.  Only connected communities ever merge.
 
     Returns
     -------
@@ -67,43 +86,61 @@ def newman_modularity_communities(graph: nx.Graph,
     nodes = list(graph.nodes)
     if not nodes:
         return []
-    communities: List[Set[int]] = [{node} for node in nodes]
+    m = graph.size(weight="weight")
+    if m == 0:
+        members = [{node} for node in nodes]
+        members.sort(key=lambda c: (-len(c), min(c)))
+        return members
 
-    def merged(partition: List[Set[int]], i: int, j: int) -> List[Set[int]]:
-        out = [set(c) for k, c in enumerate(partition) if k not in (i, j)]
-        out.append(set(partition[i]) | set(partition[j]))
-        return out
+    label_of = {node: label for label, node in enumerate(nodes)}
+    members: Dict[int, Set[int]] = {label: {node} for node, label in label_of.items()}
+    degree: Dict[int, float] = {label: 0.0 for label in members}
+    # inter-community weights, symmetric dict-of-dicts (no self entries)
+    links: Dict[int, Dict[int, float]] = {label: {} for label in members}
+    for u, v, data in graph.edges(data=True):
+        w = data.get("weight", 1.0)
+        lu, lv = label_of[u], label_of[v]
+        degree[lu] += w
+        degree[lv] += w
+        if lu != lv:
+            links[lu][lv] = links[lu].get(lv, 0.0) + w
+            links[lv][lu] = links[lv].get(lu, 0.0) + w
 
-    current_q = modularity(graph, communities)
-    improved = True
-    while improved and len(communities) > 1:
-        improved = False
-        best_q = current_q
+    two_m_sq = 2.0 * m * m
+    while len(members) > 1:
+        best_gain = float("-inf")
         best_pair = None
-        # only consider merging communities connected by at least one edge
-        membership = {node: idx for idx, comm in enumerate(communities) for node in comm}
-        candidate_pairs = set()
-        for u, v in graph.edges:
-            cu, cv = membership[u], membership[v]
-            if cu != cv:
-                candidate_pairs.add((min(cu, cv), max(cu, cv)))
-        for i, j in candidate_pairs:
-            q = modularity(graph, merged(communities, i, j))
-            if q > best_q + 1e-12:
-                best_q = q
-                best_pair = (i, j)
-        force_merge = max_communities > 0 and len(communities) > max_communities
-        if best_pair is None and force_merge and candidate_pairs:
-            # merge the least-bad pair to honour the community-count cap
-            best_pair = min(
-                candidate_pairs,
-                key=lambda pair: -modularity(graph, merged(communities, *pair)))
-            best_q = modularity(graph, merged(communities, *best_pair))
-        if best_pair is not None:
-            communities = merged(communities, *best_pair)
-            current_q = best_q
-            improved = True
-        if max_communities > 0 and len(communities) <= max_communities:
+        for i in links:
+            di = degree[i]
+            for j, weight in links[i].items():
+                if j <= i:
+                    continue
+                gain = weight / m - di * degree[j] / two_m_sq
+                if gain > best_gain or (gain == best_gain
+                                        and best_pair is not None
+                                        and (i, j) < best_pair):
+                    best_gain = gain
+                    best_pair = (i, j)
+        if best_pair is None:
+            break  # remaining communities are disconnected
+        force_merge = max_communities > 0 and len(members) > max_communities
+        if best_gain <= 1e-12 and not force_merge:
             break
+        i, j = best_pair
+        members[i] |= members.pop(j)
+        degree[i] += degree.pop(j)
+        j_links = links.pop(j)
+        i_links = links[i]
+        i_links.pop(j, None)
+        for k, weight in j_links.items():
+            if k == i:
+                continue
+            i_links[k] = i_links.get(k, 0.0) + weight
+            k_links = links[k]
+            k_links.pop(j, None)
+            k_links[i] = i_links[k]
+        if max_communities > 0 and len(members) <= max_communities:
+            break
+    communities = list(members.values())
     communities.sort(key=lambda c: (-len(c), min(c)))
     return communities

@@ -1,0 +1,168 @@
+"""The ``CommunityProvider`` boundary between detection and routing.
+
+The CR protocol (:class:`~repro.core.cr.CommunityRouter`) needs four
+answers: *which community am I in*, *which community is node x in*, *who are
+the members of community c*, and *has any of that changed since I last built
+a membership mask*.  A :class:`CommunityProvider` is the object that answers
+them; CR never talks to a detection algorithm directly.
+
+Two implementations:
+
+* :class:`OracleCommunityProvider` — the paper's footnote-2 setting: the
+  predefined, static ``node.community`` labels the scenario builder assigned.
+  Its :attr:`~CommunityProvider.version` never changes, so CR's cached
+  membership masks stay valid forever — this is byte-for-byte the pre-PR4
+  behaviour.
+* :class:`DetectedCommunityProvider` — communities come from an
+  :class:`~repro.community.online.OnlineCommunityTracker` fed by the world's
+  own contacts.  The provider's version follows the tracker's
+  ``assignment_revision`` (which bumps only when a detection actually moved a
+  node), so consumers rebuild masks and invalidate MEMD caches exactly when
+  membership really changed.
+
+All CR routers of one world share one provider (and therefore one tracker):
+:func:`community_provider_for` keeps the shared instances in the world's
+``services`` registry, keyed by the full detection configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.community.online import OnlineCommunityTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.world.world import World
+
+#: provider modes CR accepts (``oracle`` + one per detection algorithm)
+COMMUNITY_MODES = ("oracle", "kclique", "newman")
+
+
+class CommunityProvider:
+    """Interface CR consumes; see the module docstring."""
+
+    #: which of :data:`COMMUNITY_MODES` this provider implements
+    mode: str = "oracle"
+
+    @property
+    def version(self) -> int:
+        """Bumped whenever the node -> community mapping may have changed."""
+        raise NotImplementedError
+
+    def community_of(self, node_id: int, now: float) -> int:
+        """Community id of *node_id* at time *now*."""
+        raise NotImplementedError
+
+    def communities(self, now: float) -> Dict[int, List[int]]:
+        """Mapping community id -> sorted member node ids at time *now*."""
+        raise NotImplementedError
+
+    def members(self, community_id: int, now: float) -> List[int]:
+        """Members of *community_id* at time *now* (empty when unknown)."""
+        return self.communities(now).get(int(community_id), [])
+
+    def observe_contact(self, a: int, b: int, now: float) -> None:
+        """Fold one observed contact into the provider (no-op for oracle)."""
+
+
+class OracleCommunityProvider(CommunityProvider):
+    """Static, predefined communities read once from the world's nodes."""
+
+    mode = "oracle"
+
+    def __init__(self, world: "World") -> None:
+        communities: Dict[int, List[int]] = {}
+        community_of: Dict[int, int] = {}
+        for node in world.nodes:
+            if node.community is None:
+                raise RuntimeError(
+                    f"node {node.node_id} has no community; community mode "
+                    "'oracle' requires a full predefined assignment")
+            communities.setdefault(int(node.community), []).append(node.node_id)
+            community_of[node.node_id] = int(node.community)
+        self._communities = communities
+        self._community_of = community_of
+
+    @property
+    def version(self) -> int:
+        return 0
+
+    def community_of(self, node_id: int, now: float) -> int:
+        return self._community_of[int(node_id)]
+
+    def communities(self, now: float) -> Dict[int, List[int]]:
+        return self._communities
+
+
+class DetectedCommunityProvider(CommunityProvider):
+    """Communities detected online from observed contacts.
+
+    Parameters
+    ----------
+    tracker:
+        The shared :class:`~repro.community.online.OnlineCommunityTracker`.
+    """
+
+    def __init__(self, tracker: OnlineCommunityTracker) -> None:
+        self.tracker = tracker
+        self.mode = tracker.algorithm
+        # materialised community -> members map, rebuilt only when a
+        # detection actually moved a node; CR queries communities() once
+        # per routing decision (ENEC), so per-query copies would dominate
+        self._communities_cache: Optional[Dict[int, List[int]]] = None
+        self._cache_revision = -1
+
+    @property
+    def version(self) -> int:
+        return self.tracker.assignment_revision
+
+    def community_of(self, node_id: int, now: float) -> int:
+        return self.tracker.assignment(now).community_of(int(node_id))
+
+    def communities(self, now: float) -> Dict[int, List[int]]:
+        """Shared, revision-cached view — treat as read-only (as with
+        :meth:`OracleCommunityProvider.communities`)."""
+        assignment = self.tracker.assignment(now)
+        revision = self.tracker.assignment_revision
+        if self._communities_cache is None or revision != self._cache_revision:
+            self._communities_cache = assignment.communities()
+            self._cache_revision = revision
+        return self._communities_cache
+
+    # members() is inherited: the base implementation reads through the
+    # revision-cached communities() view above
+
+    def observe_contact(self, a: int, b: int, now: float) -> None:
+        self.tracker.observe(a, b)
+
+
+def community_provider_for(world: "World", mode: str, *,
+                           staleness: float = 300.0, min_weight: float = 1.0,
+                           k: int = 3,
+                           max_communities: int = 0) -> CommunityProvider:
+    """The world-shared provider for *mode* (created on first request).
+
+    Providers live in the world's ``services`` registry so every CR router of
+    one world consults (and, in detected modes, feeds) the same instance.
+    The key includes the detection configuration: two routers asking for
+    different budgets get different trackers — scenarios built by the
+    experiment builder always agree, since all routers share one
+    ``router_params`` dict.
+    """
+    if mode not in COMMUNITY_MODES:
+        raise ValueError(f"unknown community mode {mode!r}; known: "
+                         f"{', '.join(COMMUNITY_MODES)}")
+    key: Tuple = ("community-provider", mode, float(staleness),
+                  float(min_weight), int(k), int(max_communities))
+    provider = world.services.get(key)
+    if provider is None:
+        if mode == "oracle":
+            provider = OracleCommunityProvider(world)
+        else:
+            tracker = OnlineCommunityTracker(
+                world.num_nodes, algorithm=mode, staleness=staleness,
+                min_weight=min_weight, k=k, max_communities=max_communities,
+                stats=world.stats)
+            provider = DetectedCommunityProvider(tracker)
+        world.services[key] = provider
+    return provider

@@ -215,6 +215,17 @@ class ContactHistory:
         return (self._peer_ids[:size], self._intervals[:size],
                 self._counts[:size], self._last[:size])
 
+    def contact_count_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(peer_ids, contact_counts)`` views for graph builders.
+
+        ``contact_counts[row]`` is the total number of recorded contacts with
+        ``peer_ids[row]`` (not the window-bounded interval count).  Same
+        aliasing contract as :meth:`interval_arrays`: read-only, re-fetch
+        after any :meth:`record_contact`.
+        """
+        size = self._size
+        return self._peer_ids[:size], self._contact_counts[:size]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ContactHistory(owner={self.owner_id}, peers={self._size}, "
                 f"intervals={self.total_intervals()})")
@@ -305,6 +316,25 @@ class ContactHistoryReference:
     def snapshot(self) -> Dict[int, List[float]]:
         """A copy of all windows (peer -> interval list), for inspection."""
         return {peer: list(window) for peer, window in self._intervals.items()}
+
+    def contact_count_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(peer_ids, contact_counts)`` arrays (built on demand here).
+
+        Interface parity with :meth:`ContactHistory.contact_count_arrays` so
+        the graph builders accept either implementation; the reference store
+        materializes fresh arrays from its dicts.
+        """
+        peers = np.fromiter(self._last_contact, dtype=np.int64,
+                            count=len(self._last_contact))
+        counts = np.fromiter((self._contact_counts[p] for p in peers),
+                             dtype=np.int64, count=len(peers))
+        return peers, counts
+
+    # NOTE: deliberately no interval_arrays() here — the estimator dispatch
+    # in repro.core.expectation keys on that attribute to decide between
+    # the batch kernels and the pure-Python reference loops, and this class
+    # exists precisely to exercise (and benchmark against) the loops.  The
+    # graph builders fall back to the scalar API for histories without it.
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ContactHistoryReference(owner={self.owner_id}, "

@@ -10,7 +10,7 @@ the CR comparison counts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -21,6 +21,19 @@ Because only the *intra-community* MI rows are exchanged (a community is much
 smaller than the whole network) and the inter-community phase exchanges only
 two scalars per contact, CR's control overhead is a fraction of EER's; the
 collector's ``control_rows_exchanged`` captures exactly this difference.
+
+**Where communities come from** is pluggable (the ``community_mode``
+parameter, see :mod:`repro.community.provider`):
+
+* ``oracle`` — the paper's footnote-2 setting: the predefined, static
+  ``node.community`` labels assigned by the scenario builder.  This is the
+  default and is bit-identical to the pre-provider implementation.
+* ``kclique`` / ``newman`` — communities are *detected online* from the
+  node's own observed contacts by a world-shared
+  :class:`~repro.community.online.OnlineCommunityTracker`; re-detection is
+  rate-limited by the ``detection_staleness`` budget and its compute cost is
+  reported through the collector (``community_detections`` /
+  ``community_detection_seconds``).
 """
 
 from __future__ import annotations
@@ -29,6 +42,11 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.community.provider import (
+    COMMUNITY_MODES,
+    CommunityProvider,
+    community_provider_for,
+)
 from repro.contacts.memd import MemdCache
 from repro.contacts.mi_matrix import MeetingIntervalMatrix
 from repro.core.expectation import (
@@ -66,12 +84,28 @@ class CommunityRouter(ContactAwareRouter):
         over (applies to the inter-community ``P_ic`` comparison and the
         intra-community MEMD' comparison); see
         :class:`repro.core.eer.EERRouter` for the rationale.
+    community_mode:
+        ``"oracle"`` (predefined static communities, the paper's setting),
+        ``"kclique"`` or ``"newman"`` (online detection from observed
+        contacts); see the module docstring.
+    detection_staleness:
+        Detected modes only: minimum seconds between detection runs (the
+        :class:`~repro.community.online.OnlineCommunityTracker` staleness
+        budget).
+    detection_min_weight:
+        Detected modes only: minimum accumulated contact count for an edge to
+        participate in detection.
+    detection_k:
+        ``kclique`` mode only: the clique size.
+    max_communities:
+        ``newman`` mode only: community-count cap (0 = modularity peak).
 
     Notes
     -----
-    Every node in the world must have a community id assigned (the paper
-    predefines communities, footnote 2).  The scenario builder assigns
-    district-based communities for the bus scenario.
+    In ``oracle`` mode every node in the world must have a community id
+    assigned (the paper predefines communities, footnote 2); the scenario
+    builder assigns district-based communities for the bus scenario.  The
+    detected modes need no prior assignment.
     """
 
     name = "cr"
@@ -79,19 +113,36 @@ class CommunityRouter(ContactAwareRouter):
     def __init__(self, alpha: float = 0.28, window_size: int = 20,
                  overdue_policy: OverduePolicy = OverduePolicy.REFRESH,
                  memd_refresh: float = 5.0, forward_margin: float = 0.35,
-                 reference_impl: bool = False) -> None:
+                 reference_impl: bool = False,
+                 community_mode: str = "oracle",
+                 detection_staleness: float = 300.0,
+                 detection_min_weight: float = 1.0,
+                 detection_k: int = 3,
+                 max_communities: int = 0) -> None:
         super().__init__(window_size=window_size, reference_impl=reference_impl)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         if not 0.0 <= forward_margin < 1.0:
             raise ValueError("forward_margin must be in [0, 1)")
+        if community_mode not in COMMUNITY_MODES:
+            raise ValueError(
+                f"community_mode must be one of {', '.join(COMMUNITY_MODES)}; "
+                f"got {community_mode!r}")
+        if detection_staleness < 0:
+            raise ValueError("detection_staleness must be non-negative")
         self.alpha = float(alpha)
         self.overdue_policy = overdue_policy
         self.forward_margin = float(forward_margin)
+        self.community_mode = community_mode
+        self.detection_staleness = float(detection_staleness)
+        self.detection_min_weight = float(detection_min_weight)
+        self.detection_k = int(detection_k)
+        self.max_communities = int(max_communities)
         self._intra_mi: Optional[MeetingIntervalMatrix] = None
-        self._communities: Optional[Dict[int, List[int]]] = None
-        self._community_of: Optional[Dict[int, int]] = None
+        self._provider: Optional[CommunityProvider] = None
         self._member_mask: Optional[np.ndarray] = None
+        self._mask_version = -1
+        self._mask_community: Optional[int] = None
         self._memd = MemdCache(refresh=memd_refresh)
 
     @property
@@ -100,48 +151,55 @@ class CommunityRouter(ContactAwareRouter):
         return self._memd.refresh
 
     # ----------------------------------------------------------- community map
+    def detection_config(self) -> tuple:
+        """The detection configuration identifying this router's provider.
+
+        Two CR routers of one world share a provider (and tracker) iff their
+        detection configs are equal; the contact-observation dedup keys on
+        this.
+        """
+        return (self.community_mode, self.detection_staleness,
+                self.detection_min_weight, self.detection_k,
+                self.max_communities)
+
+    @property
+    def provider(self) -> CommunityProvider:
+        """The world-shared community provider for this router's mode."""
+        if self._provider is None:
+            assert self.world is not None
+            self._provider = community_provider_for(
+                self.world, self.community_mode,
+                staleness=self.detection_staleness,
+                min_weight=self.detection_min_weight,
+                k=self.detection_k,
+                max_communities=self.max_communities)
+        return self._provider
+
     @property
     def community(self) -> int:
-        """This node's community id."""
+        """This node's (current) community id."""
         assert self.node is not None
-        cid = self.node.community
-        if cid is None:
-            raise RuntimeError(
-                f"node {self.node.node_id} has no community; CommunityRouter "
-                "requires every node to have a community id")
-        return int(cid)
-
-    def _ensure_membership(self) -> None:
-        if self._communities is not None:
-            return
-        assert self.world is not None
-        communities: Dict[int, List[int]] = {}
-        community_of: Dict[int, int] = {}
-        for node in self.world.nodes:
-            if node.community is None:
+        if self.community_mode == "oracle":
+            cid = self.node.community
+            if cid is None:
                 raise RuntimeError(
-                    f"node {node.node_id} has no community; CommunityRouter "
-                    "requires a full community assignment")
-            communities.setdefault(int(node.community), []).append(node.node_id)
-            community_of[node.node_id] = int(node.community)
-        self._communities = communities
-        self._community_of = community_of
+                    f"node {self.node.node_id} has no community; "
+                    "CommunityRouter in 'oracle' mode requires every node to "
+                    "have a community id")
+            return int(cid)
+        return self.provider.community_of(self.node_id, self.now)
 
     def communities(self) -> Dict[int, List[int]]:
-        """Mapping community id -> member node ids (network-wide, predefined)."""
-        self._ensure_membership()
-        assert self._communities is not None
-        return self._communities
+        """Mapping community id -> member node ids (network-wide)."""
+        return self.provider.communities(self.now)
 
     def community_of(self, node_id: int) -> int:
         """Community id of *node_id*."""
-        self._ensure_membership()
-        assert self._community_of is not None
-        return self._community_of[node_id]
+        return self.provider.community_of(node_id, self.now)
 
     def community_members(self, community_id: int) -> List[int]:
         """Members of *community_id*."""
-        return self.communities().get(int(community_id), [])
+        return self.provider.members(community_id, self.now)
 
     # ------------------------------------------------------------ intra-MI state
     @property
@@ -156,13 +214,31 @@ class CommunityRouter(ContactAwareRouter):
         return self._intra_mi
 
     def _membership_mask(self) -> np.ndarray:
-        """Boolean mask over node ids for this node's own community (static)."""
-        if self._member_mask is None:
+        """Boolean mask over node ids for this node's own community.
+
+        Static in ``oracle`` mode (communities are predefined); in the
+        detected modes the mask is rebuilt — and the MEMD' delay-vector cache
+        invalidated — whenever the provider's assignment revision advances or
+        this node itself was reassigned.
+        """
+        own = self.community
+        version = self.provider.version
+        if (self._member_mask is None or version != self._mask_version
+                or own != self._mask_community):
             mask = np.zeros(self.intra_mi.num_nodes, dtype=bool)
-            for member in self.community_members(self.community):
+            for member in self.community_members(own):
                 if member < mask.shape[0]:
                     mask[member] = True
+            if (self._member_mask is not None
+                    and not np.array_equal(mask, self._member_mask)):
+                # *this* node's membership changed under a live cache: the
+                # node_filter the cached MEMD' vector was computed with is no
+                # longer valid.  A revision bump that left this community's
+                # member set untouched keeps the cache.
+                self._memd.invalidate()
             self._member_mask = mask
+            self._mask_version = version
+            self._mask_community = own
         return self._member_mask
 
     # --------------------------------------------------------------- predictions
@@ -195,8 +271,10 @@ class CommunityRouter(ContactAwareRouter):
         """Intra-community MEMD' from this node to *destination*.
 
         Served from the version-keyed delay-vector cache restricted to the
-        destination community's members (communities are predefined and
-        static, so the membership mask never invalidates the cache).
+        destination community's members.  In ``oracle`` mode the membership
+        mask never changes, so it never invalidates the cache; in the
+        detected modes :meth:`_membership_mask` invalidates it whenever a
+        detection moved a node.
         """
         assert self.history is not None
         delays = self._memd.delays(self.history, self.intra_mi, self.now,
@@ -207,11 +285,29 @@ class CommunityRouter(ContactAwareRouter):
         return float(delays[destination])
 
     # ------------------------------------------------------------------ contacts
+    def _same_community_as_peer(self, peer: "DTNNode") -> bool:
+        if self.community_mode == "oracle":
+            return (peer.community is not None
+                    and int(peer.community) == self.community)
+        return self.community_of(peer.node_id) == self.community
+
     def on_contact_recorded(self, connection: Connection, peer: "DTNNode") -> None:
         assert self.history is not None
         peer_router = peer.router
-        same_community = (peer.community is not None
-                          and int(peer.community) == self.community)
+        if self.community_mode != "oracle":
+            # feed the shared contact graph exactly once per contact: when
+            # the peer consults the *same* provider (same world, same
+            # detection config) only the exchange initiator reports the
+            # edge; any other peer — different protocol, oracle mode, or a
+            # differently-configured tracker — will never feed this
+            # tracker, so this side always must
+            peer_shares_tracker = (
+                isinstance(peer_router, CommunityRouter)
+                and peer_router.detection_config() == self.detection_config())
+            if not peer_shares_tracker or self.is_exchange_initiator(peer):
+                self.provider.observe_contact(self.node_id, peer.node_id,
+                                              self.now)
+        same_community = self._same_community_as_peer(peer)
         if same_community:
             mean = self.history.mean_interval(peer.node_id)
             updates: Dict[int, float] = {}
@@ -238,8 +334,13 @@ class CommunityRouter(ContactAwareRouter):
 
     # -------------------------------------------------------------------- update
     def _destination_community(self, message: Message) -> int:
-        if message.dest_community is not None:
-            return int(message.dest_community)
+        if self.community_mode == "oracle":
+            if message.dest_community is not None:
+                return int(message.dest_community)
+            return self.community_of(message.destination)
+        # detected modes resolve through the provider: the dest_community
+        # stamped at creation time is the oracle's ground truth, which an
+        # online detector must not be allowed to peek at
         return self.community_of(message.destination)
 
     def on_update(self, now: float) -> None:
@@ -275,8 +376,12 @@ class CommunityRouter(ContactAwareRouter):
                               dest_community: int, now: float, residual: float) -> None:
         if self.peer_has(connection, message.message_id):
             return
-        peer_community = peer.community
-        if peer_community is not None and int(peer_community) == dest_community:
+        if self.community_mode == "oracle":
+            peer_in_dest = (peer.community is not None
+                            and int(peer.community) == dest_community)
+        else:
+            peer_in_dest = self.community_of(peer.node_id) == dest_community
+        if peer_in_dest:
             # the peer belongs to the destination community: hand everything over
             self.send(connection, message, copies=message.copies, forwarding=True)
             return
@@ -297,8 +402,7 @@ class CommunityRouter(ContactAwareRouter):
     def _intra_community_step(self, connection: Connection, peer: "DTNNode",
                               peer_router: "CommunityRouter", message: Message,
                               now: float, residual: float) -> None:
-        peer_community = peer.community
-        if peer_community is None or int(peer_community) != self.community:
+        if not self._same_community_as_peer(peer):
             # never push a message back outside its destination community
             return
         if self.peer_has(connection, message.message_id):

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
-import numpy as np
 
 from repro.contacts.memd import MemdCache
 from repro.contacts.mi_matrix import MeetingIntervalMatrix

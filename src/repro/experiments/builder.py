@@ -9,6 +9,7 @@ from repro.experiments.scenario import MobilityKind, ScenarioConfig
 from repro.metrics.collector import StatsCollector
 from repro.mobility.base import MovementModel
 from repro.mobility.community import CommunityLayout, CommunityMovement
+from repro.mobility.hcmm import HomeCellMovement
 from repro.mobility.map_generator import assign_districts, generate_downtown_map
 from repro.mobility.map_route import BusRoute, MapRouteMovement, generate_bus_routes
 from repro.mobility.random_waypoint import RandomWaypointMovement
@@ -90,6 +91,28 @@ def _community_movements(config: ScenarioConfig):
     return movements, communities
 
 
+def _hcmm_movements(config: ScenarioConfig):
+    """Home-cell (caveman/HCMM) mobility; communities are the initial homes.
+
+    With ``rehome_interval`` set the *actual* home cells drift during the
+    run while the returned community labels stay the initial assignment —
+    CR's oracle mode keeps routing on stale structure, the detected modes
+    re-learn it (see docs/communities.md).
+    """
+    layout = CommunityLayout(area=(config.map_width, config.map_height),
+                             num_communities=config.num_communities)
+    movements: List[MovementModel] = []
+    communities: List[int] = []
+    for index in range(config.num_nodes):
+        home = index % config.num_communities
+        movements.append(HomeCellMovement(
+            layout, home, roaming_probability=config.roaming_probability,
+            min_speed=config.min_speed, max_speed=config.max_speed,
+            wait=config.stop_wait, rehome_interval=config.rehome_interval))
+        communities.append(home)
+    return movements, communities
+
+
 def _random_waypoint_movements(config: ScenarioConfig):
     movements: List[MovementModel] = []
     communities: List[int] = []
@@ -137,7 +160,7 @@ def _load_scenario_trace(config: ScenarioConfig):
     params.setdefault("num_nodes", config.num_nodes)
     params.setdefault("duration", config.sim_time)
     params.setdefault("seed", config.seed)
-    if config.trace_generator == "community":
+    if config.trace_generator in ("community", "drifting"):
         params.setdefault("num_communities", config.num_communities)
     return generate_trace(config.trace_generator, **params)
 
@@ -185,6 +208,8 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         roadmap, routes, movements, communities = _bus_movements(config, simulator)
     elif config.mobility is MobilityKind.COMMUNITY:
         movements, communities = _community_movements(config)
+    elif config.mobility is MobilityKind.HCMM:
+        movements, communities = _hcmm_movements(config)
     elif config.mobility is MobilityKind.RANDOM_WAYPOINT:
         movements, communities = _random_waypoint_movements(config)
     elif config.mobility is MobilityKind.SHORTEST_PATH:

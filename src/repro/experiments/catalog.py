@@ -215,6 +215,57 @@ def _register_builtins() -> None:
         summary="pedestrians on shortest road-map paths (bench map)",
         provenance="ONE simulator's ShortestPathMapBasedMovement lineage")
     register_scenario(
+        "hcmm",
+        lambda: ScenarioConfig.bench_scale(protocol="cr").with_overrides(
+            name="bench-hcmm", mobility=MobilityKind.HCMM,
+            roaming_probability=0.15),
+        summary="home-cell (caveman/HCMM) mobility; communities emerge from "
+                "cell gravitation",
+        provenance="repro.mobility.hcmm (Musolesi & Mascolo HCMM lineage)")
+    register_scenario(
+        "community-sparse",
+        lambda: _trace_base(
+            name="community-sparse", protocol="cr", num_communities=4,
+            trace_generator="community",
+            trace_params={"intra_period": 200.0, "inter_period": 2400.0}),
+        kind="trace",
+        summary="4 well-separated communities (rare inter-community "
+                "contacts); CR's best case",
+        provenance="repro.traces.generators.community_structured_trace")
+    register_scenario(
+        "community-dense",
+        lambda: _trace_base(
+            name="community-dense", protocol="cr", num_communities=8,
+            trace_generator="community",
+            trace_params={"intra_period": 250.0, "inter_period": 700.0}),
+        kind="trace",
+        summary="8 weakly-separated communities (frequent inter-community "
+                "contacts); detection's hard case",
+        provenance="repro.traces.generators.community_structured_trace")
+    register_scenario(
+        "community-drift",
+        lambda: _trace_base(
+            name="community-drift", protocol="cr", num_communities=4,
+            sim_time=4_000.0,
+            trace_generator="drifting",
+            trace_params={"drift_interval": 1_000.0, "drift_fraction": 0.3}),
+        kind="trace",
+        summary="community membership drifts mid-run: the oracle assignment "
+                "goes stale, online detection tracks it",
+        provenance="repro.traces.generators.drifting_community_trace")
+    register_scenario(
+        "community-detect",
+        lambda: _trace_base(
+            name="community-detect", protocol="cr", num_nodes=30,
+            num_communities=3, sim_time=2_000.0,
+            trace_generator="community",
+            trace_params={"intra_period": 150.0, "inter_period": 1500.0}),
+        kind="trace",
+        summary="detection-vs-oracle comparison bed: run with --protocol "
+                "cr / cr-kclique / cr-newman (or sweep "
+                "router.community_mode)",
+        provenance="CR community modes (docs/communities.md)")
+    register_scenario(
         "trace-periodic",
         lambda: _trace_base(name="trace-periodic",
                             trace_generator="periodic"),

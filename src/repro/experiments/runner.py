@@ -72,6 +72,8 @@ class AveragedResult:
             "goodput": self.mean("goodput"),
             "overhead_ratio": self.mean("overhead_ratio"),
             "control_rows_exchanged": self.mean("control_rows_exchanged"),
+            "community_detections": self.mean("community_detections"),
+            "community_detection_seconds": self.mean("community_detection_seconds"),
         }
 
 

@@ -28,6 +28,9 @@ class MobilityKind(enum.Enum):
     BUS = "bus"
     #: community-home random waypoint (used by community examples/ablations)
     COMMUNITY = "community"
+    #: home-cell attraction with configurable roaming and optional
+    #: membership drift (caveman/HCMM-style, repro.mobility.hcmm)
+    HCMM = "hcmm"
     #: plain random waypoint over a rectangle
     RANDOM_WAYPOINT = "random_waypoint"
     #: pedestrians walking shortest paths on the road map
@@ -67,6 +70,11 @@ class ScenarioConfig:
     max_speed: float = 13.9
     stop_wait: Tuple[float, float] = (10.0, 30.0)
     local_probability: float = 0.85  # community mobility only
+    # HCMM mobility only
+    #: probability that a waypoint decision leaves the home cell
+    roaming_probability: float = 0.15
+    #: mean seconds between home-cell migrations (None = static membership)
+    rehome_interval: Optional[float] = None
 
     # trace replay (MobilityKind.TRACE only; exactly one source must be set)
     #: path to an external trace file (ONE report or CSV, see repro.traces.io)
@@ -116,6 +124,10 @@ class ScenarioConfig:
             raise ValueError("message_copies (lambda) must be >= 1")
         if self.num_communities < 1:
             raise ValueError("num_communities must be >= 1")
+        if not 0.0 <= self.roaming_probability <= 1.0:
+            raise ValueError("roaming_probability must be in [0, 1]")
+        if self.rehome_interval is not None and self.rehome_interval <= 0:
+            raise ValueError("rehome_interval must be positive (or None)")
         if isinstance(self.mobility, str):
             self.mobility = MobilityKind(self.mobility)
         if self.record_mode is not None and self.record_mode not in (

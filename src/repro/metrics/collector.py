@@ -123,6 +123,11 @@ class StatsCollector:
         self.control_rows_exchanged = 0
         self.control_bytes_exchanged = 0
         self.control_exchanges = 0
+        # community-detection compute overhead (CR's detected modes; all zero
+        # for oracle mode and every non-community protocol)
+        self.community_detections = 0
+        self.community_detection_seconds = 0.0
+        self.community_reassignments = 0
         self.latency_sum = 0.0
         self.hop_count_sum = 0
 
@@ -338,6 +343,23 @@ class StatsCollector:
         self.control_exchanges += 1
         self.control_rows_exchanged += rows
         self.control_bytes_exchanged += size_bytes
+
+    def community_detection(self, seconds: float, reassigned: int = 0) -> None:
+        """Record one online community-detection run.
+
+        Parameters
+        ----------
+        seconds:
+            Wall-clock cost of the detection (compute overhead; kept separate
+            from the message-count metrics so checksum comparisons can ignore
+            it).
+        reassigned:
+            How many nodes changed community relative to the previous
+            assignment.
+        """
+        self.community_detections += 1
+        self.community_detection_seconds += float(seconds)
+        self.community_reassignments += int(reassigned)
 
     # ------------------------------------------------------------------ query
     def is_delivered(self, message_id: str) -> bool:

@@ -9,7 +9,7 @@ exchange volume, drops, contacts).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -41,6 +41,12 @@ class SimulationReport:
 
     control_rows_exchanged: int
     control_bytes_exchanged: int
+
+    # online community-detection compute overhead (zero outside CR's
+    # detected modes); seconds are wall-clock and therefore machine-specific
+    community_detections: int = 0
+    community_detection_seconds: float = 0.0
+    community_reassignments: int = 0
 
     latency_percentiles: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
@@ -99,6 +105,9 @@ def build_report(collector: StatsCollector, *, protocol: str, num_nodes: int,
         average_hop_count=collector.average_hop_count,
         control_rows_exchanged=collector.control_rows_exchanged,
         control_bytes_exchanged=collector.control_bytes_exchanged,
+        community_detections=collector.community_detections,
+        community_detection_seconds=collector.community_detection_seconds,
+        community_reassignments=collector.community_reassignments,
         latency_percentiles=_latency_percentiles(collector),
         extra=dict(extra or {}),
     )

@@ -20,6 +20,7 @@ from repro.mobility.map_route import BusRoute, MapRouteMovement, generate_bus_ro
 from repro.mobility.shortest_path import ShortestPathMapBasedMovement
 from repro.mobility.random_waypoint import RandomWaypointMovement
 from repro.mobility.community import CommunityMovement, CommunityLayout
+from repro.mobility.hcmm import HomeCellMovement
 from repro.mobility.stationary import StationaryMovement
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "RandomWaypointMovement",
     "CommunityMovement",
     "CommunityLayout",
+    "HomeCellMovement",
     "StationaryMovement",
 ]

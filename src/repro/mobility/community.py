@@ -11,7 +11,7 @@ exercised independently of the bus-line scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ nearest-vertex lookup, which is everything the map-based movement models need.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 

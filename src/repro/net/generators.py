@@ -10,8 +10,8 @@ distinct source/destination pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 from repro.net.message import Message
 from repro.sim.engine import Simulator

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from repro.core.replication import split_replicas
 from repro.net.connection import Connection
-from repro.routing.base import Router
 from repro.routing.active import ContactAwareRouter
 
 from typing import TYPE_CHECKING

@@ -27,6 +27,20 @@ _BUILTIN: Dict[str, str] = {
     "ebr": "repro.routing.ebr:EBRRouter",
     "eer": "repro.core.eer:EERRouter",
     "cr": "repro.core.cr:CommunityRouter",
+    "cr-kclique": "repro.core.cr:CommunityRouter",
+    "cr-newman": "repro.core.cr:CommunityRouter",
+}
+
+#: frozen default parameters for built-in aliases (user params override);
+#: this is how one router class surfaces as several CLI-visible protocols —
+#: CR's community source (oracle assignment vs online detection) is the
+#: distinguishing parameter, see repro.community.provider.
+#: kclique defaults detection_min_weight=3: k-clique percolation needs the
+#: weak one-off inter-community edges filtered or the near-complete contact
+#: graph makes maximal-clique enumeration combinatorial.
+_BUILTIN_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "cr-kclique": {"community_mode": "kclique", "detection_min_weight": 3.0},
+    "cr-newman": {"community_mode": "newman"},
 }
 
 
@@ -49,6 +63,10 @@ _SUMMARIES: Dict[str, str] = {
            "(Nelson et al. 2009)",
     "eer": "expected-encounter-based replication (the paper, Sec. IV-A)",
     "cr": "community-aware expected-encounter routing (the paper, Sec. IV-B)",
+    "cr-kclique": "CR with communities detected online by k-clique "
+                  "percolation (no oracle assignment)",
+    "cr-newman": "CR with communities detected online by Newman greedy "
+                 "modularity (no oracle assignment)",
 }
 
 
@@ -99,4 +117,7 @@ def create_router(name: str, **params) -> Router:
     module_name, _, class_name = spec.partition(":")
     module = importlib.import_module(module_name)
     cls = getattr(module, class_name)
+    defaults = _BUILTIN_DEFAULTS.get(name)
+    if defaults:
+        params = {**defaults, **params}
     return cls(**params)

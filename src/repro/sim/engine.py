@@ -7,7 +7,7 @@ the world, traffic generators and reports all hook in through events.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 from repro.sim.events import CallbackEvent, Event, EventQueue
 from repro.sim.rng import RandomStreams

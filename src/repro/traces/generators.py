@@ -16,7 +16,7 @@ tests (known ground truth), the trace-replay example and the ablations:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.traces.contact_trace import ContactEvent, ContactTrace
 
@@ -125,12 +125,79 @@ def community_structured_trace(num_nodes: int, num_communities: int,
     return ContactTrace(events), assignment
 
 
+def drifting_community_trace(num_nodes: int, num_communities: int,
+                             duration: float,
+                             drift_interval: float = 1000.0,
+                             drift_fraction: float = 0.25,
+                             intra_period: float = 200.0,
+                             inter_period: float = 1500.0,
+                             contact_duration: float = 20.0,
+                             jitter: float = 0.2,
+                             seed: int = 0,
+                             ) -> Tuple[ContactTrace, Dict[int, int]]:
+    """Community-structured trace whose membership *drifts* over time.
+
+    Time is split into epochs of ``drift_interval`` seconds.  The first
+    epoch uses the round-robin assignment ``node % num_communities``; at
+    every epoch boundary each node re-homes to a uniformly random community
+    with probability ``drift_fraction``.  Within an epoch, pairs sharing a
+    community meet with period ``intra_period`` and other pairs with
+    ``inter_period``, as in :func:`community_structured_trace`.
+
+    Returns the trace and the ground-truth assignment **of the first
+    epoch** — exactly what a predefined (oracle) assignment would be.  By
+    the end of the trace that oracle is stale, which is the regime the
+    ``community-drift`` catalog scenario uses to compare CR's oracle mode
+    against online detection.
+    """
+    if num_nodes < 2 or num_communities < 1:
+        raise ValueError("need at least two nodes and one community")
+    if drift_interval <= 0:
+        raise ValueError("drift_interval must be positive")
+    if not 0 <= drift_fraction <= 1:
+        raise ValueError("drift_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    epochs = max(1, int(duration // drift_interval) + 1)
+    assignments: List[Dict[int, int]] = [
+        {node: node % num_communities for node in range(num_nodes)}]
+    for _ in range(1, epochs):
+        previous = assignments[-1]
+        current = dict(previous)
+        for node in range(num_nodes):
+            if rng.random() < drift_fraction:
+                current[node] = rng.randrange(num_communities)
+        assignments.append(current)
+    events: List[ContactEvent] = []
+    first_epoch = assignments[0]
+    for a in range(num_nodes):
+        for b in range(a + 1, num_nodes):
+            pair_scale = 1.0 + rng.uniform(-0.2, 0.2)
+            # phase the first contact by the pair's own first-epoch period
+            # (the community_structured_trace convention) — a shared short
+            # phase window would burst every inter-community pair at t=0
+            # and wash out the structure the scenario plants
+            first_same = first_epoch[a] == first_epoch[b]
+            t = rng.uniform(
+                0.0, (intra_period if first_same else inter_period) * pair_scale)
+            while t < duration:
+                epoch = min(int(t // drift_interval), epochs - 1)
+                same = assignments[epoch][a] == assignments[epoch][b]
+                period = (intra_period if same else inter_period) * pair_scale
+                end = min(duration, t + contact_duration)
+                events.append(ContactEvent(t, a, b, True))
+                events.append(ContactEvent(end, a, b, False))
+                gap = period * (1.0 + rng.uniform(-jitter, jitter))
+                t = end + max(1.0, gap)
+    return ContactTrace(events), assignments[0]
+
+
 #: named generators, resolvable from picklable scenario configs
 #: (``ScenarioConfig.trace_generator``) and the scenario catalog
 TRACE_GENERATORS = {
     "periodic": periodic_contact_trace,
     "memoryless": random_waypoint_like_trace,
     "community": community_structured_trace,
+    "drifting": drifting_community_trace,
 }
 
 

@@ -82,6 +82,9 @@ class World:
         self.update_interval = float(update_interval)
         self.stats = stats if stats is not None else StatsCollector()
         self.detector = detector if detector is not None else KDTreeConnectivity()
+        #: world-scoped shared services (e.g. the community provider all CR
+        #: routers of this world consult); keyed by an arbitrary hashable
+        self.services: Dict[object, object] = {}
         self._nodes: Dict[int, DTNNode] = {}
         self._node_order: List[DTNNode] = []
         self._positions = PositionStore()

@@ -20,7 +20,8 @@ def test_payload_shape_and_checksums(smoke_payload):
     assert payload["scale"] == "smoke"
     names = set(payload["benchmarks"])
     assert names == {"encounter_pipeline", "buffer_churn",
-                     "collector_ingest", "scenario_eer"}
+                     "collector_ingest", "scenario_eer",
+                     "community_detection"}
     for name, entry in payload["benchmarks"].items():
         assert entry["checksums_match"], (
             f"{name}: vectorized path diverged from the reference")
@@ -31,6 +32,12 @@ def test_payload_shape_and_checksums(smoke_payload):
     # the paired run proves decision-identity end to end
     scenario = payload["benchmarks"]["scenario_eer"]
     assert scenario["baseline"]["checksums"] == scenario["current"]["checksums"]
+    # the community pipeline's reference/vectorized aggregation parity,
+    # including the bit-exact mean-interval sum and the assignment CRC
+    detection = payload["benchmarks"]["community_detection"]
+    assert detection["baseline"]["checksums"] == detection["current"]["checksums"]
+    assert detection["current"]["checksums"]["edges"] > 0
+    assert detection["current"]["checksums"]["communities"] >= 1
     # payload is JSON-serialisable as-is
     json.dumps(payload)
 

@@ -1,0 +1,209 @@
+"""Unit + property tests for the online community tracker (PR4 tentpole).
+
+The load-bearing property: at *every* staleness flush the tracker's cached
+assignment is identical to a from-scratch detection over the contacts
+accumulated so far — the incremental edge store and the version/staleness
+machinery must never change a detection result, only skip redundant runs.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.community.assignment import CommunityAssignment
+from repro.community.kclique import k_clique_communities
+from repro.community.newman import newman_modularity_communities
+from repro.community.online import (
+    DETECTION_ALGORITHMS,
+    OnlineCommunityTracker,
+    assignment_from_groups,
+    count_moved_nodes,
+)
+from repro.metrics.collector import StatsCollector
+
+
+# ------------------------------------------------------- assignment_from_groups
+def test_assignment_from_groups_labels_and_singletons():
+    assignment = assignment_from_groups([{0, 1}, {2, 3}], num_nodes=6)
+    assert assignment.community_of(0) == assignment.community_of(1) == 0
+    assert assignment.community_of(2) == assignment.community_of(3) == 1
+    # unclaimed nodes become singletons with fresh labels, in node order
+    assert assignment.community_of(4) == 2
+    assert assignment.community_of(5) == 3
+    assert assignment.num_communities == 4
+
+
+def test_assignment_from_groups_overlap_and_out_of_range():
+    # overlap resolves to the first group; out-of-range members are ignored
+    assignment = assignment_from_groups([{0, 1}, {1, 2}, {9}], num_nodes=3)
+    assert assignment.community_of(1) == 0
+    assert assignment.community_of(2) == 1
+    with pytest.raises(ValueError):
+        assignment_from_groups([], num_nodes=0)
+
+
+# ---------------------------------------------------------------- construction
+def test_tracker_validation():
+    with pytest.raises(ValueError):
+        OnlineCommunityTracker(0)
+    with pytest.raises(ValueError):
+        OnlineCommunityTracker(4, algorithm="louvain")
+    with pytest.raises(ValueError):
+        OnlineCommunityTracker(4, staleness=-1.0)
+    with pytest.raises(ValueError):
+        OnlineCommunityTracker(4).observe(2, 2)
+
+
+def test_initial_assignment_is_all_singletons():
+    tracker = OnlineCommunityTracker(4, staleness=100.0)
+    assignment = tracker.assignment(0.0)  # first query detects immediately
+    assert tracker.detections == 1
+    assert assignment.num_communities == 4
+    assert len({assignment.community_of(n) for n in range(4)}) == 4
+
+
+# ------------------------------------------------------------------- staleness
+def test_redetection_requires_version_change_and_staleness():
+    tracker = OnlineCommunityTracker(6, algorithm="newman", staleness=100.0)
+    tracker.assignment(0.0)
+    assert tracker.detections == 1
+    # no new edges: queries never re-detect, however much time passes
+    tracker.assignment(1000.0)
+    assert tracker.detections == 1
+    # new edge inside the staleness budget: still served from cache
+    tracker.observe(0, 1)
+    tracker.assignment(50.0)
+    assert tracker.detections == 1
+    # budget spent and version advanced: re-detect
+    tracker.assignment(150.0)
+    assert tracker.detections == 2
+    # unchanged version afterwards: cached again
+    tracker.assignment(1e6)
+    assert tracker.detections == 2
+
+
+def test_zero_staleness_redetects_on_every_change():
+    tracker = OnlineCommunityTracker(4, staleness=0.0)
+    tracker.assignment(0.0)
+    tracker.observe(0, 1)
+    tracker.assignment(0.0)
+    tracker.observe(0, 1)
+    tracker.assignment(0.0)
+    assert tracker.detections == 3
+
+
+def test_assignment_revision_bumps_only_on_change():
+    tracker = OnlineCommunityTracker(6, algorithm="newman", staleness=0.0)
+    tracker.assignment(0.0)
+    first = tracker.assignment_revision
+    # a lone edge between two singletons merges them: revision advances
+    for _ in range(3):
+        tracker.observe(0, 1)
+    tracker.assignment(1.0)
+    assert tracker.assignment_revision > first
+    revision = tracker.assignment_revision
+    # reinforcing the same structure changes nothing: revision stays
+    for _ in range(3):
+        tracker.observe(0, 1)
+    tracker.assignment(2.0)
+    assert tracker.detections >= 3
+    assert tracker.assignment_revision == revision
+
+
+def test_count_moved_nodes_single_migration():
+    # one node migrating between two communities counts as exactly 1,
+    # not as every member of both touched communities
+    old = assignment_from_groups([set(range(10)), set(range(10, 20))], 20)
+    new = assignment_from_groups([set(range(9)), set(range(9, 20))], 20)
+    assert count_moved_nodes(old, new, 20) == 1
+    assert count_moved_nodes(old, old, 20) == 0
+
+
+def test_reassignment_counts_moves_not_label_shifts():
+    tracker = OnlineCommunityTracker(6, algorithm="newman", staleness=0.0)
+    for _ in range(3):
+        tracker.observe(0, 1)
+    tracker.flush(1.0)
+    revision = tracker.assignment_revision
+    # a *larger* group forms among other nodes; it sorts first and shifts
+    # every later label, but only the mergers changed community: the new
+    # group matches node 2's old singleton, so nodes 3 and 4 moved into it
+    for a, b in ((2, 3), (3, 4), (2, 4)):
+        for _ in range(3):
+            tracker.observe(a, b)
+    stats = StatsCollector()
+    tracker.stats = stats
+    assignment = tracker.flush(2.0)
+    assert sorted(assignment.members(assignment.community_of(2))) == [2, 3, 4]
+    assert sorted(assignment.members(assignment.community_of(0))) == [0, 1]
+    assert stats.community_reassignments == 2
+    assert tracker.assignment_revision == revision + 1
+
+
+# ------------------------------------------------------------ stats reporting
+def test_detection_overhead_reported_to_collector():
+    stats = StatsCollector()
+    tracker = OnlineCommunityTracker(5, staleness=0.0, stats=stats)
+    tracker.assignment(0.0)
+    tracker.observe(1, 2)
+    tracker.assignment(1.0)
+    assert stats.community_detections == 2
+    assert stats.community_detection_seconds >= 0.0
+    assert stats.community_reassignments >= 1
+
+
+# ------------------------------------------------------------- flush parity
+def _from_scratch(weights, num_nodes, algorithm, min_weight, k,
+                  max_communities):
+    """Independent from-scratch detection over an edge-weight multiset."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    for (a, b), weight in weights.items():
+        graph.add_edge(a, b, weight=weight)
+    if algorithm == "kclique":
+        groups = k_clique_communities(graph, k=k, min_weight=min_weight)
+    else:
+        graph.remove_edges_from(
+            [(a, b) for (a, b), w in weights.items() if w < min_weight])
+        groups = newman_modularity_communities(
+            graph, max_communities=max_communities)
+    return assignment_from_groups([set(g) for g in groups], num_nodes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    algorithm=st.sampled_from(DETECTION_ALGORITHMS),
+    num_nodes=st.integers(min_value=2, max_value=12),
+    contacts=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=60),
+    flush_points=st.sets(st.integers(0, 59), max_size=5),
+    min_weight=st.sampled_from([0.0, 1.0, 2.0]),
+)
+def test_tracker_matches_from_scratch_detection_at_every_flush(
+        algorithm, num_nodes, contacts, flush_points, min_weight):
+    tracker = OnlineCommunityTracker(num_nodes, algorithm=algorithm,
+                                     staleness=10.0, min_weight=min_weight)
+    weights = {}
+    now = 0.0
+    for index, (a, b) in enumerate(contacts):
+        a, b = a % num_nodes, b % num_nodes
+        if a == b:
+            continue
+        now += 1.0
+        tracker.observe(a, b)
+        key = (min(a, b), max(a, b))
+        weights[key] = weights.get(key, 0.0) + 1.0
+        if index in flush_points:
+            flushed = tracker.flush(now)
+            expected = _from_scratch(weights, num_nodes, algorithm,
+                                     min_weight, tracker.k,
+                                     tracker.max_communities)
+            assert flushed.as_dict() == expected.as_dict()
+            # the staleness-gated query must serve exactly the flushed result
+            assert tracker.assignment(now).as_dict() == flushed.as_dict()
+    final = tracker.flush(now + 1.0)
+    expected = _from_scratch(weights, num_nodes, algorithm, min_weight,
+                             tracker.k, tracker.max_communities)
+    assert final.as_dict() == expected.as_dict()
+    assert isinstance(final, CommunityAssignment)
+    assert sorted(final.nodes()) == list(range(num_nodes))

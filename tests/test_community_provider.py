@@ -1,0 +1,92 @@
+"""Tests for the CommunityProvider boundary (oracle vs detected)."""
+
+import pytest
+
+from repro.community.online import OnlineCommunityTracker
+from repro.community.provider import (
+    COMMUNITY_MODES,
+    DetectedCommunityProvider,
+    OracleCommunityProvider,
+    community_provider_for,
+)
+from repro.testing import make_contact_plan, make_world
+
+COMMUNITIES = {0: 0, 1: 0, 2: 1, 3: 1}
+
+
+def small_world(communities=COMMUNITIES):
+    trace = make_contact_plan([(10.0, 30.0, 0, 1)])
+    _, world = make_world(trace, protocol="epidemic", num_nodes=4,
+                          communities=communities)
+    return world
+
+
+# ---------------------------------------------------------------------- oracle
+def test_oracle_provider_reads_node_labels():
+    provider = OracleCommunityProvider(small_world())
+    assert provider.mode == "oracle"
+    assert provider.version == 0
+    assert provider.community_of(0, now=0.0) == 0
+    assert provider.community_of(3, now=1e9) == 1
+    assert provider.communities(0.0) == {0: [0, 1], 1: [2, 3]}
+    assert provider.members(1, 0.0) == [2, 3]
+    assert provider.members(99, 0.0) == []
+    # observation is a no-op and never changes the version
+    provider.observe_contact(0, 3, 5.0)
+    assert provider.version == 0
+
+
+def test_oracle_provider_requires_full_assignment():
+    with pytest.raises(RuntimeError):
+        OracleCommunityProvider(small_world(communities=None))
+
+
+# -------------------------------------------------------------------- detected
+def test_detected_provider_follows_tracker():
+    tracker = OnlineCommunityTracker(4, algorithm="newman", staleness=0.0)
+    provider = DetectedCommunityProvider(tracker)
+    assert provider.mode == "newman"
+    before = provider.version
+    # no contacts yet: everyone is a singleton
+    assert len(set(provider.communities(0.0))) == 4
+    for _ in range(3):
+        provider.observe_contact(0, 1, 0.0)
+    assert provider.community_of(0, now=1.0) == provider.community_of(1, now=1.0)
+    assert provider.version > before
+    assert sorted(provider.members(provider.community_of(0, 2.0), 2.0)) == [0, 1]
+
+
+# ------------------------------------------------------------- world sharing
+def test_provider_shared_per_world_and_configuration():
+    world = small_world()
+    oracle = community_provider_for(world, "oracle")
+    assert community_provider_for(world, "oracle") is oracle
+    detected = community_provider_for(world, "newman", staleness=60.0)
+    assert community_provider_for(world, "newman", staleness=60.0) is detected
+    assert detected is not oracle
+    # a different detection configuration is a different provider
+    other = community_provider_for(world, "newman", staleness=120.0)
+    assert other is not detected
+    # detected trackers report through the world's collector
+    detected.tracker.observe(0, 1)
+    detected.communities(0.0)
+    assert world.stats.community_detections >= 1
+
+
+def test_detected_communities_view_is_revision_cached():
+    tracker = OnlineCommunityTracker(4, algorithm="newman", staleness=0.0)
+    provider = DetectedCommunityProvider(tracker)
+    first = provider.communities(0.0)
+    # unchanged revision: the same materialised dict is served, not a copy
+    assert provider.communities(1.0) is first
+    for _ in range(3):
+        provider.observe_contact(0, 1, 2.0)
+    changed = provider.communities(3.0)
+    assert changed is not first
+    assert provider.communities(4.0) is changed
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        community_provider_for(small_world(), "louvain")
+    assert set(COMMUNITY_MODES) == {"oracle", "kclique", "newman"}

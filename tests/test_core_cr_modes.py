@@ -1,0 +1,137 @@
+"""CR community modes: registry wiring, detected-mode behaviour, and the
+bit-identity regression pin for oracle mode.
+
+The pinned numbers were captured from the pre-provider implementation (PR3,
+commit 13d3a81) by running the same catalog scenarios; the CommunityProvider
+refactor must not change a single oracle-mode routing decision, so every
+counter must match exactly.
+"""
+
+import pytest
+
+from repro.core.cr import CommunityRouter
+from repro.experiments.catalog import make_scenario
+from repro.experiments.runner import run_scenario
+from repro.routing.registry import available_routers, create_router, router_summary
+
+
+# ------------------------------------------------------------------- registry
+def test_cr_mode_aliases_registered():
+    names = available_routers()
+    assert "cr-kclique" in names and "cr-newman" in names
+    assert router_summary("cr-kclique")
+    assert router_summary("cr-newman")
+
+
+def test_alias_defaults_and_override():
+    router = create_router("cr-kclique")
+    assert isinstance(router, CommunityRouter)
+    assert router.community_mode == "kclique"
+    assert router.detection_min_weight == 3.0
+    router = create_router("cr-newman", detection_staleness=60.0)
+    assert router.community_mode == "newman"
+    assert router.detection_staleness == 60.0
+    # user parameters win over alias defaults
+    router = create_router("cr-kclique", detection_min_weight=1.0)
+    assert router.detection_min_weight == 1.0
+    # plain cr stays oracle
+    assert create_router("cr").community_mode == "oracle"
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        CommunityRouter(community_mode="louvain")
+    with pytest.raises(ValueError):
+        CommunityRouter(detection_staleness=-1.0)
+
+
+# ------------------------------------------------------- oracle bit-identity
+def test_oracle_mode_bit_identical_to_pre_provider_cr_on_trace_scenario():
+    # captured from PR3's CR on the trace-community catalog scenario
+    config = make_scenario("trace-community", protocol="cr")
+    report = run_scenario(config)
+    assert report.created == 121
+    assert report.delivered == 118
+    assert report.relayed == 3117
+    assert report.dropped == 545
+    assert report.contacts == 3743
+    assert report.control_rows_exchanged == 22999
+    assert report.delivery_ratio == pytest.approx(0.9752066115702479, rel=1e-12)
+    assert report.average_latency == pytest.approx(76.44470707244332, rel=1e-9)
+    assert report.average_hop_count == pytest.approx(2.864406779661017, rel=1e-12)
+    # and the oracle mode never runs (or pays for) a detection
+    assert report.community_detections == 0
+    assert report.community_detection_seconds == 0.0
+
+
+def test_oracle_mode_bit_identical_on_bus_scenario():
+    # captured from PR3's CR on the reduced-scale bus scenario
+    report = run_scenario(make_scenario("bench", protocol="cr"))
+    assert report.created == 121
+    assert report.delivered == 90
+    assert report.relayed == 1468
+    assert report.dropped == 529
+    assert report.contacts == 1391
+    assert report.control_rows_exchanged == 6195
+    assert report.delivery_ratio == pytest.approx(0.743801652892562, rel=1e-12)
+    assert report.average_latency == pytest.approx(565.917178410139, rel=1e-9)
+
+
+# ---------------------------------------------------------- mixed-mode worlds
+def test_detected_node_observes_contacts_with_oracle_peers():
+    # node 0 runs detected CR, node 1 oracle CR.  The oracle peer never
+    # feeds the tracker, so the detected side must observe the contact even
+    # though it is not the exchange initiator — the edge must not be lost.
+    from repro.testing import make_contact_plan, make_world
+
+    trace = make_contact_plan([(10.0, 30.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="cr-newman", num_nodes=3,
+                                  communities={0: 0, 1: 0, 2: 1})
+    oracle_router = world.get_node(1).router
+    oracle_router.community_mode = "oracle"
+    simulator.run(until=50.0)
+    tracker = world.get_node(0).router.provider.tracker
+    assert tracker.edge_count() == 1
+    assert tracker.edge_weights() == {(0, 1): 1.0}
+
+
+def test_shared_tracker_counts_each_contact_once():
+    from repro.testing import make_contact_plan, make_world
+
+    trace = make_contact_plan([(10.0, 30.0, 0, 1), (40.0, 60.0, 0, 1)])
+    simulator, world = make_world(trace, protocol="cr-newman", num_nodes=3,
+                                  communities={0: 0, 1: 0, 2: 1})
+    simulator.run(until=80.0)
+    tracker = world.get_node(0).router.provider.tracker
+    # both endpoints share one tracker: two contacts -> weight exactly 2
+    assert tracker.edge_weights() == {(0, 1): 2.0}
+
+
+# ------------------------------------------------------------- detected modes
+@pytest.mark.parametrize("protocol", ["cr-kclique", "cr-newman"])
+def test_detected_modes_run_and_report_overhead(protocol):
+    config = make_scenario("community-detect", protocol=protocol,
+                           sim_time=800.0)
+    report = run_scenario(config)
+    assert report.created > 0
+    assert report.delivered > 0
+    # detection ran, its overhead is visible in the collector summary,
+    # and at least the initial singleton -> detected transition moved nodes
+    assert report.community_detections >= 2
+    assert report.community_detection_seconds > 0.0
+    assert report.community_reassignments > 0
+
+
+def test_detected_mode_matches_oracle_on_strong_communities():
+    # on the cleanly separated community-detect bed, online newman detection
+    # converges to the planted structure, so delivery stays in the same
+    # ballpark as the oracle (no exact equality: early routing happens on
+    # pre-convergence singleton assignments)
+    oracle = run_scenario(make_scenario("community-detect", protocol="cr",
+                                        sim_time=1_200.0))
+    detected = run_scenario(make_scenario("community-detect",
+                                          protocol="cr-newman",
+                                          sim_time=1_200.0))
+    assert detected.delivered >= 0.8 * oracle.delivered
+    assert oracle.community_detections == 0
+    assert detected.community_detections > 0

@@ -27,6 +27,28 @@ def test_builtin_catalog_has_at_least_six_scenarios():
         assert expected in names
 
 
+def test_community_workload_entries_registered():
+    names = available_scenarios()
+    for expected in ("hcmm", "community-sparse", "community-dense",
+                     "community-drift", "community-detect"):
+        assert expected in names
+    assert get_scenario_entry("hcmm").kind == "geometric"
+    assert get_scenario_entry("community-drift").kind == "trace"
+    # the community beds default to the protocol they exist to exercise
+    assert make_scenario("community-detect").protocol == "cr"
+    assert make_scenario("hcmm").mobility is MobilityKind.HCMM
+
+
+def test_community_drift_scenario_builds_with_stale_oracle():
+    config = make_scenario("community-drift", sim_time=1_500.0)
+    built = build_scenario(config)
+    # oracle labels come from the *first epoch* of the drifting trace
+    assert [node.community for node in built.world.nodes] \
+        == [node_id % config.num_communities
+            for node_id in range(config.num_nodes)]
+    assert isinstance(built.world, TraceReplayWorld)
+
+
 def test_entries_describe_shape():
     for entry in scenario_entries():
         description = entry.describe()

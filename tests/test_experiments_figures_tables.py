@@ -1,6 +1,5 @@
 """Unit tests for the figure drivers and table rendering (tiny scenarios)."""
 
-import pytest
 
 from repro.experiments.figures import (
     FigureResult,

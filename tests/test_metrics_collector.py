@@ -106,3 +106,15 @@ def test_delivery_time_lookup():
     assert stats.is_delivered("A")
     assert stats.delivery_time("A") == 42.0
     assert stats.delivery_time("B") is None
+
+
+def test_community_detection_overhead_accumulates():
+    stats = StatsCollector()
+    assert stats.community_detections == 0
+    assert stats.community_detection_seconds == 0.0
+    assert stats.community_reassignments == 0
+    stats.community_detection(seconds=0.25, reassigned=4)
+    stats.community_detection(seconds=0.5)
+    assert stats.community_detections == 2
+    assert stats.community_detection_seconds == 0.75
+    assert stats.community_reassignments == 4

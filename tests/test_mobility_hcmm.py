@@ -1,0 +1,110 @@
+"""Tests for the home-cell (caveman/HCMM) mobility model."""
+
+import random
+
+import pytest
+
+from repro.experiments.builder import build_scenario
+from repro.experiments.scenario import MobilityKind, ScenarioConfig
+from repro.mobility.community import CommunityLayout
+from repro.mobility.hcmm import HomeCellMovement
+
+LAYOUT = CommunityLayout(area=(1000.0, 1000.0), num_communities=4)
+
+
+def in_bounds(point, bounds):
+    min_x, min_y, max_x, max_y = bounds
+    return min_x <= point[0] <= max_x and min_y <= point[1] <= max_y
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HomeCellMovement(LAYOUT, 0, roaming_probability=1.5)
+    with pytest.raises(ValueError):
+        HomeCellMovement(LAYOUT, 0, min_speed=0.0)
+    with pytest.raises(ValueError):
+        HomeCellMovement(LAYOUT, 0, wait=(5.0, 1.0))
+    with pytest.raises(ValueError):
+        HomeCellMovement(LAYOUT, 0, rehome_interval=0.0)
+    with pytest.raises(ValueError):
+        HomeCellMovement(LAYOUT, 99)
+
+
+def test_no_roaming_stays_in_home_cell():
+    rng = random.Random(3)
+    model = HomeCellMovement(LAYOUT, 2, roaming_probability=0.0)
+    bounds = LAYOUT.district_bounds(2)
+    position = model.initial_position(rng)
+    assert in_bounds(position, bounds)
+    for _ in range(25):
+        path = model.next_path(position, 0.0, rng)
+        position = path.waypoints[-1]
+        assert in_bounds(position, bounds)
+    assert model.community == 2
+
+
+def test_full_roaming_always_leaves_home_cell():
+    rng = random.Random(5)
+    model = HomeCellMovement(LAYOUT, 1, roaming_probability=1.0)
+    position = model.initial_position(rng)
+    for _ in range(25):
+        path = model.next_path(position, 0.0, rng)
+        destination = path.waypoints[-1]
+        assert LAYOUT.community_of_point(destination) != 1
+        position = destination
+
+
+def test_rehoming_drifts_membership_but_not_the_oracle_label():
+    rng = random.Random(7)
+    model = HomeCellMovement(LAYOUT, 0, roaming_probability=0.0,
+                             rehome_interval=50.0)
+    position = model.initial_position(rng)
+    for step in range(60):
+        path = model.next_path(position, now=step * 25.0, rng=rng)
+        position = path.waypoints[-1]
+    assert model.rehomes > 0
+    assert model.home_cell != model.initial_home or model.rehomes >= 2
+    # the oracle label CR sees is frozen at the initial home
+    assert model.community == model.initial_home == 0
+
+
+def test_static_membership_without_rehome_interval():
+    rng = random.Random(9)
+    model = HomeCellMovement(LAYOUT, 3, roaming_probability=0.5)
+    position = model.initial_position(rng)
+    for step in range(40):
+        position = model.next_path(position, step * 100.0, rng).waypoints[-1]
+    assert model.rehomes == 0
+    assert model.home_cell == 3
+
+
+def test_single_cell_layout_never_roams_or_rehomes():
+    layout = CommunityLayout(area=(100.0, 100.0), num_communities=1)
+    rng = random.Random(11)
+    model = HomeCellMovement(layout, 0, roaming_probability=1.0,
+                             rehome_interval=1.0)
+    position = model.initial_position(rng)
+    for step in range(10):
+        position = model.next_path(position, step * 100.0, rng).waypoints[-1]
+        assert in_bounds(position, layout.district_bounds(0))
+    assert model.rehomes == 0
+
+
+# ------------------------------------------------------------------ builder
+def test_hcmm_scenario_builds_and_runs():
+    config = ScenarioConfig.bench_scale(protocol="epidemic", num_nodes=12) \
+        .with_overrides(mobility=MobilityKind.HCMM, sim_time=120.0,
+                        roaming_probability=0.2, rehome_interval=300.0)
+    built = build_scenario(config)
+    for index, node in enumerate(built.world.nodes):
+        assert node.community == index % config.num_communities
+        assert isinstance(node.follower.model, HomeCellMovement)
+    built.run()
+    assert built.world.updates > 0
+
+
+def test_hcmm_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig.bench_scale().with_overrides(roaming_probability=2.0)
+    with pytest.raises(ValueError):
+        ScenarioConfig.bench_scale().with_overrides(rehome_interval=-5.0)

@@ -12,7 +12,6 @@ from repro.mobility.map_route import (
     district_hubs,
     generate_bus_routes,
 )
-from repro.mobility.roadmap import RoadMap
 
 
 @pytest.fixture

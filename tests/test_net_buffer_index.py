@@ -7,7 +7,6 @@ in-tree :class:`~repro.net.buffer.ReferenceMessageBuffer` oracle under
 randomized churn, for every drop policy.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net.generators import MessageEventGenerator, TrafficSpec
-from repro.sim.engine import Simulator
 from repro.traces.contact_trace import ContactTrace
 from repro.traces.replay import build_trace_world
 

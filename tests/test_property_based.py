@@ -5,7 +5,6 @@ These cover the mathematical building blocks of the paper (Theorems 1, 2 and
 whose invariants everything else relies on (buffers, paths, MI exchange).
 """
 
-import math
 
 import numpy as np
 from hypothesis import given, settings, strategies as st

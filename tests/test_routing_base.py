@@ -10,7 +10,7 @@ from repro.routing.registry import register_router
 
 def test_create_message_buffers_at_source(two_node_trace):
     simulator, world = make_world(two_node_trace, protocol="direct")
-    message = inject_message(world, source=0, destination=1)
+    inject_message(world, source=0, destination=1)
     router = world.get_node(0).router
     assert router.has_message("M1")
     assert world.stats.created == 1

@@ -1,6 +1,5 @@
 """Unit tests for Spray-and-Wait and Spray-and-Focus."""
 
-import pytest
 
 from repro.testing import inject_message, make_contact_plan, make_world
 from repro.routing.spray_and_wait import SprayAndWaitRouter

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError
 
 
 def test_clock_starts_at_zero(simulator):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 
 

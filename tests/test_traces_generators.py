@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.traces.generators import (
+    TRACE_GENERATORS,
     community_structured_trace,
+    drifting_community_trace,
+    generate_trace,
     periodic_contact_trace,
     random_waypoint_like_trace,
 )
@@ -56,6 +59,76 @@ def test_community_trace_intra_much_denser_than_inter():
             inter += 1
     assert intra > 3 * inter
     assert set(truth) == set(range(8))
+
+
+def _pair_rate_in_window(trace, pair, start, end):
+    contacts = [s for p, s, _ in trace.contacts()
+                if p == pair and start <= s < end]
+    return len(contacts) / (end - start)
+
+
+def test_drifting_trace_ground_truth_is_first_epoch():
+    trace, truth = drifting_community_trace(
+        num_nodes=8, num_communities=2, duration=4000.0,
+        drift_interval=1000.0, drift_fraction=0.5, seed=3)
+    assert truth == {node: node % 2 for node in range(8)}
+    assert len(trace.events) > 0
+    # events are well-formed up/down alternations per pair
+    open_pairs = set()
+    for event in trace.events:
+        key = (min(event.node_a, event.node_b), max(event.node_a, event.node_b))
+        if event.up:
+            assert key not in open_pairs
+            open_pairs.add(key)
+        else:
+            open_pairs.discard(key)
+
+
+def test_drifting_trace_without_drift_matches_first_epoch_structure():
+    trace, truth = drifting_community_trace(
+        num_nodes=8, num_communities=2, duration=6000.0,
+        drift_interval=1000.0, drift_fraction=0.0,
+        intra_period=150.0, inter_period=2500.0, seed=7)
+    intra = inter = 0
+    for (a, b), _, _ in trace.contacts():
+        if truth[a] == truth[b]:
+            intra += 1
+        else:
+            inter += 1
+    assert intra > 3 * inter
+
+
+def test_drifting_trace_changes_pair_rates_across_epochs():
+    # with full per-epoch drift, at least one pair's contact rate must move
+    # between the first and last quarter of the trace
+    trace, _ = drifting_community_trace(
+        num_nodes=6, num_communities=3, duration=8000.0,
+        drift_interval=2000.0, drift_fraction=1.0,
+        intra_period=100.0, inter_period=3000.0, jitter=0.05, seed=11)
+    moved = 0
+    for a in range(6):
+        for b in range(a + 1, 6):
+            early = _pair_rate_in_window(trace, (a, b), 0.0, 2000.0)
+            late = _pair_rate_in_window(trace, (a, b), 6000.0, 8000.0)
+            if abs(early - late) * 2000.0 >= 3:
+                moved += 1
+    assert moved >= 1
+
+
+def test_drifting_generator_registered_and_validated():
+    assert "drifting" in TRACE_GENERATORS
+    trace, communities = generate_trace(
+        "drifting", num_nodes=6, num_communities=2, duration=1000.0, seed=1)
+    assert communities == {node: node % 2 for node in range(6)}
+    assert len(trace.events) > 0
+    with pytest.raises(ValueError):
+        drifting_community_trace(num_nodes=1, num_communities=1, duration=10.0)
+    with pytest.raises(ValueError):
+        drifting_community_trace(num_nodes=4, num_communities=2,
+                                 duration=10.0, drift_interval=0.0)
+    with pytest.raises(ValueError):
+        drifting_community_trace(num_nodes=4, num_communities=2,
+                                 duration=10.0, drift_fraction=1.5)
 
 
 def test_generators_are_reproducible():

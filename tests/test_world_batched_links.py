@@ -9,7 +9,6 @@ larger-id initiator runs the exchange).
 """
 
 from repro.routing.epidemic import EpidemicRouter
-from repro.sim.engine import Simulator
 from repro.traces.contact_trace import ContactTrace
 from repro.traces.replay import build_trace_world
 
