@@ -39,6 +39,17 @@ same answers:
     ``interval_arrays()``/``contact_count_arrays()`` views.  The graph
     checksums (edge count, total weight, mean-interval sum) and the detected
     assignment CRC must match bit for bit.
+``world_tick_10k``
+    The scale tentpole: the ``rwp-10k`` catalog scenario (10 000 pedestrians
+    at quick/full scale) run through the staged tick pipeline.  Baseline:
+    per-follower movement loop + single-threaded ``KDTreeConnectivity``.
+    Current: batched ``MovementEngine`` + ``ShardedConnectivity``.  The
+    throughput key is detection throughput (ticks per second of pure
+    detector time, from the ``connectivity.detect`` sub-meter) — the gated
+    claim is *sharded detection at least 2x single-threaded k-d tree on the
+    same machine* — and the per-phase wall-time breakdown rides along.  The
+    delivery/contact checksums plus an end-of-run position checksum must be
+    bit-identical: sharding must not change a single simulation outcome.
 
 ``--compare`` turns the harness into a regression gate: current throughputs
 are checked against a committed baseline JSON (CI fails on >25% regression
@@ -74,15 +85,18 @@ SCALES: Dict[str, Dict[str, float]] = {
     "smoke": dict(nodes=120, encounters=150, memd_every=8, memd_batch=2,
                   buffer_ops=2_000, collector_events=20_000,
                   scenario_time=200.0, scenario_repeats=1,
-                  detect_nodes=60, detect_contacts=4_000, detect_rounds=3),
+                  detect_nodes=60, detect_contacts=4_000, detect_rounds=3,
+                  world_nodes=1_500, world_ticks=15, world_repeats=1),
     "quick": dict(nodes=1000, encounters=600, memd_every=8, memd_batch=4,
                   buffer_ops=20_000, collector_events=200_000,
                   scenario_time=600.0, scenario_repeats=3,
-                  detect_nodes=200, detect_contacts=30_000, detect_rounds=5),
+                  detect_nodes=200, detect_contacts=30_000, detect_rounds=5,
+                  world_nodes=10_000, world_ticks=40, world_repeats=3),
     "full": dict(nodes=1000, encounters=2_400, memd_every=8, memd_batch=4,
                  buffer_ops=100_000, collector_events=1_000_000,
                  scenario_time=2_000.0, scenario_repeats=3,
-                 detect_nodes=300, detect_contacts=100_000, detect_rounds=8),
+                 detect_nodes=300, detect_contacts=100_000, detect_rounds=8,
+                 world_nodes=10_000, world_ticks=120, world_repeats=3),
 }
 
 
@@ -299,6 +313,74 @@ def bench_scenario(scale: Dict[str, float], seed: int,
     }
 
 
+# ------------------------------------------------------------ 10k world tick
+def bench_world_tick(scale: Dict[str, float], seed: int,
+                     reference: bool) -> Dict[str, object]:
+    """The ``rwp-10k`` scenario through the staged tick pipeline, one mode.
+
+    Reference: per-follower movement loop + single-threaded k-d tree
+    detection (the pre-PR world).  Current: batched movement + sharded
+    connectivity.  Both modes run the *same* seed and must end in the same
+    state bit for bit; the checksums include the summed end-of-run position
+    matrix, so a single diverging float64 anywhere in 10 000 trajectories
+    fails the pair.
+
+    The run repeats ``world_repeats`` times (fresh world each time, results
+    identical by construction) and every reported timing is the
+    best-of-repeats — the phase wall times at 10k nodes are small enough
+    that a single run is hostage to scheduler noise on shared CI machines,
+    and the gate compares timing *ratios*.
+    """
+    overrides: Dict[str, object] = {
+        "num_nodes": int(scale["world_nodes"]),
+        "sim_time": float(scale["world_ticks"]),
+        "seed": seed,
+    }
+    if reference:
+        overrides["detector"] = "kdtree"
+        overrides["batch_movement"] = False
+    config = make_scenario("rwp-10k", overrides)
+    seconds = float("inf")
+    best_phases: Dict[str, float] = {}
+    for _ in range(int(scale.get("world_repeats", 1))):
+        built = build_scenario(config)
+        start = time.perf_counter()
+        built.run()
+        elapsed = time.perf_counter() - start
+        seconds = min(seconds, elapsed)
+        for name, value in built.stats.tick_phase_seconds.items():
+            if name not in best_phases or value < best_phases[name]:
+                best_phases[name] = value
+        built.world.stop()  # releases the sharded detector's worker pool
+    stats = built.stats
+    world = built.world
+    ticks = max(1, world.updates)
+    phases = {name: round(value, 4)
+              for name, value in sorted(best_phases.items())}
+    detect_seconds = max(best_phases.get("connectivity.detect", 0.0), 1e-9)
+    move_seconds = max(best_phases.get("move", 0.0), 1e-9)
+    positions_sum = float(world.positions().sum())
+    return {
+        "seconds": round(seconds, 4),
+        "ms_per_tick": round(1000.0 * seconds / ticks, 4),
+        "detect_ticks_per_s": round(ticks / detect_seconds, 2),
+        "move_ticks_per_s": round(ticks / move_seconds, 2),
+        "phase_seconds": phases,
+        "detector_rebuilds": getattr(world.detector, "rebuilds", None),
+        "ticks": ticks,
+        "checksums": {
+            "created": stats.created,
+            "delivered": stats.delivered,
+            "relayed": stats.relayed,
+            "dropped": stats.dropped,
+            "contacts": stats.contacts,
+            "delivery_ratio": stats.delivery_ratio,
+            "average_latency": stats.average_latency,
+            "positions_sum": positions_sum,
+        },
+    }
+
+
 # ---------------------------------------------------------- community pipeline
 def _planted_history_set(num_nodes: int, contacts: int,
                          seed: int) -> List[ContactHistory]:
@@ -476,6 +558,14 @@ def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object
         {"nodes": int(scale["detect_nodes"]),
          "contacts": int(scale["detect_contacts"]),
          "rounds": int(scale["detect_rounds"])})
+
+    benchmarks["world_tick_10k"] = _paired(
+        "world_tick_10k",
+        bench_world_tick(scale, seed, reference=True),
+        bench_world_tick(scale, seed, reference=False),
+        "detect_ticks_per_s",
+        {"scenario": "rwp-10k", "nodes": int(scale["world_nodes"]),
+         "ticks": int(scale["world_ticks"])})
 
     return {
         "schema": 1,

@@ -199,6 +199,15 @@ def cmd_run(args) -> int:
               f"{result.mean('community_detections'):10.4f} "
               f"({result.mean('community_detection_seconds'):.4f} s compute, "
               f"{result.mean('community_reassignments'):.1f} reassignments)")
+    phase_names = sorted({name for report in result.reports
+                          for name in report.tick_phase_seconds})
+    if phase_names:
+        runs = len(result.reports)
+        breakdown = "  ".join(
+            f"{name} "
+            f"{sum(r.tick_phase_seconds.get(name, 0.0) for r in result.reports) / runs:.3f}s"
+            for name in phase_names)
+        print(f"tick phases (mean wall time per run): {breakdown}")
     return 0
 
 

@@ -23,8 +23,15 @@ from repro.traces.contact_trace import ContactTrace
 from repro.traces.generators import generate_trace
 from repro.traces.io import load_trace
 from repro.traces.replay import TraceReplayWorld
+from repro.world.connectivity import (
+    BruteForceConnectivity,
+    ConnectivityDetector,
+    GridConnectivity,
+    KDTreeConnectivity,
+)
 from repro.world.interface import Interface
 from repro.world.node import DTNNode
+from repro.world.sharded import ShardedConnectivity
 from repro.world.world import World
 
 
@@ -188,6 +195,29 @@ def _trace_movements(config: ScenarioConfig):
     return trace, movements, communities
 
 
+def build_detector(config: ScenarioConfig) -> ConnectivityDetector:
+    """Construct the configured connectivity detector.
+
+    ``config.rebuild_margin`` (when set) overrides the kdtree/sharded
+    rebuild slack; ``config.world_workers`` sizes the sharded detector's
+    worker pool.  The grid and brute-force detectors take no parameters.
+    """
+    name = config.detector
+    if name == "kdtree":
+        if config.rebuild_margin is None:
+            return KDTreeConnectivity()
+        return KDTreeConnectivity(rebuild_margin=config.rebuild_margin)
+    if name == "grid":
+        return GridConnectivity()
+    if name == "brute":
+        return BruteForceConnectivity()
+    assert name == "sharded", name  # ScenarioConfig validated the choice
+    if config.rebuild_margin is None:
+        return ShardedConnectivity(workers=config.world_workers)
+    return ShardedConnectivity(rebuild_margin=config.rebuild_margin,
+                               workers=config.world_workers)
+
+
 def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     """Assemble the simulator, world, nodes, routers and traffic for *config*.
 
@@ -225,7 +255,8 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
             stats=stats)
     else:
         world = World(simulator, update_interval=config.update_interval,
-                      stats=stats)
+                      stats=stats, detector=build_detector(config),
+                      batch_movement=config.batch_movement)
 
     interface = Interface(transmit_range=config.transmit_range,
                           transmit_speed=config.transmit_speed)

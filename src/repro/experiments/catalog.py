@@ -215,6 +215,27 @@ def _register_builtins() -> None:
         summary="pedestrians on shortest road-map paths (bench map)",
         provenance="ONE simulator's ShortestPathMapBasedMovement lineage")
     register_scenario(
+        "rwp-10k",
+        lambda: ScenarioConfig.bench_scale(
+            protocol="direct", num_nodes=10_000).with_overrides(
+            name="rwp-10k", mobility=MobilityKind.RANDOM_WAYPOINT,
+            sim_time=600.0,
+            min_speed=0.5, max_speed=1.5, stop_wait=(0.0, 120.0),
+            message_interval=(2.0, 4.0),
+            detector="sharded",
+            record_mode="columnar"),
+        summary="10 000 pedestrians on the bench map: sharded strip "
+                "connectivity + batch movement (the scale tentpole)",
+        provenance="ROADMAP sharded-worlds item; repro.world.sharded")
+    register_scenario(
+        "bench-grid",
+        lambda: ScenarioConfig.bench_scale().with_overrides(
+            name="bench-grid", mobility=MobilityKind.RANDOM_WAYPOINT,
+            detector="grid"),
+        summary="bench random waypoint on the grid detector (non-default "
+                "detector coverage)",
+        provenance="repro.world.connectivity.GridConnectivity")
+    register_scenario(
         "hcmm",
         lambda: ScenarioConfig.bench_scale(protocol="cr").with_overrides(
             name="bench-hcmm", mobility=MobilityKind.HCMM,

@@ -23,7 +23,13 @@ from repro.metrics.reports import SimulationReport, build_report
 def run_scenario(config: ScenarioConfig) -> SimulationReport:
     """Build, run and summarise one scenario."""
     built = build_scenario(config)
-    built.run()
+    try:
+        built.run()
+    finally:
+        # release world-held resources (the sharded detector's worker pool)
+        # eagerly — even on a failed run — instead of waiting for a GC pass
+        # to break the world cycle
+        built.world.stop()
     extra = {
         "alpha": float(config.router_params.get("alpha", float("nan")))
         if "alpha" in config.router_params else float("nan"),

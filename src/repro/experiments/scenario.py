@@ -97,6 +97,18 @@ class ScenarioConfig:
     transmit_speed: float = 2_000_000 / 8
     buffer_capacity: float = 1024 * 1024
 
+    # world tick (geometric mobility kinds only)
+    #: connectivity detector: "kdtree", "grid", "brute" or "sharded"
+    detector: str = "kdtree"
+    #: rebuild slack as a fraction of the maximum radio range, for the
+    #: kdtree/sharded detectors (None = the implementation's default)
+    rebuild_margin: Optional[float] = None
+    #: worker threads for sharded world phases (None = autodetect)
+    world_workers: Optional[int] = None
+    #: advance batch-capable mobility models through the vectorized
+    #: MovementEngine kernel (False pins the exact per-follower loop)
+    batch_movement: bool = True
+
     # traffic
     message_interval: Tuple[float, float] = (25.0, 35.0)
     message_size: int = 25 * 1024
@@ -130,6 +142,22 @@ class ScenarioConfig:
             raise ValueError("rehome_interval must be positive (or None)")
         if isinstance(self.mobility, str):
             self.mobility = MobilityKind(self.mobility)
+        if self.detector not in ("kdtree", "grid", "brute", "sharded"):
+            raise ValueError(
+                f"detector must be 'kdtree', 'grid', 'brute' or 'sharded', "
+                f"got {self.detector!r}")
+        if self.rebuild_margin is not None and self.rebuild_margin < 0:
+            raise ValueError("rebuild_margin must be non-negative (or None)")
+        if self.detector == "sharded" and self.rebuild_margin == 0:
+            # zero slack would invalidate the sharded detector's candidate
+            # cache on any movement; fail at config time rather than letting
+            # ShardedConnectivity raise from a different layer at build time
+            raise ValueError(
+                "rebuild_margin must be positive (or None) with "
+                "detector='sharded'; 0 is only meaningful for the kdtree "
+                "detector (rebuild every tick)")
+        if self.world_workers is not None and self.world_workers < 1:
+            raise ValueError("world_workers must be >= 1 (or None)")
         if self.record_mode is not None and self.record_mode not in (
                 "off", "lists", "columnar"):
             raise ValueError(

@@ -128,6 +128,11 @@ class StatsCollector:
         self.community_detections = 0
         self.community_detection_seconds = 0.0
         self.community_reassignments = 0
+        # per-phase wall time of the world tick pipeline (phase name ->
+        # accumulated seconds / sample count); machine-specific, kept out of
+        # the deterministic metric comparisons
+        self.tick_phase_seconds: Dict[str, float] = {}
+        self.tick_phase_samples: Dict[str, int] = {}
         self.latency_sum = 0.0
         self.hop_count_sum = 0
 
@@ -360,6 +365,19 @@ class StatsCollector:
         self.community_detections += 1
         self.community_detection_seconds += float(seconds)
         self.community_reassignments += int(reassigned)
+
+    def tick_phase(self, name: str, seconds: float) -> None:
+        """Record one wall-clock sample of a world tick-pipeline phase.
+
+        Called once per phase per world update by
+        :class:`~repro.world.pipeline.TickPipeline`.  Accumulated seconds are
+        compute *observability* (like :meth:`community_detection`'s seconds):
+        they feed the phase-time reporting and the world-tick benchmarks, and
+        are excluded from deterministic result comparisons.
+        """
+        self.tick_phase_seconds[name] = (
+            self.tick_phase_seconds.get(name, 0.0) + float(seconds))
+        self.tick_phase_samples[name] = self.tick_phase_samples.get(name, 0) + 1
 
     # ------------------------------------------------------------------ query
     def is_delivered(self, message_id: str) -> bool:

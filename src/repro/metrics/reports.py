@@ -51,9 +51,24 @@ class SimulationReport:
     latency_percentiles: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, object]:
-        """Return a plain-dict representation (JSON-friendly)."""
-        return asdict(self)
+    # accumulated wall-clock seconds per world tick-pipeline phase
+    # (move/connectivity/transfers/routers).  Machine- and run-specific, so
+    # excluded from the canonical serialisation by default: two runs of the
+    # same seed must serialise byte-identically whatever hardware (or phase
+    # implementation — serial vs sharded) produced them.
+    tick_phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self, include_timings: bool = False) -> Dict[str, object]:
+        """Return a plain-dict representation (JSON-friendly).
+
+        ``include_timings`` keeps the wall-clock ``tick_phase_seconds``
+        breakdown in the payload; the default drops it so serialised reports
+        compare byte-for-byte across machines and phase implementations.
+        """
+        payload = asdict(self)
+        if not include_timings:
+            payload.pop("tick_phase_seconds")
+        return payload
 
     def metric(self, name: str) -> float:
         """Look up a metric by name (``delivery_ratio``/``latency``/``goodput``...)."""
@@ -110,4 +125,5 @@ def build_report(collector: StatsCollector, *, protocol: str, num_nodes: int,
         community_reassignments=collector.community_reassignments,
         latency_percentiles=_latency_percentiles(collector),
         extra=dict(extra or {}),
+        tick_phase_seconds=dict(collector.tick_phase_seconds),
     )

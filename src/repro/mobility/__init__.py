@@ -13,6 +13,7 @@ movement, stationary) support the examples, tests and ablations.
 """
 
 from repro.mobility.base import MovementModel, PathFollower
+from repro.mobility.engine import MovementEngine
 from repro.mobility.path import Path
 from repro.mobility.roadmap import RoadMap
 from repro.mobility.map_generator import generate_downtown_map, assign_districts
@@ -25,6 +26,7 @@ from repro.mobility.stationary import StationaryMovement
 
 __all__ = [
     "MovementModel",
+    "MovementEngine",
     "PathFollower",
     "Path",
     "RoadMap",

@@ -39,6 +39,20 @@ class MovementModel(abc.ABC):
         """
         return None
 
+    @property
+    def supports_batch_advance(self) -> bool:
+        """Whether followers of this model may be advanced by the batch kernel.
+
+        ``True`` opts the model's nodes into
+        :class:`~repro.mobility.engine.MovementEngine`'s vectorized
+        advance (bit-identical to the per-follower loop, see engine.py for
+        the contract); ``False`` (the default) keeps them on the exact
+        per-follower ``move`` loop.  A model should only opt in if its paths
+        are plain constant-speed :class:`~repro.mobility.path.Path` objects
+        driven exclusively through the follower (no external path mutation).
+        """
+        return False
+
 
 class PathFollower:
     """Drives one node's position by consuming paths from a movement model.
@@ -64,6 +78,9 @@ class PathFollower:
         self._position = np.array(model.initial_position(rng), dtype=float)
         self._path: Optional[Path] = None
         self._halted = False
+        # batch-advance bookkeeping (set by MovementEngine.register)
+        self._engine = None
+        self._engine_slot = -1
 
     @property
     def position(self) -> np.ndarray:
@@ -87,6 +104,22 @@ class PathFollower:
     def halted(self) -> bool:
         """Whether the model declined to provide further paths."""
         return self._halted
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The path currently being followed (``None`` before the first and
+        after the last one)."""
+        return self._path
+
+    def attach_engine(self, engine, slot: int) -> None:
+        """Bind this follower to a batch movement engine slot.
+
+        From here on, any out-of-band state change (today: :meth:`teleport`)
+        notifies the engine so it re-reads the follower's path state before
+        the next batch advance.
+        """
+        self._engine = engine
+        self._engine_slot = int(slot)
 
     def move(self, dt: float, now: float) -> np.ndarray:
         """Advance the node by *dt* seconds and return the new position."""
@@ -117,3 +150,5 @@ class PathFollower:
         self._position[:] = np.asarray(position, dtype=float)
         self._path = None
         self._halted = False
+        if self._engine is not None:
+            self._engine.invalidate(self._engine_slot)

@@ -1,0 +1,241 @@
+"""Batched movement: one vectorized advance instead of n ``move`` calls.
+
+The seed world moved nodes with a per-node Python loop —
+``for node: node.follower.move(dt, now)`` — which at 10 000 nodes costs more
+than the connectivity detection it feeds.  :class:`MovementEngine` replaces
+the loop for the models that opt in
+(:attr:`~repro.mobility.base.MovementModel.supports_batch_advance`): nodes
+whose current tick stays *inside* their current path segment (or inside the
+end-of-path pause) are advanced with a handful of NumPy operations straight
+into the world's :class:`~repro.world.positions.PositionStore` matrix; only
+the nodes that cross a segment boundary, finish a pause, or need a fresh
+path from their model this tick fall back to the exact per-follower loop.
+
+Bit-identity contract
+---------------------
+The batch kernel is **bit-identical** to ``PathFollower.move``, not merely
+close: it mirrors the scalar arithmetic of
+:meth:`~repro.mobility.path.Path._consume` and
+:meth:`~repro.mobility.path.Path._position_xy` operation for operation —
+
+* travel:   ``offset += speed * dt`` then ``frac = offset / seg_len`` and
+  ``x = ax + frac * (bx - ax)`` (same IEEE-754 float64 ops, same order);
+* wait:     ``waited += dt`` with the same strict ``dt < wait_time - waited``
+  fast-path predicate ``_consume`` uses, so the *boundary* tick (the one
+  that finishes a segment or pause) always falls back to the scalar code.
+
+Because the fast path only ever executes ticks whose scalar counterpart
+would not leave the current segment/pause, every position the simulation
+observes is the same 64-bit pattern the loop would have produced.  The
+engine mirrors path progress in flat arrays while a node is on the fast
+path and flushes it back (:meth:`~repro.mobility.path.Path.set_progress`)
+the moment the node needs the scalar loop; out-of-band state changes
+(``PathFollower.teleport``) invalidate the mirror through
+:meth:`invalidate`.
+
+Models without a batch kernel — and any follower whose state the engine
+cannot mirror (no path yet, zero-length segment, non-positive speed) — run
+the unchanged per-follower loop, so enabling the engine never changes
+behaviour, only cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.mobility.base import PathFollower
+
+#: follower fast-path states
+TRAVEL = 0  #: inside a positive-length segment of the current path
+WAIT = 1  #: inside the end-of-path pause
+FALLBACK = 2  #: per-follower loop (no batch kernel, or at a boundary)
+HALTED = 3  #: model returned no further paths; skipped entirely
+
+
+class MovementEngine:
+    """Advances every registered follower once per world tick.
+
+    Parameters
+    ----------
+    positions:
+        The world's :class:`~repro.world.positions.PositionStore` (held by
+        duck type to keep the mobility package import-independent of the
+        world package); row *i* belongs to the *i*-th registered follower —
+        the world registers followers in position-row order.
+    batch:
+        ``False`` disables the kernel entirely: :meth:`advance` becomes the
+        historical per-follower loop (used for A/B parity pins and as the
+        guaranteed-exact reference).
+    """
+
+    def __init__(self, positions, batch: bool = True) -> None:
+        self._positions = positions
+        self.batch_enabled = bool(batch)
+        self._followers: List[PathFollower] = []
+        self._batchable: List[bool] = []
+        self._dirty: Set[int] = set()
+        self._size = 0  # follower count the arrays are allocated for
+        self._mode = np.empty(0, dtype=np.int64)
+        self._ax = np.empty(0, dtype=float)
+        self._ay = np.empty(0, dtype=float)
+        self._bx = np.empty(0, dtype=float)
+        self._by = np.empty(0, dtype=float)
+        self._seg_len = np.empty(0, dtype=float)
+        self._offset = np.empty(0, dtype=float)
+        self._speed = np.empty(0, dtype=float)
+        self._waited = np.empty(0, dtype=float)
+        self._wait_time = np.empty(0, dtype=float)
+        # observability: how many node-ticks took which path
+        self.fast_moves = 0
+        self.loop_moves = 0
+
+    # ------------------------------------------------------------ registration
+    def register(self, follower: PathFollower) -> int:
+        """Add *follower* (its position row is the returned slot index)."""
+        slot = len(self._followers)
+        self._followers.append(follower)
+        batchable = (self.batch_enabled
+                     and follower.model.supports_batch_advance)
+        self._batchable.append(batchable)
+        if batchable:
+            follower.attach_engine(self, slot)
+        return slot
+
+    @property
+    def num_followers(self) -> int:
+        """Number of registered followers."""
+        return len(self._followers)
+
+    def invalidate(self, slot: int) -> None:
+        """Mark one slot's mirrored path state stale (teleport hook)."""
+        if 0 <= slot < len(self._followers):
+            self._dirty.add(int(slot))
+
+    # ----------------------------------------------------------------- arrays
+    def _grow(self) -> None:
+        """Resize the state arrays to the follower count; new slots go dirty."""
+        old = self._size
+        n = len(self._followers)
+        grown = max(n, 1)
+
+        def resize(array: np.ndarray, fill: float) -> np.ndarray:
+            fresh = np.full(grown, fill, dtype=array.dtype)
+            fresh[:old] = array[:old]
+            return fresh
+
+        self._mode = resize(self._mode, FALLBACK)
+        self._ax = resize(self._ax, 0.0)
+        self._ay = resize(self._ay, 0.0)
+        self._bx = resize(self._bx, 0.0)
+        self._by = resize(self._by, 0.0)
+        # neutral values keep the vector predicates warning-free for slots
+        # that are not in TRAVEL/WAIT mode
+        self._seg_len = resize(self._seg_len, 1.0)
+        self._offset = resize(self._offset, 0.0)
+        self._speed = resize(self._speed, 0.0)
+        self._waited = resize(self._waited, 0.0)
+        self._wait_time = resize(self._wait_time, 0.0)
+        self._size = n
+        self._dirty.update(range(old, n))
+
+    def _refresh(self, slot: int) -> None:
+        """Re-mirror one follower's path state into the flat arrays."""
+        if not self._batchable[slot]:
+            return
+        follower = self._followers[slot]
+        mode = self._mode
+        if follower.halted:
+            mode[slot] = HALTED
+            return
+        path = follower.path
+        if path is None or path.done:
+            mode[slot] = FALLBACK
+            return
+        state = path.batch_state()
+        if state is None:
+            # past the last waypoint: inside the end-of-path pause
+            mode[slot] = WAIT
+            self._offset[slot] = 0.0
+            self._waited[slot] = path.waited
+            self._wait_time[slot] = path.wait_time
+            return
+        ax, ay, bx, by, seg_len, offset = state
+        if seg_len <= 0.0 or path.speed <= 0.0:
+            mode[slot] = FALLBACK
+            return
+        mode[slot] = TRAVEL
+        self._ax[slot] = ax
+        self._ay[slot] = ay
+        self._bx[slot] = bx
+        self._by[slot] = by
+        self._seg_len[slot] = seg_len
+        self._offset[slot] = offset
+        self._speed[slot] = path.speed
+        self._waited[slot] = path.waited
+        self._wait_time[slot] = path.wait_time
+
+    # ---------------------------------------------------------------- advance
+    def advance(self, dt: float, now: float) -> None:
+        """Move every non-halted follower by *dt* seconds."""
+        if not self.batch_enabled:
+            for follower in self._followers:
+                if not follower.halted:
+                    follower.move(dt, now)
+                    self.loop_moves += 1
+            return
+        if self._size != len(self._followers):
+            self._grow()
+        if self._dirty:
+            for slot in sorted(self._dirty):
+                self._refresh(slot)
+            self._dirty.clear()
+
+        mode = self._mode
+        # the same strict predicates _consume uses: a tick that would exactly
+        # finish a segment or pause is NOT fast — it falls back to the scalar
+        # code, which also handles starting the next segment/path
+        step = self._speed * dt
+        fast_travel = (mode == TRAVEL) & (step < self._seg_len - self._offset)
+        fast_wait = (mode == WAIT) & (dt < self._wait_time - self._waited)
+
+        travelling = np.nonzero(fast_travel)[0]
+        if len(travelling):
+            offset = self._offset
+            offset[travelling] += step[travelling]
+            frac = offset[travelling] / self._seg_len[travelling]
+            data = self._positions.view()
+            ax = self._ax[travelling]
+            ay = self._ay[travelling]
+            data[travelling, 0] = ax + frac * (self._bx[travelling] - ax)
+            data[travelling, 1] = ay + frac * (self._by[travelling] - ay)
+        waiting = np.nonzero(fast_wait)[0]
+        if len(waiting):
+            # position already holds the exact path endpoint (written by the
+            # boundary tick's scalar fallback); only the pause clock advances
+            self._waited[waiting] += dt
+        self.fast_moves += len(travelling) + len(waiting)
+
+        slow = np.nonzero(~(fast_travel | fast_wait) & (mode != HALTED))[0]
+        for index in slow:
+            slot = int(index)
+            follower = self._followers[slot]
+            if self._batchable[slot]:
+                state = int(mode[slot])
+                if state in (TRAVEL, WAIT) and follower.path is not None:
+                    # hand the mirrored progress back before the scalar move
+                    follower.path.set_progress(float(self._offset[slot]),
+                                               float(self._waited[slot]))
+                if not follower.halted:
+                    follower.move(dt, now)
+                    self.loop_moves += 1
+                self._refresh(slot)
+            elif not follower.halted:
+                follower.move(dt, now)
+                self.loop_moves += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "batch" if self.batch_enabled else "loop"
+        return (f"MovementEngine({kind}, {len(self._followers)} followers, "
+                f"fast={self.fast_moves}, loop={self.loop_moves})")

@@ -93,6 +93,40 @@ class Path:
         return at_end and self._waited >= self.wait_time
 
     @property
+    def waited(self) -> float:
+        """Seconds already paused at the end of the path."""
+        return self._waited
+
+    # ----------------------------------------------------------- batch access
+    def batch_state(self):
+        """Current-segment snapshot for the batch movement kernel.
+
+        Returns ``(ax, ay, bx, by, seg_len, offset)`` — the endpoints,
+        length and traversed offset of the segment currently being walked —
+        or ``None`` when the path is past its last waypoint (waiting).  The
+        scalars are exactly the ones :meth:`_consume`/:meth:`_position_xy`
+        operate on, which is what makes the vectorized advance bit-identical
+        to the scalar one (see :mod:`repro.mobility.engine`).
+        """
+        segment = self._segment
+        if segment >= len(self._lengths):
+            return None
+        ax, ay = self._xy[segment]
+        bx, by = self._xy[segment + 1]
+        return ax, ay, bx, by, self._lengths[segment], self._offset
+
+    def set_progress(self, offset: float, waited: float) -> None:
+        """Write back batch-advanced progress (the engine's flush).
+
+        Only meaningful with values produced by advancing the *current*
+        batch state with the same arithmetic as :meth:`_consume`; the
+        movement engine calls this right before handing a node back to the
+        exact per-follower loop.
+        """
+        self._offset = float(offset)
+        self._waited = float(waited)
+
+    @property
     def total_length(self) -> float:
         """Total geometric length of the path in metres."""
         return float(sum(self._lengths))

@@ -8,7 +8,9 @@ from repro.world.connectivity import (
     KDTreeConnectivity,
     BruteForceConnectivity,
 )
+from repro.world.pipeline import TickPhase, TickPipeline
 from repro.world.positions import PositionStore
+from repro.world.sharded import ShardedConnectivity
 from repro.world.world import World
 
 __all__ = [
@@ -18,6 +20,9 @@ __all__ = [
     "GridConnectivity",
     "KDTreeConnectivity",
     "BruteForceConnectivity",
+    "ShardedConnectivity",
+    "TickPhase",
+    "TickPipeline",
     "PositionStore",
     "World",
 ]

@@ -1,14 +1,23 @@
 """The world update loop.
 
 :class:`World` owns the nodes and, once per update interval (the paper's
-``update interval`` setting), performs the four phases of a step:
+``update interval`` setting), runs an explicit
+:class:`~repro.world.pipeline.TickPipeline` of four named phases:
 
-1. move every node along its movement model,
-2. re-detect connectivity and raise link-up / link-down events,
-3. progress in-flight transfers on every live connection and hand completed
-   replicas to the receiving routers,
-4. give every router an ``update`` tick so it can expire TTLs and enqueue new
-   transfers.
+1. ``move`` — advance every node along its movement model (batched through
+   :class:`~repro.mobility.engine.MovementEngine`; models with a batch
+   kernel advance in one vectorized call, the rest keep the per-follower
+   loop),
+2. ``connectivity`` — re-detect link pairs and raise link-up / link-down
+   events,
+3. ``transfers`` — progress in-flight transfers on every live connection and
+   hand completed replicas to the receiving routers,
+4. ``routers`` — give every router an ``update`` tick so it can expire TTLs
+   and enqueue new transfers.
+
+Each phase is wall-clock metered through the stats collector (see
+``tick_phase_seconds``), which is how the world-tick benchmarks attribute
+cost per stage and how sharded phase implementations prove their speedups.
 
 The tick is kept allocation-free where it matters (see DESIGN.md): node
 positions live in a single preallocated
@@ -22,17 +31,20 @@ All statistics flow through a single :class:`~repro.metrics.collector.StatsColle
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.metrics.collector import StatsCollector
+from repro.mobility.engine import MovementEngine
 from repro.net.connection import Connection, Transfer
 from repro.net.message import Message
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.world.connectivity import ConnectivityDetector, KDTreeConnectivity
 from repro.world.node import DTNNode
+from repro.world.pipeline import TickPhase, TickPipeline
 from repro.world.positions import PositionStore
 
 #: node ids are packed two-per-int64 for the sorted link diff
@@ -57,6 +69,19 @@ def _sorted_diff(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return a[b[idx] != a]
 
 
+def _decode_codes(codes: np.ndarray) -> List[Tuple[int, int]]:
+    """Unpack sorted link codes into ascending ``(id_lo, id_hi)`` key tuples.
+
+    One vectorized shift and one mask over the whole array (instead of the
+    historical per-code Python ``int()`` comprehension); ``tolist`` hands
+    back native ints, and sorted codes unpack to keys in ascending pair
+    order — the order the link dispatch contract requires.
+    """
+    if not len(codes):
+        return []
+    return list(zip((codes >> 32).tolist(), (codes & 0xFFFFFFFF).tolist()))
+
+
 class World:
     """Container and update driver for a set of DTN nodes.
 
@@ -71,11 +96,17 @@ class World:
         Statistics collector; a fresh one is created if not supplied.
     detector:
         Connectivity detector implementation.
+    batch_movement:
+        ``False`` pins the ``move`` phase to the historical per-follower
+        loop; the default lets batch-capable mobility models advance through
+        the vectorized :class:`~repro.mobility.engine.MovementEngine`
+        kernel (bit-identical either way, see engine.py).
     """
 
     def __init__(self, simulator: Simulator, update_interval: float = 1.0,
                  stats: Optional[StatsCollector] = None,
-                 detector: Optional[ConnectivityDetector] = None) -> None:
+                 detector: Optional[ConnectivityDetector] = None,
+                 batch_movement: bool = True) -> None:
         if update_interval <= 0:
             raise ValueError("update_interval must be positive")
         self.simulator = simulator
@@ -88,6 +119,7 @@ class World:
         self._nodes: Dict[int, DTNNode] = {}
         self._node_order: List[DTNNode] = []
         self._positions = PositionStore()
+        self.movement = MovementEngine(self._positions, batch=batch_movement)
         self._connections: Dict[Tuple[int, int], Connection] = {}
         #: sorted int64 codes (id_lo << 32 | id_hi) of the live links
         self._link_codes = _empty_codes()
@@ -96,6 +128,14 @@ class World:
         self._ids_cache: Optional[np.ndarray] = None
         self._last_update = 0.0
         self.updates = 0
+        #: the staged tick: every update runs these four phases in order,
+        #: each metered into ``stats.tick_phase_seconds``
+        self.pipeline = TickPipeline([
+            TickPhase("move", self._phase_move),
+            TickPhase("connectivity", self._phase_connectivity),
+            TickPhase("transfers", self._phase_transfers),
+            TickPhase("routers", self._phase_routers),
+        ], stats=self.stats)
         self._process = PeriodicProcess(
             simulator, self.update_interval, self._update, priority=0)
 
@@ -121,6 +161,7 @@ class World:
             for row, existing in enumerate(self._node_order):
                 existing.follower.bind(self._positions.row(row))
         node.follower.bind(self._positions.row(index))
+        self.movement.register(node.follower)
         self._nodes[node.node_id] = node
         self._node_order.append(node)
         self._ranges_cache = None
@@ -210,19 +251,33 @@ class World:
         self.updates += 1
         if dt <= 0:
             return
+        self.pipeline.run(now, dt)
+
+    # one thin adapter per phase: the pipeline hands every stage the same
+    # ``(now, dt)`` signature, subclass overrides of the underlying methods
+    # (e.g. TraceReplayWorld._refresh_connectivity) keep working
+    def _phase_move(self, now: float, dt: float) -> None:
         self._move_nodes(dt, now)
+
+    def _phase_connectivity(self, now: float, dt: float) -> None:
         self._refresh_connectivity(now)
+
+    def _phase_transfers(self, now: float, dt: float) -> None:
         self._advance_transfers(now, dt)
+
+    def _phase_routers(self, now: float, dt: float) -> None:
         self._update_routers(now)
 
     def _move_nodes(self, dt: float, now: float) -> None:
-        for node in self._node_order:
-            follower = node.follower
-            if not follower.halted:
-                follower.move(dt, now)
+        self.movement.advance(dt, now)
 
     def _refresh_connectivity(self, now: float) -> None:
+        # sub-metered separately from the surrounding phase: the phase also
+        # applies link events (world bookkeeping + router dispatch), and the
+        # detector benchmarks compare pure detection cost across detectors
+        start = _perf_counter()
         index_pairs = self.detector.update(self.positions(), self.ranges())
+        self.stats.tick_phase("connectivity.detect", _perf_counter() - start)
         if len(index_pairs):
             ids = self._node_id_array()
             a = ids[index_pairs[:, 0]]
@@ -232,14 +287,16 @@ class World:
         else:
             codes = _empty_codes()
         previous = self._link_codes
-        down_keys = [self._decode(code) for code in _sorted_diff(previous, codes)]
-        up_keys = [self._decode(code) for code in _sorted_diff(codes, previous)]
+        down_keys = _decode_codes(_sorted_diff(previous, codes))
+        up_keys = _decode_codes(_sorted_diff(codes, previous))
         self._link_codes = codes
         if down_keys or up_keys:
             self._apply_link_changes(down_keys, up_keys, now)
 
     @staticmethod
     def _decode(code: np.int64) -> Tuple[int, int]:
+        """Decode one packed link code (kept for tests/exploratory use; the
+        tick uses the vectorized :func:`_decode_codes`)."""
         value = int(code)
         return value >> 32, value & 0xFFFFFFFF
 
@@ -339,8 +396,15 @@ class World:
 
     # ------------------------------------------------------------------ misc
     def stop(self) -> None:
-        """Stop the periodic update process (used when tearing a world down)."""
+        """Stop the periodic update process (used when tearing a world down).
+
+        Also releases detector-owned resources (the sharded detector's
+        worker pool) — detectors without a ``close`` are untouched.
+        """
         self._process.stop()
+        close = getattr(self.detector, "close", None)
+        if close is not None:
+            close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"World({self.num_nodes} nodes, {len(self._connections)} links, "

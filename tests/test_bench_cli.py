@@ -21,7 +21,7 @@ def test_payload_shape_and_checksums(smoke_payload):
     names = set(payload["benchmarks"])
     assert names == {"encounter_pipeline", "buffer_churn",
                      "collector_ingest", "scenario_eer",
-                     "community_detection"}
+                     "community_detection", "world_tick_10k"}
     for name, entry in payload["benchmarks"].items():
         assert entry["checksums_match"], (
             f"{name}: vectorized path diverged from the reference")
@@ -38,6 +38,12 @@ def test_payload_shape_and_checksums(smoke_payload):
     assert detection["baseline"]["checksums"] == detection["current"]["checksums"]
     assert detection["current"]["checksums"]["edges"] > 0
     assert detection["current"]["checksums"]["communities"] >= 1
+    # the sharded world tick must not change a single simulation outcome —
+    # the checksum set includes the summed end-of-run position matrix
+    world = payload["benchmarks"]["world_tick_10k"]
+    assert world["baseline"]["checksums"] == world["current"]["checksums"]
+    assert world["current"]["checksums"]["contacts"] > 0
+    assert world["current"]["phase_seconds"]["connectivity.detect"] > 0
     # payload is JSON-serialisable as-is
     json.dumps(payload)
 
