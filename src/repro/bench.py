@@ -51,6 +51,18 @@ same answers:
     delivery/contact checksums plus an end-of-run position checksum must be
     bit-identical: sharding must not change a single simulation outcome.
 
+``world_tick_100k``
+    The flattened-tick tentpole.  The *paired* half re-uses the
+    ``world_tick_10k`` runs but gates on **whole-tick** throughput: the
+    flattened pipeline (idle-router skip-list + batched link bookkeeping +
+    O(active) transfer advancement + sharded detection) must at least
+    double ticks-per-second over the pre-tentpole serial world at 10k
+    nodes, with bit-identical checksums.  A ``scale_100k`` section rides
+    along holding one completed ``rwp-100k`` run (100 000 pedestrians at
+    city scale) and a re-run of the same seed through the serial reference
+    world (k-d tree + per-follower movement + tick-every-router); its
+    ``reference_checksums_match`` bit is the tentpole's correctness claim.
+
 ``--compare`` turns the harness into a regression gate: current throughputs
 are checked against a committed baseline JSON (CI fails on >25% regression
 by default).  See docs/performance.md for the JSON schema and CI wiring.
@@ -86,17 +98,20 @@ SCALES: Dict[str, Dict[str, float]] = {
                   buffer_ops=2_000, collector_events=20_000,
                   scenario_time=200.0, scenario_repeats=1,
                   detect_nodes=60, detect_contacts=4_000, detect_rounds=3,
-                  world_nodes=1_500, world_ticks=15, world_repeats=1),
+                  world_nodes=1_500, world_ticks=15, world_repeats=1,
+                  world100k_nodes=2_000, world100k_ticks=5),
     "quick": dict(nodes=1000, encounters=600, memd_every=8, memd_batch=4,
                   buffer_ops=20_000, collector_events=200_000,
                   scenario_time=600.0, scenario_repeats=3,
                   detect_nodes=200, detect_contacts=30_000, detect_rounds=5,
-                  world_nodes=10_000, world_ticks=40, world_repeats=3),
+                  world_nodes=10_000, world_ticks=40, world_repeats=3,
+                  world100k_nodes=100_000, world100k_ticks=6),
     "full": dict(nodes=1000, encounters=2_400, memd_every=8, memd_batch=4,
                  buffer_ops=100_000, collector_events=1_000_000,
                  scenario_time=2_000.0, scenario_repeats=3,
                  detect_nodes=300, detect_contacts=100_000, detect_rounds=8,
-                 world_nodes=10_000, world_ticks=120, world_repeats=3),
+                 world_nodes=10_000, world_ticks=120, world_repeats=3,
+                 world100k_nodes=100_000, world100k_ticks=12),
 }
 
 
@@ -319,11 +334,12 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
     """The ``rwp-10k`` scenario through the staged tick pipeline, one mode.
 
     Reference: per-follower movement loop + single-threaded k-d tree
-    detection (the pre-PR world).  Current: batched movement + sharded
-    connectivity.  Both modes run the *same* seed and must end in the same
-    state bit for bit; the checksums include the summed end-of-run position
-    matrix, so a single diverging float64 anywhere in 10 000 trajectories
-    fails the pair.
+    detection + every router ticked every update (the pre-tentpole serial
+    world).  Current: batched movement + sharded connectivity + the idle
+    router skip-list.  Both modes run the *same* seed and must end in the
+    same state bit for bit; the checksums include the summed end-of-run
+    position matrix, so a single diverging float64 anywhere in 10 000
+    trajectories fails the pair.
 
     The run repeats ``world_repeats`` times (fresh world each time, results
     identical by construction) and every reported timing is the
@@ -339,6 +355,8 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
     if reference:
         overrides["detector"] = "kdtree"
         overrides["batch_movement"] = False
+        overrides["router_skiplist"] = False
+        overrides["flat_tick"] = False
     config = make_scenario("rwp-10k", overrides)
     seconds = float("inf")
     best_phases: Dict[str, float] = {}
@@ -363,10 +381,13 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
     return {
         "seconds": round(seconds, 4),
         "ms_per_tick": round(1000.0 * seconds / ticks, 4),
+        "ticks_per_s": round(ticks / seconds, 2),
         "detect_ticks_per_s": round(ticks / detect_seconds, 2),
         "move_ticks_per_s": round(ticks / move_seconds, 2),
         "phase_seconds": phases,
         "detector_rebuilds": getattr(world.detector, "rebuilds", None),
+        "routers_ticked": world.routers_ticked,
+        "routers_skipped": world.routers_skipped,
         "ticks": ticks,
         "checksums": {
             "created": stats.created,
@@ -378,6 +399,80 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
             "average_latency": stats.average_latency,
             "positions_sum": positions_sum,
         },
+    }
+
+
+# ----------------------------------------------------------- 100k world tick
+def bench_world_tick_100k_run(scale: Dict[str, float],
+                              seed: int) -> Dict[str, object]:
+    """One completed ``rwp-100k`` run, plus a serial-reference parity check.
+
+    The current mode is the scenario as catalogued: sharded detection,
+    batched movement, batched link bookkeeping, skip-list on.  The reference
+    re-runs the same seed through the pre-tentpole world — single-threaded
+    k-d tree, per-follower movement, every router ticked — and the two
+    checksum sets (delivery counters + summed end-of-run positions) must be
+    identical: ``reference_checksums_match`` is the scale tentpole's
+    correctness bit.  Single run per mode; at 100 000 nodes the workload is
+    long enough that best-of-repeats buys nothing.
+    """
+    nodes = int(scale["world100k_nodes"])
+    sim_time = float(scale["world100k_ticks"])
+
+    def run_once(reference: bool) -> Dict[str, object]:
+        overrides: Dict[str, object] = {
+            "num_nodes": nodes,
+            "sim_time": sim_time,
+            "seed": seed,
+        }
+        if reference:
+            overrides.update(detector="kdtree", batch_movement=False,
+                             router_skiplist=False, flat_tick=False)
+        config = make_scenario("rwp-100k", overrides)
+        built = build_scenario(config)
+        start = time.perf_counter()
+        built.run()
+        seconds = time.perf_counter() - start
+        stats = built.stats
+        world = built.world
+        ticks = max(1, world.updates)
+        result = {
+            "seconds": round(seconds, 4),
+            "ms_per_tick": round(1000.0 * seconds / ticks, 4),
+            "ticks_per_s": round(ticks / seconds, 2),
+            "phase_seconds": {
+                name: round(value, 4) for name, value
+                in sorted(stats.tick_phase_seconds.items())},
+            "routers_ticked": world.routers_ticked,
+            "routers_skipped": world.routers_skipped,
+            "ticks": ticks,
+            "checksums": {
+                "created": stats.created,
+                "delivered": stats.delivered,
+                "relayed": stats.relayed,
+                "dropped": stats.dropped,
+                "contacts": stats.contacts,
+                "delivery_ratio": stats.delivery_ratio,
+                "average_latency": stats.average_latency,
+                "positions_sum": float(world.positions().sum()),
+            },
+        }
+        built.world.stop()
+        return result
+
+    current = run_once(reference=False)
+    reference = run_once(reference=True)
+    return {
+        "nodes": nodes,
+        "sim_time": sim_time,
+        "current": current,
+        "reference": reference,
+        "speedup_vs_reference": (
+            round(float(current["ticks_per_s"])
+                  / float(reference["ticks_per_s"]), 3)
+            if float(reference["ticks_per_s"]) else None),
+        "reference_checksums_match":
+            current["checksums"] == reference["checksums"],
     }
 
 
@@ -559,13 +654,31 @@ def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object
          "contacts": int(scale["detect_contacts"]),
          "rounds": int(scale["detect_rounds"])})
 
+    world_reference = bench_world_tick(scale, seed, reference=True)
+    world_current = bench_world_tick(scale, seed, reference=False)
     benchmarks["world_tick_10k"] = _paired(
         "world_tick_10k",
-        bench_world_tick(scale, seed, reference=True),
-        bench_world_tick(scale, seed, reference=False),
+        world_reference,
+        world_current,
         "detect_ticks_per_s",
         {"scenario": "rwp-10k", "nodes": int(scale["world_nodes"]),
          "ticks": int(scale["world_ticks"])})
+
+    # the same two runs gate a second claim: whole-tick throughput of the
+    # flattened pipeline (skip-list + batched links + O(active) transfers)
+    # against the pre-tentpole serial world, at 10k nodes where repeats are
+    # cheap; the completed 100k run rides along with its own parity bit
+    entry = _paired(
+        "world_tick_100k",
+        world_reference,
+        world_current,
+        "ticks_per_s",
+        {"scenario": "rwp-10k", "nodes": int(scale["world_nodes"]),
+         "ticks": int(scale["world_ticks"]),
+         "scale_scenario": "rwp-100k",
+         "scale_nodes": int(scale["world100k_nodes"])})
+    entry["scale_100k"] = bench_world_tick_100k_run(scale, seed)
+    benchmarks["world_tick_100k"] = entry
 
     return {
         "schema": 1,

@@ -183,7 +183,11 @@ def cmd_run(args) -> int:
             "protocol": config.protocol,
             "backend": args.backend or "serial",
             "summary": result.as_dict(),
-            "reports": [report.as_dict() for report in result.reports],
+            # timings stay in the JSON payload: the CI smoke uploads this as
+            # the per-phase breakdown artifact (wall seconds + tick samples
+            # per pipeline phase; excluded from determinism comparisons)
+            "reports": [report.as_dict(include_timings=True)
+                        for report in result.reports],
         })
         return 0
     print(f"scenario {args.scenario!r} protocol {config.protocol!r} "
@@ -208,6 +212,16 @@ def cmd_run(args) -> int:
             f"{sum(r.tick_phase_seconds.get(name, 0.0) for r in result.reports) / runs:.3f}s"
             for name in phase_names)
         print(f"tick phases (mean wall time per run): {breakdown}")
+        rates = []
+        for name in phase_names:
+            seconds = sum(r.tick_phase_seconds.get(name, 0.0)
+                          for r in result.reports)
+            samples = sum(r.tick_phase_samples.get(name, 0)
+                          for r in result.reports)
+            if samples and seconds > 0:
+                rates.append(f"{name} {samples / seconds:,.0f}")
+        if rates:
+            print(f"tick phase throughput (ticks/s): {'  '.join(rates)}")
     return 0
 
 

@@ -213,9 +213,11 @@ def build_detector(config: ScenarioConfig) -> ConnectivityDetector:
         return BruteForceConnectivity()
     assert name == "sharded", name  # ScenarioConfig validated the choice
     if config.rebuild_margin is None:
-        return ShardedConnectivity(workers=config.world_workers)
+        return ShardedConnectivity(workers=config.world_workers,
+                                   workers_mode=config.world_workers_mode)
     return ShardedConnectivity(rebuild_margin=config.rebuild_margin,
-                               workers=config.world_workers)
+                               workers=config.world_workers,
+                               workers_mode=config.world_workers_mode)
 
 
 def build_scenario(config: ScenarioConfig) -> BuiltScenario:
@@ -252,11 +254,14 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     if trace is not None:
         world: World = TraceReplayWorld(
             simulator, trace, update_interval=config.update_interval,
-            stats=stats)
+            stats=stats, router_skiplist=config.router_skiplist,
+            flat_tick=config.flat_tick)
     else:
         world = World(simulator, update_interval=config.update_interval,
                       stats=stats, detector=build_detector(config),
-                      batch_movement=config.batch_movement)
+                      batch_movement=config.batch_movement,
+                      router_skiplist=config.router_skiplist,
+                      flat_tick=config.flat_tick)
 
     interface = Interface(transmit_range=config.transmit_range,
                           transmit_speed=config.transmit_speed)

@@ -228,6 +228,25 @@ def _register_builtins() -> None:
                 "connectivity + batch movement (the scale tentpole)",
         provenance="ROADMAP sharded-worlds item; repro.world.sharded")
     register_scenario(
+        "rwp-100k",
+        lambda: ScenarioConfig.bench_scale(
+            protocol="direct", num_nodes=100_000).with_overrides(
+            name="rwp-100k", mobility=MobilityKind.RANDOM_WAYPOINT,
+            sim_time=600.0,
+            # city-scale rectangle, pedestrian radio: ~1.2 neighbours per
+            # node (the paper's sparse-DTN regime), ~60k live links — the
+            # contact rate per node-hour stays comparable to rwp-10k while
+            # the population grows 10x
+            map_width=12_000.0, map_height=9_000.0, transmit_range=20.0,
+            min_speed=0.5, max_speed=1.5, stop_wait=(0.0, 120.0),
+            message_interval=(2.0, 4.0),
+            detector="sharded",
+            record_mode="columnar"),
+        summary="100 000 pedestrians at city scale: idle-router skip-list + "
+                "batched link events + sharded connectivity (optionally the "
+                "shared-memory process pool via world_workers_mode)",
+        provenance="ISSUE 6 scale tentpole; repro.world.sharded")
+    register_scenario(
         "bench-grid",
         lambda: ScenarioConfig.bench_scale().with_overrides(
             name="bench-grid", mobility=MobilityKind.RANDOM_WAYPOINT,

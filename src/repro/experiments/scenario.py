@@ -105,9 +105,23 @@ class ScenarioConfig:
     rebuild_margin: Optional[float] = None
     #: worker threads for sharded world phases (None = autodetect)
     world_workers: Optional[int] = None
+    #: sharded-detector execution mode: "thread" fans rebuild strips over a
+    #: thread pool, "process" over a persistent process pool with the
+    #: position snapshot in shared memory (bit-identical; see
+    #: repro.world.sharded)
+    world_workers_mode: str = "thread"
     #: advance batch-capable mobility models through the vectorized
     #: MovementEngine kernel (False pins the exact per-follower loop)
     batch_movement: bool = True
+    #: let the routers phase skip provably idle routers (False pins the
+    #: historical tick-every-router loop; bit-identical either way, see
+    #: DESIGN.md "The idle router contract")
+    router_skiplist: bool = True
+    #: False pins the historical tick structure — per-event contact stats,
+    #: no connection pooling, O(live links) transfer scan — as the reference
+    #: half of the world-tick benchmarks (requires router_skiplist=False);
+    #: bit-identical simulation outcomes either way
+    flat_tick: bool = True
 
     # traffic
     message_interval: Tuple[float, float] = (25.0, 35.0)
@@ -158,6 +172,18 @@ class ScenarioConfig:
                 "detector (rebuild every tick)")
         if self.world_workers is not None and self.world_workers < 1:
             raise ValueError("world_workers must be >= 1 (or None)")
+        if self.world_workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"world_workers_mode must be 'thread' or 'process', "
+                f"got {self.world_workers_mode!r}")
+        if self.world_workers_mode == "process" and self.detector != "sharded":
+            raise ValueError(
+                "world_workers_mode='process' requires detector='sharded' "
+                "(the other detectors have no worker pool)")
+        if self.router_skiplist and not self.flat_tick:
+            raise ValueError(
+                "flat_tick=False (the historical reference tick) requires "
+                "router_skiplist=False")
         if self.record_mode is not None and self.record_mode not in (
                 "off", "lists", "columnar"):
             raise ValueError(

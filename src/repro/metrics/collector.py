@@ -342,6 +342,50 @@ class StatsCollector:
         elif self.record_mode is RecordMode.COLUMNAR:
             self._tables["contacts"].append(key[0], key[1], start, time)
 
+    def contact_up_batch(self, keys: List[tuple], time: float) -> None:
+        """Record one tick's batch of link-ups (already canonical pairs).
+
+        *keys* are ``(id_lo, id_hi)`` tuples in the world's sorted event
+        order.  Equivalent to calling :meth:`contact_up` per pair; the batch
+        form exists so the world's link bookkeeping makes one collector call
+        per tick instead of one per link.
+        """
+        open_contacts = self._open_contacts
+        for key in keys:
+            open_contacts[key] = time
+        self.contacts += len(keys)
+
+    def contact_down_batch(self, keys: List[tuple], time: float) -> None:
+        """Record one tick's batch of link-downs (already canonical pairs).
+
+        Equivalent to calling :meth:`contact_down` per pair in order —
+        unmatched pairs are skipped the same way — but in columnar mode the
+        surviving records land in the column store via one vectorized
+        ``extend`` per column instead of a per-event append.
+        """
+        open_contacts = self._open_contacts
+        if self.record_mode is RecordMode.OFF:
+            for key in keys:
+                open_contacts.pop(key, None)
+            return
+        closed: List[tuple] = []
+        starts: List[float] = []
+        for key in keys:
+            start = open_contacts.pop(key, None)
+            if start is not None:
+                closed.append(key)
+                starts.append(start)
+        if not closed:
+            return
+        if self.record_mode is RecordMode.LISTS:
+            records = self._lists["contacts"]
+            for key, start in zip(closed, starts):
+                records.append(ContactRecord(key[0], key[1], start, time))
+        else:
+            self._tables["contacts"].extend(
+                [key[0] for key in closed], [key[1] for key in closed],
+                starts, [time] * len(closed))
+
     # ---------------------------------------------------------------- control
     def control_exchange(self, rows: int, size_bytes: int = 0) -> None:
         """Record routing-state exchange overhead (MI rows, delivery tables, ...)."""

@@ -38,6 +38,21 @@ class _Growable:
         data[n] = value
         self._n = n + 1
 
+    def extend(self, values) -> None:
+        """Append a whole batch in one vectorized copy."""
+        values = np.asarray(values, dtype=self._data.dtype)
+        n = self._n
+        needed = n + len(values)
+        if needed > len(self._data):
+            capacity = len(self._data)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=self._data.dtype)
+            grown[:n] = self._data[:n]
+            self._data = grown
+        self._data[n:needed] = values
+        self._n = needed
+
     def __len__(self) -> int:
         return self._n
 
@@ -75,6 +90,19 @@ class ColumnTable:
         """Append one row; *values* in field order."""
         for column, value in zip(self._columns, values):
             column.append(value)
+
+    def extend(self, *column_batches) -> None:
+        """Append many rows at once; *column_batches* in field order.
+
+        Each element is one column's worth of new values (array or sequence,
+        all the same length).  Numeric columns take one vectorized copy each
+        instead of a Python-level append per row — this is the bulk path the
+        world's batched link bookkeeping feeds a whole tick's contact events
+        through.
+        """
+        for column, batch in zip(self._columns, column_batches):
+            # both list (object columns) and _Growable expose extend()
+            column.extend(batch)
 
     def __len__(self) -> int:
         return len(self._columns[0]) if self._columns else 0

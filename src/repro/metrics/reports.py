@@ -57,18 +57,33 @@ class SimulationReport:
     # same seed must serialise byte-identically whatever hardware (or phase
     # implementation — serial vs sharded) produced them.
     tick_phase_seconds: Dict[str, float] = field(default_factory=dict)
+    # per-phase sample counts (one per executed tick); paired with the
+    # seconds above this yields phase throughput in ticks/s.  Excluded from
+    # the canonical serialisation for the same reason.
+    tick_phase_samples: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self, include_timings: bool = False) -> Dict[str, object]:
         """Return a plain-dict representation (JSON-friendly).
 
-        ``include_timings`` keeps the wall-clock ``tick_phase_seconds``
-        breakdown in the payload; the default drops it so serialised reports
-        compare byte-for-byte across machines and phase implementations.
+        ``include_timings`` keeps the wall-clock ``tick_phase_seconds`` /
+        ``tick_phase_samples`` breakdown in the payload; the default drops it
+        so serialised reports compare byte-for-byte across machines and
+        phase implementations.
         """
         payload = asdict(self)
         if not include_timings:
             payload.pop("tick_phase_seconds")
+            payload.pop("tick_phase_samples")
         return payload
+
+    def phase_ticks_per_second(self) -> Dict[str, float]:
+        """Per-phase throughput (ticks per wall-second), from the timings."""
+        rates: Dict[str, float] = {}
+        for name, seconds in self.tick_phase_seconds.items():
+            samples = self.tick_phase_samples.get(name, 0)
+            if samples and seconds > 0:
+                rates[name] = samples / seconds
+        return rates
 
     def metric(self, name: str) -> float:
         """Look up a metric by name (``delivery_ratio``/``latency``/``goodput``...)."""
@@ -126,4 +141,5 @@ def build_report(collector: StatsCollector, *, protocol: str, num_nodes: int,
         latency_percentiles=_latency_percentiles(collector),
         extra=dict(extra or {}),
         tick_phase_seconds=dict(collector.tick_phase_seconds),
+        tick_phase_samples=dict(collector.tick_phase_samples),
     )

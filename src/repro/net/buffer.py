@@ -294,6 +294,26 @@ class MessageBuffer:
                 expired.append(message)
         return expired
 
+    def next_expiry(self) -> float:
+        """Earliest TTL deadline of any stored replica (``inf`` when none).
+
+        This is the wake-up key the world's idle-router skip-list consults: a
+        router with buffered messages but no contacts needs its next
+        ``update`` tick no earlier than this instant.  Stale heap tops
+        (replicas removed without an expiry sweep) are purged on the way, so
+        the returned deadline is exact — and purging keeps the lazy-deletion
+        invariant: any entry this method pops would have been popped and
+        discarded by the next :meth:`drop_expired` anyway.
+        """
+        heap = self._expiry_heap
+        while heap:
+            expiry, seq, message_id = heap[0]
+            if self._live_seq.get(message_id) == seq:
+                return expiry
+            heapq.heappop(heap)
+            self.heap_pops += 1
+        return float("inf")
+
     def clear(self) -> None:
         """Drop everything."""
         self._messages.clear()
@@ -418,6 +438,12 @@ class ReferenceMessageBuffer:
         for message in expired:
             self.remove(message.message_id)
         return expired
+
+    def next_expiry(self) -> float:
+        """Earliest TTL deadline of any stored replica (linear scan)."""
+        if not self._messages:
+            return float("inf")
+        return min(m.expiry_time for m in self._messages.values())
 
     def clear(self) -> None:
         """Drop everything."""

@@ -82,6 +82,25 @@ class Connection:
 
     def __init__(self, node_a: "DTNNode", node_b: "DTNNode", bitrate: float,
                  established_at: float) -> None:
+        self._queue: Deque[Transfer] = deque()
+        #: world-assigned monotonic establishment number; sorting live
+        #: connections by it reproduces the world's link-table insertion
+        #: order exactly (the transfer-phase processing order)
+        self.established_seq = 0
+        #: optional list the connection appends itself to when its queue goes
+        #: empty -> non-empty (the world's O(active) transfer-phase feed)
+        self.activity_sink: Optional[List["Connection"]] = None
+        self.reset(node_a, node_b, bitrate, established_at)
+
+    def reset(self, node_a: "DTNNode", node_b: "DTNNode", bitrate: float,
+              established_at: float) -> None:
+        """Re-initialise this object for a fresh link (connection pooling).
+
+        The world recycles torn-down ``Connection`` objects instead of
+        allocating one per link-up; a reset connection is indistinguishable
+        from a newly constructed one (``established_seq`` and
+        ``activity_sink`` are world-owned and reassigned at establishment).
+        """
         if bitrate <= 0:
             raise ValueError(f"bitrate must be positive, got {bitrate}")
         self.node_a = node_a
@@ -90,7 +109,7 @@ class Connection:
         self.established_at = float(established_at)
         self.is_up = True
         self.torn_down_at: Optional[float] = None
-        self._queue: Deque[Transfer] = deque()
+        self._queue.clear()
         self.completed_transfers = 0
         self.aborted_transfers = 0
 
@@ -128,12 +147,19 @@ class Connection:
                 return True
         return False
 
+    @property
+    def has_queued(self) -> bool:
+        """Whether any transfer is pending or in progress on this link."""
+        return bool(self._queue)
+
     def enqueue(self, transfer: Transfer) -> Transfer:
         """Queue *transfer* for transmission.  Raises if the link is down."""
         if not self.is_up:
             raise ConnectionDownError("cannot enqueue a transfer on a torn-down link")
         if not (self.involves(transfer.sender) and self.involves(transfer.receiver)):
             raise ValueError("transfer endpoints do not match the connection")
+        if not self._queue and self.activity_sink is not None:
+            self.activity_sink.append(self)
         self._queue.append(transfer)
         return transfer
 

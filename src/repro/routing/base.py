@@ -35,6 +35,19 @@ class Router:
     #: protocol name used by the registry, reports and benchmarks
     name = "base"
 
+    #: Whether the world's idle-router skip-list may skip this router's
+    #: ``update`` tick while it is provably idle (see DESIGN.md, "The idle
+    #: router contract").  A router is skip-safe when its ``on_update`` has
+    #: no observable effect in the idle states the world skips: an empty
+    #: buffer (with or without contacts, after the first post-link-up tick
+    #: has run), or a non-empty buffer with no contacts and no TTL due.
+    #: Routers that mutate per-tick state unconditionally in ``on_update``
+    #: (PRoPHET's predictability aging is the one in-tree case — repeated
+    #: ``gamma ** dt`` products are not float-associative with one catch-up
+    #: ``gamma ** elapsed``) must set this ``False``; they are then ticked
+    #: every update regardless of the skip-list setting.
+    idle_skip_safe = True
+
     def __init__(self) -> None:
         self.node: Optional["DTNNode"] = None
         self.world: Optional["World"] = None

@@ -11,5 +11,10 @@ class DirectDeliveryRouter(Router):
     name = "direct"
 
     def on_update(self, now: float) -> None:
+        if not len(self.buffer):
+            # nothing buffered means nothing deliverable on any link; skip
+            # the per-connection scan (a woken-but-empty router is the
+            # common case under the world's idle skip-list)
+            return
         for connection in self.connections():
             self.send_deliverable(connection)

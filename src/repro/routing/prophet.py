@@ -34,6 +34,14 @@ class ProphetRouter(ContactAwareRouter):
 
     name = "prophet"
 
+    #: Not idle-skippable: :meth:`_age` multiplies every predictability by
+    #: ``gamma ** elapsed_units`` each tick, and a chain of per-tick factors
+    #: is not bit-identical to one catch-up factor over the skipped span
+    #: (float multiplication is not associative, and the 1e-6 pruning
+    #: threshold can fire on different ticks).  The world therefore ticks
+    #: PRoPHET routers unconditionally.
+    idle_skip_safe = False
+
     def __init__(self, p_init: float = 0.75, beta: float = 0.25,
                  gamma: float = 0.98, time_unit: float = 30.0,
                  window_size: int = 20) -> None:

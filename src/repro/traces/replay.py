@@ -42,8 +42,12 @@ class TraceReplayWorld(World):
 
     def __init__(self, simulator: Simulator, trace: ContactTrace,
                  update_interval: float = 1.0,
-                 stats: Optional[StatsCollector] = None) -> None:
-        super().__init__(simulator, update_interval=update_interval, stats=stats)
+                 stats: Optional[StatsCollector] = None,
+                 router_skiplist: bool = True,
+                 flat_tick: bool = True) -> None:
+        super().__init__(simulator, update_interval=update_interval,
+                         stats=stats, router_skiplist=router_skiplist,
+                         flat_tick=flat_tick)
         self.trace = trace
         # pre-sort events once; replay walks them with an index
         self._events = trace.events
@@ -88,6 +92,8 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
                       num_nodes: Optional[int] = None,
                       communities: Optional[Dict[int, int]] = None,
                       router_params: Optional[dict] = None,
+                      router_skiplist: bool = True,
+                      flat_tick: bool = True,
                       ) -> Tuple[Simulator, TraceReplayWorld]:
     """Build a simulator + trace-replay world with one router per trace node.
 
@@ -120,6 +126,10 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
         Optional node -> community mapping (required by the CR protocol).
     router_params:
         Extra keyword arguments for the router factory.
+    router_skiplist, flat_tick:
+        World tick-structure flags, passed through to
+        :class:`TraceReplayWorld` (see :class:`~repro.world.world.World`);
+        the defaults match the scenario pipeline.
 
     Returns
     -------
@@ -133,7 +143,9 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
         If *num_nodes* is too small for the ids appearing in the trace.
     """
     simulator = Simulator(seed=seed)
-    world = TraceReplayWorld(simulator, trace, update_interval=update_interval)
+    world = TraceReplayWorld(simulator, trace, update_interval=update_interval,
+                             router_skiplist=router_skiplist,
+                             flat_tick=flat_tick)
     trace_ids = trace.node_ids()
     highest = max(trace_ids) if trace_ids else -1
     count = num_nodes if num_nodes is not None else highest + 1

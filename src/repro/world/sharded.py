@@ -52,9 +52,11 @@ full-scenario report-equality test.
 
 from __future__ import annotations
 
+import itertools
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -69,6 +71,70 @@ def default_worker_count() -> int:
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
     return max(1, min(cpus, 8))
+
+
+def _strip_pair_codes(snapshot: np.ndarray, members: np.ndarray,
+                      halo: np.ndarray, radius: float) -> np.ndarray:
+    """Candidate pair codes owned by one strip (mode-agnostic kernel).
+
+    Shared verbatim by the thread and process execution modes: identical
+    arithmetic over the identical snapshot rows yields identical codes, which
+    is what keeps the two modes bit-for-bit interchangeable.
+    """
+    group = np.concatenate((members, halo))
+    if len(group) < 2:
+        return np.empty(0, dtype=np.int64)
+    tree = cKDTree(snapshot[group])
+    local = tree.query_pairs(radius, output_type="ndarray")
+    if not len(local):
+        return np.empty(0, dtype=np.int64)
+    # local indices < len(members) are strip members; drop halo-halo
+    # pairs — the next strip owns them
+    owned = local[(local < len(members)).any(axis=1)]
+    if not len(owned):
+        return np.empty(0, dtype=np.int64)
+    pairs = group[owned]
+    lo = np.minimum(pairs[:, 0], pairs[:, 1])
+    hi = np.maximum(pairs[:, 0], pairs[:, 1])
+    return (lo << 32) | hi
+
+
+#: per-worker-process cache of the one attached snapshot segment (the parent
+#: recreates the segment — new name — only when the node count grows)
+_WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_snapshot(name: str, n: int) -> np.ndarray:
+    """Map the parent's shared snapshot segment into this worker process."""
+    segment = _WORKER_SEGMENTS.get(name)
+    if segment is None:
+        # drop any stale attachment from a previous segment generation
+        for stale_name, stale in list(_WORKER_SEGMENTS.items()):
+            stale.close()
+            del _WORKER_SEGMENTS[stale_name]
+        # Python < 3.13 registers *attachments* with the resource tracker
+        # too (no ``track=False`` yet).  Under fork the worker shares the
+        # parent's tracker, so an unregister-after-attach would erase the
+        # parent's own registration; under spawn the worker's fresh tracker
+        # would try to unlink the parent-owned segment at worker exit.
+        # Suppressing registration during the attach sidesteps both: the
+        # parent remains the sole owner.
+        from multiprocessing import resource_tracker
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _WORKER_SEGMENTS[name] = segment
+    return np.ndarray((n, 2), dtype=np.float64, buffer=segment.buf)
+
+
+def _process_strip_task(name: str, n: int, members: np.ndarray,
+                        halo: np.ndarray, radius: float) -> np.ndarray:
+    """One strip task executed in a worker process (module-level: picklable)."""
+    snapshot = _attach_snapshot(name, n)
+    return _strip_pair_codes(snapshot, members, halo, radius)
 
 
 class ShardedConnectivity(ConnectivityDetector):
@@ -91,21 +157,38 @@ class ShardedConnectivity(ConnectivityDetector):
         Target strip tasks per worker at rebuild (>= 1).  More shards mean
         better load balance but more per-strip fixed cost; the strip count
         is always capped so strips stay at least ``candidate_radius`` wide.
+    workers_mode:
+        ``"thread"`` (default) fans strip tasks over a thread pool — cheap,
+        and effective because ``cKDTree`` releases the GIL.  ``"process"``
+        runs them in a persistent process pool with the snapshot in a
+        ``multiprocessing.shared_memory`` segment: workers attach once per
+        segment generation and read positions zero-copy, so only the strip
+        index arrays and result codes cross the pipe.  Both modes drive the
+        identical strip kernel over the identical snapshot and are therefore
+        bit-identical; the process pool is for many-core machines where the
+        NumPy/Python portions of the strip tasks would otherwise serialise.
     """
 
     def __init__(self, rebuild_margin: float = 0.5,
                  workers: Optional[int] = None,
-                 shards_per_worker: int = 2) -> None:
+                 shards_per_worker: int = 2,
+                 workers_mode: str = "thread") -> None:
         if rebuild_margin <= 0:
             raise ValueError("rebuild_margin must be positive")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for the default)")
         if shards_per_worker < 1:
             raise ValueError("shards_per_worker must be >= 1")
+        if workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', "
+                f"got {workers_mode!r}")
         self.rebuild_margin = float(rebuild_margin)
         self.workers = int(workers) if workers is not None else default_worker_count()
         self.shards_per_worker = int(shards_per_worker)
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self.workers_mode = workers_mode
+        self._pool: Optional[Executor] = None
+        self._segment: Optional[shared_memory.SharedMemory] = None
         self._snapshot: Optional[np.ndarray] = None
         self._ranges: Optional[np.ndarray] = None
         self._max_range = 0.0
@@ -127,38 +210,52 @@ class ShardedConnectivity(ConnectivityDetector):
         self._limit_sq = np.empty(0, dtype=float)
 
     def close(self) -> None:
-        """Shut the worker pool down (the world calls this on teardown)."""
+        """Release the worker pool and the shared snapshot segment (the
+        world calls this on teardown)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._release_segment()
 
-    def _executor(self) -> ThreadPoolExecutor:
+    def _executor(self) -> Executor:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="sharded-connectivity")
+            if self.workers_mode == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="sharded-connectivity")
         return self._pool
+
+    # ------------------------------------------------------- shared snapshot
+    def _release_segment(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+            self._segment.unlink()
+            self._segment = None
+
+    def _publish_snapshot(self) -> shared_memory.SharedMemory:
+        """Copy the rebuild snapshot into shared memory for process workers.
+
+        The segment is recreated (fresh name) only when it is too small for
+        the current node count; workers key their attachment cache on the
+        name, so steady-state rebuilds reuse the mapping on both sides.
+        """
+        assert self._snapshot is not None
+        needed = self._snapshot.nbytes
+        if self._segment is None or self._segment.size < needed:
+            self._release_segment()
+            self._segment = shared_memory.SharedMemory(create=True, size=needed)
+        view = np.ndarray(self._snapshot.shape, dtype=np.float64,
+                          buffer=self._segment.buf)
+        view[:] = self._snapshot
+        return self._segment
 
     # --------------------------------------------------------------- rebuild
     def _strip_codes(self, members: np.ndarray, halo: np.ndarray,
                      radius: float) -> np.ndarray:
         """Candidate pair codes owned by one strip (runs on a worker)."""
-        group = np.concatenate((members, halo))
-        if len(group) < 2:
-            return np.empty(0, dtype=np.int64)
-        tree = cKDTree(self._snapshot[group])
-        local = tree.query_pairs(radius, output_type="ndarray")
-        if not len(local):
-            return np.empty(0, dtype=np.int64)
-        # local indices < len(members) are strip members; drop halo-halo
-        # pairs — the next strip owns them
-        owned = local[(local < len(members)).any(axis=1)]
-        if not len(owned):
-            return np.empty(0, dtype=np.int64)
-        pairs = group[owned]
-        lo = np.minimum(pairs[:, 0], pairs[:, 1])
-        hi = np.maximum(pairs[:, 0], pairs[:, 1])
-        return (lo << 32) | hi
+        return _strip_pair_codes(self._snapshot, members, halo, radius)
 
     def _rebuild(self, positions: np.ndarray, ranges: np.ndarray) -> None:
         self._snapshot = np.array(positions, dtype=float)
@@ -185,11 +282,9 @@ class ShardedConnectivity(ConnectivityDetector):
             bounds = np.searchsorted(strip[order],
                                      np.arange(num_strips + 1))
 
-        def strip_task(index: int) -> np.ndarray:
+        def strip_slices(index: int):
             members = order[bounds[index]:bounds[index + 1]]
-            if not len(members):
-                return np.empty(0, dtype=np.int64)
-            if index + 1 < num_strips:
+            if len(members) and index + 1 < num_strips:
                 following = order[bounds[index + 1]:]
                 # the halo cutoff is anchored on the members themselves, not
                 # on the strip-boundary arithmetic: a later-strip node can
@@ -201,10 +296,26 @@ class ShardedConnectivity(ConnectivityDetector):
                 halo = following[x[following] <= cutoff]
             else:
                 halo = np.empty(0, dtype=np.int64)
+            return members, halo
+
+        def strip_task(index: int) -> np.ndarray:
+            members, halo = strip_slices(index)
             return self._strip_codes(members, halo, radius)
 
         if num_strips == 1 or self.workers == 1:
             shards: List[np.ndarray] = [strip_task(i) for i in range(num_strips)]
+        elif self.workers_mode == "process":
+            # publish the snapshot once; only index arrays and result codes
+            # cross the pipe
+            segment = self._publish_snapshot()
+            slices = [strip_slices(i) for i in range(num_strips)]
+            shards = list(self._executor().map(
+                _process_strip_task,
+                itertools.repeat(segment.name),
+                itertools.repeat(len(self._snapshot)),
+                (members for members, _ in slices),
+                (halo for _, halo in slices),
+                itertools.repeat(radius)))
         else:
             shards = list(self._executor().map(strip_task, range(num_strips)))
 
@@ -252,5 +363,5 @@ class ShardedConnectivity(ConnectivityDetector):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ShardedConnectivity(margin={self.rebuild_margin}, "
-                f"workers={self.workers}, rebuilds={self.rebuilds}, "
-                f"shards={self.last_shards})")
+                f"workers={self.workers} [{self.workers_mode}], "
+                f"rebuilds={self.rebuilds}, shards={self.last_shards})")

@@ -76,7 +76,13 @@ def _decode_codes(codes: np.ndarray) -> List[Tuple[int, int]]:
     historical per-code Python ``int()`` comprehension); ``tolist`` hands
     back native ints, and sorted codes unpack to keys in ascending pair
     order — the order the link dispatch contract requires.
+
+    The ``int64`` normalisation below guarantees the ``tolist`` results are
+    plain Python ints whatever array dtype (or plain sequence) the caller
+    hands in — keys land in dicts holding up to 100k ids, where a stray
+    ``np.int64`` key would hash equal but cost an object per lookup.
     """
+    codes = np.asarray(codes, dtype=np.int64)
     if not len(codes):
         return []
     return list(zip((codes >> 32).tolist(), (codes & 0xFFFFFFFF).tolist()))
@@ -101,18 +107,39 @@ class World:
         loop; the default lets batch-capable mobility models advance through
         the vectorized :class:`~repro.mobility.engine.MovementEngine`
         kernel (bit-identical either way, see engine.py).
+    router_skiplist:
+        ``True`` (the default) lets the ``routers`` phase skip provably idle
+        routers (see DESIGN.md, "The idle router contract"): a router is
+        ticked only when it has buffered messages, a live connection with
+        queued transfers, a TTL due, a link event this tick, or opts out of
+        skipping (``Router.idle_skip_safe``).  ``False`` pins the historical
+        tick-every-router loop; both settings are bit-identical by
+        construction, pinned by report-equality tests.
     """
 
     def __init__(self, simulator: Simulator, update_interval: float = 1.0,
                  stats: Optional[StatsCollector] = None,
                  detector: Optional[ConnectivityDetector] = None,
-                 batch_movement: bool = True) -> None:
+                 batch_movement: bool = True,
+                 router_skiplist: bool = True,
+                 flat_tick: bool = True) -> None:
         if update_interval <= 0:
             raise ValueError("update_interval must be positive")
+        if router_skiplist and not flat_tick:
+            # the skip-list's O(1) queued-transfer check relies on the
+            # flattened tick's activity-sink registrations; the historical
+            # tick never populates them
+            raise ValueError("router_skiplist requires flat_tick")
         self.simulator = simulator
         self.update_interval = float(update_interval)
         self.stats = stats if stats is not None else StatsCollector()
         self.detector = detector if detector is not None else KDTreeConnectivity()
+        self.router_skiplist = bool(router_skiplist)
+        #: False pins the historical tick structure — per-event contact
+        #: stats, a fresh Connection per establishment (no pooling) and the
+        #: O(live links) transfer scan — as the reference half of the
+        #: world-tick benchmarks; identical simulation outcomes either way
+        self.flat_tick = bool(flat_tick)
         #: world-scoped shared services (e.g. the community provider all CR
         #: routers of this world consult); keyed by an arbitrary hashable
         self.services: Dict[object, object] = {}
@@ -123,6 +150,27 @@ class World:
         self._connections: Dict[Tuple[int, int], Connection] = {}
         #: sorted int64 codes (id_lo << 32 | id_hi) of the live links
         self._link_codes = _empty_codes()
+        #: node ids that received a link event since their last routers phase
+        #: (the skip-list's dirty set; cleared at the end of every routers
+        #: phase)
+        self._router_events: set = set()
+        # connection pooling: a connection released by a tear-down becomes
+        # reusable only from the *next* link-diff application onward —
+        # routers are handed the torn-down object in the same tick's batch
+        # dispatch, so same-tick reuse would alias two links onto one object
+        self._connection_pool: List[Connection] = []
+        self._released_connections: List[Connection] = []
+        self._conn_seq = 0
+        #: connections whose queue went empty -> non-empty since the last
+        #: transfers phase (fed by Connection.activity_sink)
+        self._newly_active: List[Connection] = []
+        #: established_seq -> connection, for every connection that may hold
+        #: queued transfers; the transfers phase walks this instead of every
+        #: live link
+        self._active_transfers: Dict[int, Connection] = {}
+        # skip-list observability (surfaced by the CI smoke and benchmarks)
+        self.routers_ticked = 0
+        self.routers_skipped = 0
         #: per-node caches rebuilt lazily after node registration
         self._ranges_cache: Optional[np.ndarray] = None
         self._ids_cache: Optional[np.ndarray] = None
@@ -316,34 +364,68 @@ class World:
         is always notified after the smaller-id endpoint has folded the
         contact into its own state.
         """
+        flat = self.flat_tick
+        # connections released by the *previous* diff application become
+        # reusable now: routers saw those objects in that tick's batch
+        # dispatch, and any stale transfer-phase registration has been purged
+        if flat and self._released_connections:
+            self._connection_pool.extend(self._released_connections)
+            self._released_connections = []
         events_by_node: Dict[int, List[Tuple[Connection, bool]]] = {}
+        bucket = events_by_node.setdefault
+        teardown = self._teardown_link
         for key in down_keys:
-            connection = self._teardown_link(key, now)
-            events_by_node.setdefault(key[0], []).append((connection, False))
-            events_by_node.setdefault(key[1], []).append((connection, False))
+            connection = teardown(key, now)
+            event = (connection, False)
+            bucket(key[0], []).append(event)
+            bucket(key[1], []).append(event)
+        if flat and down_keys:
+            self.stats.contact_down_batch(down_keys, now)
+        establish = self._establish_link
         for key in up_keys:
-            connection = self._establish_link(key, now)
-            events_by_node.setdefault(key[0], []).append((connection, True))
-            events_by_node.setdefault(key[1], []).append((connection, True))
+            connection = establish(key, now)
+            event = (connection, True)
+            bucket(key[0], []).append(event)
+            bucket(key[1], []).append(event)
+        if flat and up_keys:
+            self.stats.contact_up_batch(up_keys, now)
+        # every endpoint that saw a link event must run its next routers
+        # phase (the skip-list's wake condition: per-meeting evaluation gates
+        # are consumed on that tick)
+        self._router_events.update(events_by_node)
+        nodes = self._nodes
         for node_id in sorted(events_by_node):
-            router = self._nodes[node_id].router
+            router = nodes[node_id].router
             assert router is not None
             router.batch_changed_connections(events_by_node[node_id])
 
     def _establish_link(self, key: Tuple[int, int], now: float) -> Connection:
-        """World-side bookkeeping for a new link (no router notification)."""
+        """World-side bookkeeping for a new link (no router notification;
+        contact stats are recorded in batch by the caller on the flat tick,
+        per event here on the historical one)."""
         node_a = self._nodes[key[0]]
         node_b = self._nodes[key[1]]
         bitrate = node_a.interface.link_bitrate(node_b.interface)
-        connection = Connection(node_a, node_b, bitrate, now)
+        if not self.flat_tick:
+            connection = Connection(node_a, node_b, bitrate, now)
+            self.stats.contact_up(node_a.node_id, node_b.node_id, now)
+        elif self._connection_pool:
+            connection = self._connection_pool.pop()
+            connection.reset(node_a, node_b, bitrate, now)
+        else:
+            connection = Connection(node_a, node_b, bitrate, now)
+        if self.flat_tick:
+            self._conn_seq += 1
+            connection.established_seq = self._conn_seq
+            connection.activity_sink = self._newly_active
         self._connections[key] = connection
         node_a.connections[node_b.node_id] = connection
         node_b.connections[node_a.node_id] = connection
-        self.stats.contact_up(node_a.node_id, node_b.node_id, now)
         return connection
 
     def _teardown_link(self, key: Tuple[int, int], now: float) -> Connection:
-        """World-side bookkeeping for a lost link (no router notification)."""
+        """World-side bookkeeping for a lost link (no router notification;
+        contact stats are recorded in batch by the caller)."""
         connection = self._connections.pop(key)
         aborted = connection.tear_down(now)
         for transfer in aborted:
@@ -356,7 +438,10 @@ class World:
         node_b = connection.node_b
         node_a.connections.pop(node_b.node_id, None)
         node_b.connections.pop(node_a.node_id, None)
-        self.stats.contact_down(node_a.node_id, node_b.node_id, now)
+        if self.flat_tick:
+            self._released_connections.append(connection)
+        else:
+            self.stats.contact_down(node_a.node_id, node_b.node_id, now)
         return connection
 
     def _link_up(self, key: Tuple[int, int], now: float) -> None:
@@ -368,9 +453,47 @@ class World:
         self._apply_link_changes([key], [], now)
 
     def _advance_transfers(self, now: float, dt: float) -> None:
-        for connection in list(self._connections.values()):
+        """Progress in-flight transfers on every connection that has any.
+
+        O(connections with queued transfers), not O(live links): routers
+        announce queue activity through ``Connection.activity_sink`` and the
+        registrations drain here.  Processing in ascending
+        ``established_seq`` order reproduces the historical iteration order
+        of the live-link table exactly (dict insertion order == establishment
+        order, because a re-established key re-enters the table at the end
+        with a fresh sequence number).  No transfer is ever enqueued during
+        this phase — sends happen in router hooks (contact/update) — so the
+        active set only shrinks mid-phase.
+        """
+        if not self.flat_tick:
+            # historical structure: scan every live link (the reference
+            # half of the world-tick benchmarks)
+            for connection in list(self._connections.values()):
+                for transfer in connection.advance(now, dt):
+                    self._complete_transfer(transfer, now)
+            return
+        active = self._active_transfers
+        pending = self._newly_active
+        if pending:
+            for connection in pending:
+                active[connection.established_seq] = connection
+            pending.clear()
+        if not active:
+            return
+        finished: List[int] = []
+        for seq in sorted(active):
+            connection = active[seq]
+            # a pooled connection re-established under a new sequence number
+            # leaves its old registration stale; likewise torn-down links
+            if connection.established_seq != seq or not connection.is_up:
+                finished.append(seq)
+                continue
             for transfer in connection.advance(now, dt):
                 self._complete_transfer(transfer, now)
+            if not connection.has_queued:
+                finished.append(seq)
+        for seq in finished:
+            del active[seq]
 
     def _complete_transfer(self, transfer: Transfer, now: float) -> None:
         sender = transfer.sender
@@ -390,9 +513,44 @@ class World:
             sender.router.transfer_completed(transfer)
 
     def _update_routers(self, now: float) -> None:
+        events = self._router_events
+        if not self.router_skiplist:
+            for node in self._node_order:
+                assert node.router is not None
+                node.router.update(now)
+            self.routers_ticked += len(self._node_order)
+            events.clear()
+            return
+        ticked = 0
         for node in self._node_order:
-            assert node.router is not None
-            node.router.update(now)
+            router = node.router
+            assert router is not None
+            if router.idle_skip_safe and node.node_id not in events:
+                # skip-list fast path: prove the tick would be a no-op.
+                # An empty buffer has nothing to expire or send; waking on
+                # queued transfers is defensive (in-flight traffic keeps
+                # both endpoints hot).  A loaded router with no contacts
+                # only needs its tick when a TTL comes due.
+                if not len(node.buffer):
+                    # every connection holding a queued transfer is
+                    # registered in the active set (or announced itself via
+                    # activity_sink this phase), so when both are empty the
+                    # per-connection scan is provably False — O(1) instead
+                    # of O(neighbours) in the idle-world common case
+                    conns = node.connections
+                    if (not conns
+                            or (not self._active_transfers
+                                and not self._newly_active)
+                            or not any(
+                                c.has_queued for c in conns.values())):
+                        continue
+                elif not node.connections and node.buffer.next_expiry() > now:
+                    continue
+            router.update(now)
+            ticked += 1
+        self.routers_ticked += ticked
+        self.routers_skipped += len(self._node_order) - ticked
+        events.clear()
 
     # ------------------------------------------------------------------ misc
     def stop(self) -> None:

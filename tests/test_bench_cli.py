@@ -21,7 +21,8 @@ def test_payload_shape_and_checksums(smoke_payload):
     names = set(payload["benchmarks"])
     assert names == {"encounter_pipeline", "buffer_churn",
                      "collector_ingest", "scenario_eer",
-                     "community_detection", "world_tick_10k"}
+                     "community_detection", "world_tick_10k",
+                     "world_tick_100k"}
     for name, entry in payload["benchmarks"].items():
         assert entry["checksums_match"], (
             f"{name}: vectorized path diverged from the reference")
@@ -44,6 +45,17 @@ def test_payload_shape_and_checksums(smoke_payload):
     assert world["baseline"]["checksums"] == world["current"]["checksums"]
     assert world["current"]["checksums"]["contacts"] > 0
     assert world["current"]["phase_seconds"]["connectivity.detect"] > 0
+    # the flattened-tick pair gates whole-tick throughput on the same runs,
+    # and its scale section must hold a completed run whose checksums match
+    # the serial reference bit for bit
+    flat = payload["benchmarks"]["world_tick_100k"]
+    assert flat["throughput_key"] == "ticks_per_s"
+    assert flat["baseline"]["checksums"] == flat["current"]["checksums"]
+    assert flat["baseline"]["routers_skipped"] == 0
+    assert flat["current"]["routers_skipped"] > 0
+    scale_100k = flat["scale_100k"]
+    assert scale_100k["reference_checksums_match"]
+    assert scale_100k["current"]["ticks"] > 0
     # payload is JSON-serialisable as-is
     json.dumps(payload)
 

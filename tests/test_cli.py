@@ -81,6 +81,9 @@ def test_run_human_smoke(capsys):
     out = capsys.readouterr().out
     assert "delivery_ratio" in out
     assert "trace-csv" in out
+    # per-phase wall time and the per-phase throughput line
+    assert "tick phases (mean wall time per run):" in out
+    assert "tick phase throughput (ticks/s):" in out
 
 
 def test_run_unknown_scenario_fails_with_usage_error(capsys):

@@ -1,0 +1,329 @@
+"""The flattened tick: idle-router skip-list, pooled links, flat_tick pin.
+
+PR6 restructures the world tick — routers with provably nothing to do are
+skipped (the idle router contract, DESIGN.md), link events are applied with
+batched contact stats over pooled ``Connection`` objects, and the transfer
+phase walks only connections with queued traffic.  ``flat_tick=False`` pins
+the historical structure as the benchmark reference.  Every one of those
+changes is required to be invisible in simulation outcomes; these tests pin
+
+* the skip-list's wake conditions on hand-built traces — a loaded router
+  with no contacts must still wake exactly when a TTL comes due, and an
+  empty-buffer router must stay hot while a transfer is in flight toward it
+  (and go back to sleep after its peer aborts),
+* end-to-end byte-identity of full scenario reports across
+  ``router_skiplist``, ``flat_tick`` and the process-pool sharded detector,
+* the decoded link keys being plain Python ints (``np.int64`` leakage
+  regression),
+* batch contact-stat recording matching the per-event calls, and
+* connection-pool recycling across diff applications.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.catalog import make_scenario
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.collector import StatsCollector
+from repro.net.message import Message
+from repro.routing.epidemic import EpidemicRouter
+from repro.sim.engine import Simulator
+from repro.traces.contact_trace import ContactEvent, ContactTrace
+from repro.traces.replay import build_trace_world
+from repro.world.world import World, _decode_codes
+
+
+def make_trace(intervals):
+    """intervals: list of (start, end, a, b)."""
+    events = []
+    for start, end, a, b in intervals:
+        events.append(ContactEvent(start, a, b, True))
+        events.append(ContactEvent(end, a, b, False))
+    return ContactTrace(events)
+
+
+class TickLoggingRouter(EpidemicRouter):
+    """Epidemic router that records the times its update tick actually ran."""
+
+    name = "tick-logging"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tick_times = []
+
+    def on_update(self, now: float) -> None:
+        self.tick_times.append(now)
+        super().on_update(now)
+
+
+def use_tick_logging_routers(world, count):
+    routers = {}
+    for node_id in range(count):
+        node = world.get_node(node_id)
+        router = TickLoggingRouter()
+        node.router = None
+        router.attach(node, world)
+        routers[node_id] = router
+    return routers
+
+
+STAT_AGGREGATES = ("created", "relayed", "delivered", "dropped", "expired",
+                   "aborted", "contacts")
+
+
+def assert_same_outcomes(world_a, world_b):
+    for attr in STAT_AGGREGATES:
+        assert getattr(world_a.stats, attr) == getattr(world_b.stats, attr), attr
+    record = lambda stats: [  # noqa: E731 - local shorthand
+        (r.message_id, r.node, r.time, r.reason)
+        for r in stats.dropped_records]
+    assert record(world_a.stats) == record(world_b.stats)
+
+
+# ----------------------------------------------------- skip-list edge cases
+def run_ttl_expiry_world(**world_kwargs):
+    """One contact replicates a message; both copies then expire while idle.
+
+    Node 0 creates a message for node 2 (never connected) with TTL 6; the
+    1s-3s contact hands node 1 a replica.  From t=3 both holders sit with a
+    loaded buffer and zero connections — the skip-list's sleep state — and
+    must wake exactly at the TTL deadline to record the expiry drops.
+    """
+    trace = make_trace([(1.0, 3.0, 0, 1)])
+    simulator, world = build_trace_world(trace, protocol="epidemic",
+                                         num_nodes=3, **world_kwargs)
+    routers = use_tick_logging_routers(world, 3)
+    message = Message("m-ttl", 0, 2, 1000, 0.0, ttl=6.0)
+    routers[0].create_message(message)
+    simulator.run(until=12.0)
+    return world, routers
+
+
+def test_idle_loaded_router_wakes_exactly_at_ttl_expiry():
+    world, routers = run_ttl_expiry_world()
+    # the contact replicated the message, nothing was delivered, and both
+    # replicas (source + relay) expired
+    assert world.stats.relayed == 1
+    assert world.stats.delivered == 0
+    assert world.stats.expired == 2
+    drops = [(r.node, r.time, r.reason) for r in world.stats.dropped_records]
+    assert drops == [(0, 6.0, "expired"), (1, 6.0, "expired")]
+    # the relay slept through the idle gap (t=4, 5) and woke only for the
+    # deadline tick — not a tick late, not a tick early
+    idle_gap = [t for t in routers[1].tick_times if 3.0 < t < 6.0]
+    assert idle_gap == []
+    assert 6.0 in routers[1].tick_times
+    # after the drop the buffer is empty and the router sleeps again
+    assert [t for t in routers[1].tick_times if t > 6.0] == []
+    assert world.routers_skipped > 0
+
+
+def test_ttl_expiry_outcomes_match_always_tick_reference():
+    skiplist, _ = run_ttl_expiry_world()
+    reference, _ = run_ttl_expiry_world(router_skiplist=False)
+    assert reference.routers_skipped == 0
+    assert_same_outcomes(skiplist, reference)
+
+
+def run_mid_transfer_abort_world(**world_kwargs):
+    """A 5-tick transfer is cut at t=4, then retried on a later contact.
+
+    The receiver (node 1) has an empty buffer for the whole first contact —
+    exactly the state the skip-list would idle — but a transfer is in flight
+    toward it, so it must stay hot until its peer's teardown aborts the
+    transfer, then go back to sleep until the second contact.
+    """
+    trace = make_trace([(1.0, 4.0, 0, 1), (8.0, 30.0, 0, 1)])
+    simulator, world = build_trace_world(
+        trace, protocol="epidemic", num_nodes=2,
+        buffer_capacity=4 * 1024 * 1024, **world_kwargs)
+    routers = use_tick_logging_routers(world, 2)
+    # 5 ticks of airtime at the default 250 kB/s link
+    size = int(250_000 * 5)
+    routers[0].create_message(Message("m-big", 0, 1, size, 0.0, ttl=1000.0))
+    simulator.run(until=30.0)
+    return world, routers
+
+
+def test_receiver_stays_hot_mid_transfer_and_sleeps_after_abort():
+    world, routers = run_mid_transfer_abort_world()
+    # the first contact's transfer was aborted by the teardown, the retry on
+    # the second contact delivered
+    assert world.stats.aborted == 1
+    assert world.stats.delivered == 1
+    times = routers[1].tick_times
+    # mid-transfer ticks: empty buffer, no link event, but bytes in flight —
+    # the queued-transfer wake condition
+    assert 2.0 in times and 3.0 in times
+    # after the abort (t=4 teardown) the receiver is provably idle until the
+    # second contact's link event at t=8
+    assert [t for t in times if 4.0 < t < 8.0] == []
+    assert 8.0 in times
+    assert world.routers_skipped > 0
+
+
+def test_mid_transfer_abort_outcomes_match_always_tick_reference():
+    skiplist, _ = run_mid_transfer_abort_world()
+    reference, _ = run_mid_transfer_abort_world(router_skiplist=False)
+    assert reference.routers_skipped == 0
+    assert_same_outcomes(skiplist, reference)
+    # identical delivery time, not just identical counts
+    latency = lambda w: w.stats.delivered_latencies().tolist()  # noqa: E731
+    assert latency(skiplist) == latency(reference)
+
+
+def test_historical_tick_matches_flat_tick_on_traces():
+    flat, _ = run_mid_transfer_abort_world(router_skiplist=False)
+    historical, _ = run_mid_transfer_abort_world(router_skiplist=False,
+                                                 flat_tick=False)
+    assert_same_outcomes(flat, historical)
+
+
+# ------------------------------------------------------- full-scenario pins
+def full_run_payload(**overrides):
+    config = make_scenario("bench", {
+        "mobility": "random_waypoint", "protocol": "epidemic",
+        "num_nodes": 50, "sim_time": 500.0, "name": "flat-tick-pin",
+        **overrides})
+    return json.dumps(run_scenario(config).as_dict(), sort_keys=True)
+
+
+def test_skiplist_report_byte_identical_to_always_tick():
+    assert full_run_payload() == full_run_payload(router_skiplist=False)
+
+
+def test_skiplist_report_byte_identical_for_unsafe_router():
+    # prophet opts out of skipping (idle_skip_safe=False): the skip-list run
+    # must still dispatch every router every tick and reproduce the report
+    assert full_run_payload(protocol="prophet") \
+        == full_run_payload(protocol="prophet", router_skiplist=False)
+
+
+def test_flat_tick_report_byte_identical_to_historical_reference():
+    """Acceptance pin: the flattened tick == the pre-flattening structure."""
+    historical = full_run_payload(router_skiplist=False, flat_tick=False)
+    assert full_run_payload() == historical
+
+
+def test_process_pool_report_byte_identical_to_serial_reference():
+    """Acceptance pin: process-pool sharded world == serial reference."""
+    serial = full_run_payload(detector="kdtree", batch_movement=False,
+                              router_skiplist=False, flat_tick=False)
+    process = full_run_payload(detector="sharded", world_workers=2,
+                               world_workers_mode="process")
+    assert serial == process
+
+
+# --------------------------------------------------------- decoded link keys
+def test_decoded_link_keys_are_plain_python_ints():
+    codes = np.array([(1 << 32) | 2, (3 << 32) | 40,
+                      (70_000 << 32) | 99_999], dtype=np.int64)
+    keys = _decode_codes(codes)
+    assert keys == [(1, 2), (3, 40), (70_000, 99_999)]
+    for lo, hi in keys:
+        # np.int64 would compare and hash equal — require the exact type so
+        # connection-table keys never carry boxed scalars
+        assert type(lo) is int and type(hi) is int
+    # plain sequences and other integer dtypes normalise the same way
+    assert _decode_codes([(5 << 32) | 6]) == [(5, 6)]
+    assert _decode_codes(np.empty(0, dtype=np.int64)) == []
+    lo, hi = World._decode(np.int64((7 << 32) | 8))
+    assert (lo, hi) == (7, 8)
+    assert type(lo) is int and type(hi) is int
+
+
+def test_world_connection_keys_are_plain_ints_end_to_end():
+    trace = make_trace([(1.0, 10.0, 0, 1), (2.0, 10.0, 1, 2)])
+    simulator, world = build_trace_world(trace, num_nodes=3)
+    simulator.run(until=5.0)
+    assert world._connections
+    for key in world._connections:
+        assert type(key[0]) is int and type(key[1]) is int
+    for node_id in range(3):
+        for neighbour in world.get_node(node_id).connections:
+            assert type(neighbour) is int
+
+
+# ------------------------------------------------------- batch contact stats
+@pytest.mark.parametrize("mode", ["off", "lists", "columnar"])
+def test_contact_batches_match_per_event_calls(mode):
+    ups = [(0, 1), (0, 2), (1, 3)]
+    per_event = StatsCollector(mode=mode)
+    batched = StatsCollector(mode=mode)
+    for key in ups:
+        per_event.contact_up(*key, 10.0)
+    batched.contact_up_batch(ups, 10.0)
+    # one pair goes down matched, plus one never-opened pair that both
+    # forms must skip the same way
+    downs = [(0, 2), (5, 6)]
+    for key in downs:
+        per_event.contact_down(*key, 25.0)
+    batched.contact_down_batch(downs, 25.0)
+    assert batched.contacts == per_event.contacts == 3
+    assert batched._open_contacts == per_event._open_contacts
+    if mode != "off":
+        as_tuples = lambda s: [  # noqa: E731
+            (r.node_a, r.node_b, r.start, r.end) for r in s.contact_records]
+        assert as_tuples(batched) == as_tuples(per_event) \
+            == [(0, 2, 10.0, 25.0)]
+
+
+# --------------------------------------------------------- connection pooling
+def test_released_connections_are_recycled_on_the_next_diff():
+    simulator, world = build_trace_world(make_trace([]), num_nodes=3)
+    world._link_up((0, 1), 0.0)
+    first = world._connections[(0, 1)]
+    first_seq = first.established_seq
+    world._link_down((0, 1), 1.0)
+    # released objects only become reusable on the *next* diff application:
+    # routers saw this object in the teardown batch just dispatched
+    assert first in world._released_connections
+    assert not world._connection_pool
+    world._link_up((0, 2), 2.0)
+    second = world._connections[(0, 2)]
+    assert second is first
+    assert not world._released_connections
+    # reset() re-keyed the object and the fresh sequence number supersedes
+    # any stale transfer-phase registration
+    assert second.key == (0, 2)
+    assert second.node_a.node_id == 0 and second.node_b.node_id == 2
+    assert second.established_seq > first_seq
+    assert second.is_up
+
+
+def test_historical_tick_allocates_fresh_connections():
+    simulator, world = build_trace_world(make_trace([]), num_nodes=3,
+                                         router_skiplist=False,
+                                         flat_tick=False)
+    world._link_up((0, 1), 0.0)
+    first = world._connections[(0, 1)]
+    world._link_down((0, 1), 1.0)
+    assert not world._released_connections
+    world._link_up((0, 2), 2.0)
+    assert world._connections[(0, 2)] is not first
+
+
+# ------------------------------------------------------------- config guards
+def test_router_skiplist_requires_flat_tick():
+    with pytest.raises(ValueError):
+        World(Simulator(seed=1), router_skiplist=True, flat_tick=False)
+    with pytest.raises(ValueError):
+        ScenarioConfig(name="x", flat_tick=False)
+    # the historical reference pairing is valid
+    config = ScenarioConfig(name="x", flat_tick=False, router_skiplist=False)
+    assert not config.flat_tick
+
+
+def test_world_workers_mode_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(name="x", world_workers_mode="fibers")
+    with pytest.raises(ValueError):
+        # the process pool only exists behind the sharded detector
+        ScenarioConfig(name="x", world_workers_mode="process",
+                       detector="kdtree")
+    config = ScenarioConfig(name="x", world_workers_mode="process",
+                            detector="sharded", world_workers=2)
+    assert config.world_workers_mode == "process"
