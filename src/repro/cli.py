@@ -41,7 +41,13 @@ from repro.experiments.figures import (
     figure3_lambda_eer,
     figure4_lambda_cr,
 )
-from repro.experiments.runner import run_averaged
+from repro.checkpoint import CheckpointError
+from repro.experiments.runner import (
+    AveragedResult,
+    resume_scenario,
+    run_averaged,
+    run_scenario_checkpointed,
+)
 from repro.experiments.scenario import ScenarioConfig, apply_overrides
 from repro.experiments.sweep import sweep as run_sweep
 from repro.experiments.tables import (
@@ -172,16 +178,59 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _run_checkpointed(args) -> "tuple[AveragedResult, List[str]]":
+    """The checkpoint/resume arm of ``run`` (single seed, serial only)."""
+    seeds = parse_seeds(args.seeds)
+    if len(seeds) != 1:
+        raise ValueError(
+            "--checkpoint-every/--resume run a single simulation; pass one "
+            "seed (snapshots pin the seed, averaging would need one file "
+            "per seed)")
+    if args.backend not in (None, "serial"):
+        raise ValueError(
+            "--checkpoint-every/--resume require the serial backend")
+    if args.resume:
+        overrides = parse_assignments(args.set or [])
+        unsupported = set(overrides) - {"sim_time"}
+        if unsupported or getattr(args, "protocol", None):
+            raise ValueError(
+                "--resume only accepts a sim_time override; the snapshot "
+                "pins every other field (protocol, traffic, topology, seed)")
+        report, config, written = resume_scenario(
+            args.resume, sim_time=overrides.get("sim_time"),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir)
+    else:
+        config = _scenario_config(args).with_overrides(seed=seeds[0])
+        report, written = run_scenario_checkpointed(
+            config, args.checkpoint_every, directory=args.checkpoint_dir)
+    result = AveragedResult(protocol=config.protocol,
+                            num_nodes=config.num_nodes,
+                            seeds=[config.seed], reports=[report])
+    return result, written
+
+
 def cmd_run(args) -> int:
     """``run``: run one scenario averaged over seeds."""
-    config = _scenario_config(args)
-    seeds = parse_seeds(args.seeds)
-    result = run_averaged(config, seeds, backend=args.backend)
+    written: List[str] = []
+    if args.resume or args.checkpoint_every:
+        result, written = _run_checkpointed(args)
+        config = None
+        protocol = result.protocol
+        for path in written:
+            print(f"wrote checkpoint {path}", file=sys.stderr)
+    else:
+        config = _scenario_config(args)
+        protocol = config.protocol
+        seeds = parse_seeds(args.seeds)
+        result = run_averaged(config, seeds, backend=args.backend)
     if args.json:
         _emit({
             "scenario": args.scenario,
-            "protocol": config.protocol,
+            "protocol": protocol,
             "backend": args.backend or "serial",
+            "checkpoints": written,
+            "resumed_from": args.resume,
             "summary": result.as_dict(),
             # timings stay in the JSON payload: the CI smoke uploads this as
             # the per-phase breakdown artifact (wall seconds + tick samples
@@ -190,8 +239,8 @@ def cmd_run(args) -> int:
                         for report in result.reports],
         })
         return 0
-    print(f"scenario {args.scenario!r} protocol {config.protocol!r} "
-          f"seeds {seeds} backend {args.backend or 'serial'}")
+    print(f"scenario {args.scenario!r} protocol {protocol!r} "
+          f"seeds {result.seeds} backend {args.backend or 'serial'}")
     print()
     print(format_report_table(result.reports))
     print()
@@ -225,12 +274,43 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _sweep_resumed(args, grid):
+    """Fork every grid cell of a horizon sweep from one warm snapshot.
+
+    Only the ``sim_time`` axis is admissible: everything else — protocol,
+    traffic model, topology — is baked into the serialized world, so a
+    non-horizon override would silently not take effect.  Each cell loads
+    the snapshot fresh and runs forward to its own horizon, which turns an
+    N-cell warmup-heavy sweep into one warmup plus N cheap continuations.
+    """
+    from repro.experiments.sweep import SweepPoint
+
+    unsupported = set(grid) - {"sim_time"}
+    if unsupported or getattr(args, "protocol", None) or args.set:
+        raise ValueError(
+            "sweep --resume supports only the sim_time grid axis (the "
+            "snapshot pins every other field); got "
+            f"{sorted(unsupported) or 'non-horizon overrides'}")
+    points = []
+    for value in grid["sim_time"]:
+        report, config, _ = resume_scenario(args.resume, sim_time=value)
+        result = AveragedResult(protocol=config.protocol,
+                                num_nodes=config.num_nodes,
+                                seeds=[config.seed], reports=[report])
+        points.append(SweepPoint(overrides={"sim_time": value}, result=result))
+    return points
+
+
 def cmd_sweep(args) -> int:
     """``sweep``: run a scenario across a parameter grid."""
-    config = _scenario_config(args)
-    seeds = parse_seeds(args.seeds)
     grid = parse_grid(args.grid)
-    points = run_sweep(config, grid, seeds=seeds, backend=args.backend)
+    if args.resume:
+        points = _sweep_resumed(args, grid)
+        seeds = points[0].result.seeds if points else []
+    else:
+        config = _scenario_config(args)
+        seeds = parse_seeds(args.seeds)
+        points = run_sweep(config, grid, seeds=seeds, backend=args.backend)
     rows = [{"overrides": point.overrides,
              "delivery_ratio": point.value("delivery_ratio"),
              "latency": point.value("average_latency"),
@@ -380,6 +460,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser(
         "run", help="run one scenario, averaged over seeds")
     add_common(run_parser)
+    run_parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="snapshot the world every SECONDS of simulated time (single "
+             "seed, serial backend; see docs/checkpointing.md)")
+    run_parser.add_argument(
+        "--checkpoint-dir", default=".", metavar="DIR",
+        help="directory for --checkpoint-every snapshots (default: .)")
+    run_parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="resume a snapshot instead of starting fresh; only a sim_time "
+             "--set override is accepted (the snapshot pins the rest)")
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = sub.add_parser(
@@ -388,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--grid", action="append", required=True, metavar="KEY=V1,V2,...",
         help="one grid axis (repeatable; crossed as a Cartesian product)")
+    sweep_parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="fork every cell from a warmed-up snapshot (sim_time axis only)")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     figure_parser = sub.add_parser(
@@ -447,7 +541,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (KeyError, ValueError, TypeError, OSError) as error:
+    except (KeyError, ValueError, TypeError, OSError, CheckpointError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2

@@ -9,15 +9,38 @@ identical to the serial backend.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.experiments.backend import BackendLike, resolve_backend
 from repro.experiments.builder import build_scenario
 from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.collector import StatsCollector
 from repro.metrics.reports import SimulationReport, build_report
+
+
+def finalize_report(stats: StatsCollector,
+                    config: ScenarioConfig) -> SimulationReport:
+    """Summarise a finished (or resumed-and-finished) run's collector.
+
+    This is the one report-construction path shared by straight-through
+    runs, checkpointed runs and resumed runs — the resume-equality contract
+    (docs/checkpointing.md) compares its canonical output byte for byte.
+    """
+    extra = {
+        "alpha": float(config.router_params.get("alpha", float("nan")))
+        if "alpha" in config.router_params else float("nan"),
+        "copies": float(config.message_copies),
+        "ttl": float(config.message_ttl),
+        "buffer": float(config.buffer_capacity),
+    }
+    return build_report(stats, protocol=config.protocol,
+                        num_nodes=config.num_nodes, sim_time=config.sim_time,
+                        seed=config.seed, extra=extra)
 
 
 def run_scenario(config: ScenarioConfig) -> SimulationReport:
@@ -30,16 +53,99 @@ def run_scenario(config: ScenarioConfig) -> SimulationReport:
         # eagerly — even on a failed run — instead of waiting for a GC pass
         # to break the world cycle
         built.world.stop()
-    extra = {
-        "alpha": float(config.router_params.get("alpha", float("nan")))
-        if "alpha" in config.router_params else float("nan"),
-        "copies": float(config.message_copies),
-        "ttl": float(config.message_ttl),
-        "buffer": float(config.buffer_capacity),
-    }
-    return build_report(built.stats, protocol=config.protocol,
-                        num_nodes=config.num_nodes, sim_time=config.sim_time,
-                        seed=config.seed, extra=extra)
+    return finalize_report(built.stats, config)
+
+
+def _drive_with_checkpoints(world, config: ScenarioConfig, every: float,
+                            directory: str, written: List[str]) -> None:
+    """Run *world* to the horizon, snapshotting at every ``every`` boundary.
+
+    The run is split into ``run(until=boundary)`` segments; a split run is
+    event-identical to one uninterrupted ``run`` (events exactly at a
+    boundary fire before the segment returns, later ones after), so the
+    snapshots observe exactly the state a straight-through run would have
+    had at those times.  A snapshot is also written at the horizon, so a
+    finished run always leaves a warm world to fork sweeps from.
+    """
+    simulator = world.simulator
+    end = float(config.sim_time)
+    if every <= 0:
+        raise ValueError("checkpoint interval must be positive")
+    while simulator.now < end:
+        boundary = (math.floor(simulator.now / every) + 1) * every
+        simulator.run(until=min(end, boundary))
+        path = os.path.join(
+            directory,
+            f"{config.name}-seed{config.seed}-t{simulator.now:g}.ckpt")
+        world.save_checkpoint(path, config=config)
+        written.append(path)
+
+
+def run_scenario_checkpointed(
+        config: ScenarioConfig, every: float,
+        directory: str = ".") -> Tuple[SimulationReport, List[str]]:
+    """Run one scenario, writing a snapshot every ``every`` sim-seconds.
+
+    Returns the (unchanged — see :func:`finalize_report`) report plus the
+    snapshot paths written, in chronological order.
+    """
+    built = build_scenario(config)
+    written: List[str] = []
+    try:
+        _drive_with_checkpoints(built.world, config, every, directory, written)
+    finally:
+        built.world.stop()
+    return finalize_report(built.stats, config), written
+
+
+def resume_scenario(
+        path: str, *, sim_time: Optional[float] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_dir: str = ".",
+) -> Tuple[SimulationReport, ScenarioConfig, List[str]]:
+    """Resume a snapshot to its (or an extended/shortened) horizon.
+
+    Parameters
+    ----------
+    path:
+        A snapshot written by :func:`run_scenario_checkpointed` /
+        ``World.save_checkpoint`` *with an embedded config*.
+    sim_time:
+        Optional replacement horizon (must not precede the snapshot time).
+        This is the only safe post-hoc override: everything else — protocol,
+        traffic, topology — is baked into the serialized world.
+    checkpoint_every / checkpoint_dir:
+        Keep snapshotting the resumed run at this cadence.
+
+    Returns ``(report, config, written_paths)`` where *config* is the
+    embedded scenario (horizon-adjusted when *sim_time* is given).
+    """
+    from repro.checkpoint import CheckpointError, load_checkpoint
+
+    restored = load_checkpoint(path)
+    world = restored.world
+    config = restored.config
+    if config is None:
+        raise CheckpointError(
+            f"snapshot {path!r} has no embedded scenario config; save it "
+            "with config= (the CLI does) to make it resumable")
+    if sim_time is not None:
+        if float(sim_time) < restored.sim_now:
+            raise ValueError(
+                f"sim_time={sim_time:g} precedes the snapshot time "
+                f"t={restored.sim_now:g}; a snapshot only runs forward")
+        config = config.with_overrides(sim_time=float(sim_time))
+        world.simulator.end_time = float(sim_time)
+    written: List[str] = []
+    try:
+        if checkpoint_every:
+            _drive_with_checkpoints(world, config, checkpoint_every,
+                                    checkpoint_dir, written)
+        else:
+            world.simulator.run(until=config.sim_time)
+    finally:
+        world.stop()
+    return finalize_report(world.stats, config), config, written
 
 
 @dataclass

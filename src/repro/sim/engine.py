@@ -45,6 +45,15 @@ class Simulator:
         self._finish_hooks: List[Callable[["Simulator"], None]] = []
         self.fired_events = 0
 
+    def __getstate__(self) -> dict:
+        # checkpoint support: a snapshot may be taken between two `run`
+        # segments (or, via an event callback, *during* one) — either way
+        # the restored simulator must be startable, not "already running"
+        state = self.__dict__.copy()
+        state["_running"] = False
+        state["_stopped"] = False
+        return state
+
     # ------------------------------------------------------------------ time
     @property
     def now(self) -> float:

@@ -11,14 +11,17 @@ broke when ``benchmarks/conftest.py`` shadowed ``tests/conftest.py``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.message import Message
 from repro.sim.engine import Simulator
 from repro.traces.contact_trace import ContactEvent, ContactTrace
 from repro.traces.replay import TraceReplayWorld, build_trace_world
 
-__all__ = ["make_trace", "make_contact_plan", "make_world", "inject_message"]
+__all__ = ["make_trace", "make_contact_plan", "make_world", "inject_message",
+           "canonical_report_bytes", "admissible_checkpoint_times",
+           "assert_resume_equality"]
 
 
 def make_trace(events: Iterable[Tuple[float, int, int, bool]]) -> ContactTrace:
@@ -57,3 +60,80 @@ def inject_message(world, source: int, destination: int, *, now: float = 0.0,
                       dest_community=world.community_of(destination))
     world.create_message(source, message)
     return message
+
+
+# ------------------------------------------------------ resume equality
+def canonical_report_bytes(report) -> bytes:
+    """The canonical byte form of a :class:`SimulationReport`.
+
+    Timings are excluded (they measure the machine, not the simulation);
+    everything else — metrics, counters, per-protocol extras — is serialized
+    with sorted keys, so two runs are behaviourally identical iff their
+    canonical bytes are equal.  This is the same payload the PR5/PR6 pin
+    tests compare across ``flat_tick``/skip-list/process-pool modes.
+    """
+    payload = report.as_dict(include_timings=False)
+    # community_detection_seconds is wall-clock time spent in the detector —
+    # a measurement of the machine, like the tick-phase timings, and the one
+    # metric that differs between two behaviourally identical runs
+    payload.pop("community_detection_seconds", None)
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def admissible_checkpoint_times(config, *, stride: int = 1) -> List[float]:
+    """Every interior tick boundary of *config*'s run, optionally strided.
+
+    A checkpoint is admissible at any multiple of ``update_interval`` in the
+    open interval ``(0, sim_time)``: the world tick scheduled at that time
+    has fired, so a save/restore there resumes on exactly the next event.
+    ``stride=k`` keeps every *k*-th boundary (for affordable sweeps of long
+    scenarios).
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    ticks = int(round(config.sim_time / config.update_interval))
+    return [k * config.update_interval for k in range(1, ticks, stride)]
+
+
+def assert_resume_equality(config,
+                           checkpoint_times: Optional[Sequence[float]] = None,
+                           *, stride: int = 1) -> None:
+    """Assert that checkpoint/restore is invisible in *config*'s report.
+
+    Runs the scenario straight through, then — for every checkpoint time —
+    re-runs it with a full save/restore cycle at that boundary (serialize
+    the world to container bytes, tear the original down, deserialize,
+    resume) and requires the resumed run's canonical report bytes to equal
+    the straight-through run's exactly.  ``checkpoint_times`` defaults to
+    :func:`admissible_checkpoint_times` with *stride*.
+
+    Raises ``AssertionError`` naming the first diverging checkpoint time.
+    """
+    from repro.checkpoint import load_checkpoint_bytes, save_checkpoint_bytes
+    from repro.experiments.builder import build_scenario
+    from repro.experiments.runner import finalize_report, run_scenario
+
+    if checkpoint_times is None:
+        checkpoint_times = admissible_checkpoint_times(config, stride=stride)
+    baseline = canonical_report_bytes(run_scenario(config))
+    for at in checkpoint_times:
+        if not 0.0 < at < config.sim_time:
+            raise ValueError(
+                f"checkpoint time {at:g} outside (0, {config.sim_time:g})")
+        built = build_scenario(config)
+        try:
+            built.simulator.run(until=at)
+            blob = save_checkpoint_bytes(built.world, config=config)
+        finally:
+            built.world.stop()
+        restored = load_checkpoint_bytes(blob)
+        try:
+            restored.world.simulator.run(until=config.sim_time)
+            resumed = canonical_report_bytes(
+                finalize_report(restored.world.stats, config))
+        finally:
+            restored.world.stop()
+        if resumed != baseline:
+            raise AssertionError(
+                f"resumed report diverged from the straight-through run "
+                f"(scenario {config.name!r}, checkpoint at t={at:g})")

@@ -217,6 +217,18 @@ class ShardedConnectivity(ConnectivityDetector):
             self._pool = None
         self._release_segment()
 
+    def __getstate__(self) -> dict:
+        # checkpoint support: the worker pool and the shared-memory segment
+        # are process-local resources; both are created lazily, so dropping
+        # them is enough — the restored detector rebuilds them on first use.
+        # The snapshot and candidate arrays travel as-is, keeping the
+        # restored detector's rebuild schedule (and therefore its output)
+        # bit-identical to the uninterrupted one.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_segment"] = None
+        return state
+
     def _executor(self) -> Executor:
         if self._pool is None:
             if self.workers_mode == "process":

@@ -552,6 +552,46 @@ class World:
         self.routers_skipped += len(self._node_order) - ticked
         events.clear()
 
+    # ------------------------------------------------------------ checkpoints
+    def save_checkpoint(self, path: str, *, config=None, metadata=None):
+        """Snapshot the full world state to *path* (see :mod:`repro.checkpoint`).
+
+        Everything reachable from the world — simulator clock and event
+        queue, RNG streams, routers, buffers, contact histories, community
+        caches, live connections and the in-flight stats collector — is
+        captured.  Returns the snapshot manifest.  Call at a tick boundary
+        (i.e. not from inside a phase callback) so the restored run resumes
+        on the exact event the original would have fired next.
+        """
+        from repro.checkpoint import save_checkpoint
+        return save_checkpoint(self, path, config=config, metadata=metadata)
+
+    @staticmethod
+    def load_checkpoint(path: str) -> "World":
+        """Restore a world (and its whole simulation) from a snapshot file.
+
+        The returned world's ``simulator`` can simply ``run(until=...)``
+        onward; resuming is byte-identical to never having stopped (pinned
+        by :func:`repro.testing.assert_resume_equality`).  Use
+        :func:`repro.checkpoint.load_checkpoint` instead when the manifest
+        or the embedded scenario config is also needed.
+        """
+        from repro.checkpoint import load_checkpoint
+        return load_checkpoint(path).world
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Pickling broke the one load-bearing aliasing relationship in the
+        # graph: each follower's position was a row *view* of the position
+        # matrix and came back as an independent copy.  Re-bind every
+        # follower onto its row.  This is bit-exact — the copy holds the
+        # same float64 patterns as the row — and nothing else needs fixing:
+        # the MovementEngine's fast-path mirrors are plain arrays that
+        # round-trip as-is (they may be *ahead* of the path scalars
+        # mid-flight, so they must not be re-derived from the paths).
+        for row, node in enumerate(self._node_order):
+            node.follower.bind(self._positions.row(row))
+
     # ------------------------------------------------------------------ misc
     def stop(self) -> None:
         """Stop the periodic update process (used when tearing a world down).

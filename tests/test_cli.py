@@ -123,6 +123,87 @@ def test_sweep_json_smoke(capsys):
     assert payload["points"][0]["overrides"] == {"message_copies": 2}
 
 
+# ------------------------------------------------------- checkpoint / resume
+def strip_timings(payload):
+    """Drop the machine-timing fields from a run's JSON payload in place."""
+    for report in payload["reports"]:
+        report.pop("tick_phase_seconds", None)
+        report.pop("tick_phase_samples", None)
+    return payload
+
+
+def test_run_checkpointed_and_resumed_match_the_straight_run(capsys, tmp_path):
+    base_args = ["run", "trace-csv", "--seeds", "2",
+                 "--set", "sim_time=400", "--json"]
+    assert main(base_args) == 0
+    straight = strip_timings(json.loads(capsys.readouterr().out))
+
+    assert main(base_args + ["--checkpoint-every", "150",
+                             "--checkpoint-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    checkpointed = json.loads(captured.out)
+    # snapshots at t=150, t=300 and the t=400 horizon, announced on stderr
+    assert len(checkpointed["checkpoints"]) == 3
+    assert all(path.startswith(str(tmp_path))
+               for path in checkpointed["checkpoints"])
+    assert captured.err.count("wrote checkpoint") == 3
+    # snapshotting is invisible in the report
+    assert strip_timings(checkpointed)["reports"] == straight["reports"]
+
+    # resuming the mid-run snapshot reproduces the rest of the run exactly
+    snapshot = checkpointed["checkpoints"][0]
+    assert main(["run", "trace-csv", "--resume", snapshot, "--json"]) == 0
+    resumed = strip_timings(json.loads(capsys.readouterr().out))
+    assert resumed["resumed_from"] == snapshot
+    assert resumed["reports"] == straight["reports"]
+    assert resumed["summary"] == straight["summary"]
+
+
+def test_run_checkpoint_flag_validation(capsys, tmp_path):
+    # snapshots pin one seed: multi-seed specs are rejected up front
+    code = main(["run", "trace-csv", "--checkpoint-every", "100",
+                 "--seeds", "1-3"])
+    assert code == 2
+    assert "one seed" in capsys.readouterr().err
+    # as is the process backend
+    code = main(["run", "trace-csv", "--checkpoint-every", "100",
+                 "--backend", "process"])
+    assert code == 2
+    assert "serial backend" in capsys.readouterr().err
+    # --resume accepts no overrides beyond sim_time (checked before loading)
+    code = main(["run", "trace-csv", "--resume", "whatever.ckpt",
+                 "--set", "num_nodes=5"])
+    assert code == 2
+    assert "sim_time" in capsys.readouterr().err
+    # a missing snapshot is a clean typed error, not a traceback
+    code = main(["run", "trace-csv",
+                 "--resume", str(tmp_path / "absent.ckpt")])
+    assert code == 2
+    assert "no snapshot" in capsys.readouterr().err
+
+
+def test_sweep_resume_forks_horizon_cells_from_one_snapshot(capsys, tmp_path):
+    assert main(["run", "trace-csv", "--seeds", "2", "--set", "sim_time=200",
+                 "--checkpoint-every", "200",
+                 "--checkpoint-dir", str(tmp_path), "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)["checkpoints"][0]
+
+    code = main(["sweep", "trace-csv", "--resume", snapshot,
+                 "--grid", "sim_time=300,400", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["overrides"] for p in payload["points"]] \
+        == [{"sim_time": 300}, {"sim_time": 400}]
+    for point in payload["points"]:
+        assert 0.0 <= point["delivery_ratio"] <= 1.0
+
+    # only the horizon axis can fork from a snapshot
+    code = main(["sweep", "trace-csv", "--resume", snapshot,
+                 "--grid", "message_copies=2,6"])
+    assert code == 2
+    assert "sim_time" in capsys.readouterr().err
+
+
 # ------------------------------------------------------------------- figure
 def test_figure_json_smoke(capsys, tmp_path):
     output = tmp_path / "fig3.json"

@@ -11,6 +11,10 @@ changes is required to be invisible in simulation outcomes; these tests pin
   with no contacts must still wake exactly when a TTL comes due, and an
   empty-buffer router must stay hot while a transfer is in flight toward it
   (and go back to sleep after its peer aborts),
+* those same wake conditions *across a checkpoint/restore cycle* — a router
+  asleep with a due TTL at the snapshot tick wakes on the first resumed
+  tick, and an in-flight transfer picked up from a snapshot completes
+  exactly as it would have uninterrupted,
 * end-to-end byte-identity of full scenario reports across
   ``router_skiplist``, ``flat_tick`` and the process-pool sharded detector,
 * the decoded link keys being plain Python ints (``np.int64`` leakage
@@ -24,6 +28,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.checkpoint import load_checkpoint_bytes, save_checkpoint_bytes
 from repro.experiments.catalog import make_scenario
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig
@@ -180,6 +185,63 @@ def test_historical_tick_matches_flat_tick_on_traces():
     historical, _ = run_mid_transfer_abort_world(router_skiplist=False,
                                                  flat_tick=False)
     assert_same_outcomes(flat, historical)
+
+
+# ------------------------------------------- skip-list state under restore
+def checkpoint_roundtrip(world):
+    """Serialize *world*, tear it down, and return the restored copy."""
+    blob = save_checkpoint_bytes(world)
+    world.stop()
+    return load_checkpoint_bytes(blob).world
+
+
+def test_sleeping_router_with_due_ttl_wakes_on_first_resumed_tick():
+    """A snapshot taken while both holders sleep (TTL due next tick) must
+    restore the skip-list wake conditions, not just the buffers: the resumed
+    run's very first tick is the expiry deadline."""
+    trace = make_trace([(1.0, 3.0, 0, 1)])
+    simulator, world = build_trace_world(trace, protocol="epidemic",
+                                         num_nodes=3)
+    routers = use_tick_logging_routers(world, 3)
+    routers[0].create_message(Message("m-ttl", 0, 2, 1000, 0.0, ttl=6.0))
+    simulator.run(until=5.0)
+    assert world.stats.expired == 0  # nothing due yet at the snapshot
+    restored = checkpoint_roundtrip(world)
+    restored.simulator.run(until=12.0)
+    drops = [(r.node, r.time, r.reason)
+             for r in restored.stats.dropped_records]
+    assert drops == [(0, 6.0, "expired"), (1, 6.0, "expired")]
+    assert restored.stats.expired == 2
+    # the restored relay wakes exactly once after the snapshot — at the
+    # deadline — then sleeps again (its logged history travels with it)
+    resumed_ticks = [t for t in restored.get_node(1).router.tick_times
+                     if t > 5.0]
+    assert resumed_ticks == [6.0]
+    restored.stop()
+
+
+def test_mid_transfer_restore_completes_like_an_uninterrupted_run():
+    """A snapshot taken with bytes in flight restores the live Connection
+    (progress, established_seq, queued-transfer wake) so the abort, the
+    retry and the delivery all land exactly as in the uninterrupted run."""
+    trace = make_trace([(1.0, 4.0, 0, 1), (8.0, 30.0, 0, 1)])
+    simulator, world = build_trace_world(
+        trace, protocol="epidemic", num_nodes=2,
+        buffer_capacity=4 * 1024 * 1024)
+    routers = use_tick_logging_routers(world, 2)
+    routers[0].create_message(
+        Message("m-big", 0, 1, int(250_000 * 5), 0.0, ttl=1000.0))
+    simulator.run(until=2.0)  # transfer started at t=1, ~3 ticks remain
+    restored = checkpoint_roundtrip(world)
+    restored.simulator.run(until=30.0)
+    reference, _ = run_mid_transfer_abort_world()
+    assert_same_outcomes(restored, reference)
+    times = restored.get_node(1).router.tick_times
+    # the restored receiver stays hot while the transfer is still in flight,
+    # then goes provably idle between the abort and the second contact
+    assert 3.0 in times
+    assert [t for t in times if 4.0 < t < 8.0] == []
+    restored.stop()
 
 
 # ------------------------------------------------------- full-scenario pins
