@@ -329,8 +329,9 @@ def bench_scenario(scale: Dict[str, float], seed: int,
 
 
 # ------------------------------------------------------------ 10k world tick
-def bench_world_tick(scale: Dict[str, float], seed: int,
-                     reference: bool) -> Dict[str, object]:
+def bench_world_tick(scale: Dict[str, float], seed: int, reference: bool,
+                     extra_overrides: Optional[Dict[str, object]] = None
+                     ) -> Dict[str, object]:
     """The ``rwp-10k`` scenario through the staged tick pipeline, one mode.
 
     Reference: per-follower movement loop + single-threaded k-d tree
@@ -346,6 +347,10 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
     best-of-repeats — the phase wall times at 10k nodes are small enough
     that a single run is hostage to scheduler noise on shared CI machines,
     and the gate compares timing *ratios*.
+
+    ``extra_overrides`` pins individual tick features for intermediate
+    baselines (e.g. ``{"router_soa": False}`` isolates the SoA router sweep
+    against the per-router skip-scan with everything else current).
     """
     overrides: Dict[str, object] = {
         "num_nodes": int(scale["world_nodes"]),
@@ -357,6 +362,9 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
         overrides["batch_movement"] = False
         overrides["router_skiplist"] = False
         overrides["flat_tick"] = False
+        overrides["router_soa"] = False
+    if extra_overrides:
+        overrides.update(extra_overrides)
     config = make_scenario("rwp-10k", overrides)
     seconds = float("inf")
     best_phases: Dict[str, float] = {}
@@ -377,6 +385,7 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
               for name, value in sorted(best_phases.items())}
     detect_seconds = max(best_phases.get("connectivity.detect", 0.0), 1e-9)
     move_seconds = max(best_phases.get("move", 0.0), 1e-9)
+    routers_seconds = max(best_phases.get("routers", 0.0), 1e-9)
     positions_sum = float(world.positions().sum())
     return {
         "seconds": round(seconds, 4),
@@ -384,10 +393,12 @@ def bench_world_tick(scale: Dict[str, float], seed: int,
         "ticks_per_s": round(ticks / seconds, 2),
         "detect_ticks_per_s": round(ticks / detect_seconds, 2),
         "move_ticks_per_s": round(ticks / move_seconds, 2),
+        "router_ticks_per_s": round(ticks / routers_seconds, 2),
         "phase_seconds": phases,
         "detector_rebuilds": getattr(world.detector, "rebuilds", None),
         "routers_ticked": world.routers_ticked,
         "routers_skipped": world.routers_skipped,
+        "routers_batched": world.routers_batched,
         "ticks": ticks,
         "checksums": {
             "created": stats.created,
@@ -427,7 +438,8 @@ def bench_world_tick_100k_run(scale: Dict[str, float],
         }
         if reference:
             overrides.update(detector="kdtree", batch_movement=False,
-                             router_skiplist=False, flat_tick=False)
+                             router_skiplist=False, flat_tick=False,
+                             router_soa=False)
         config = make_scenario("rwp-100k", overrides)
         built = build_scenario(config)
         start = time.perf_counter()
@@ -445,6 +457,7 @@ def bench_world_tick_100k_run(scale: Dict[str, float],
                 in sorted(stats.tick_phase_seconds.items())},
             "routers_ticked": world.routers_ticked,
             "routers_skipped": world.routers_skipped,
+            "routers_batched": world.routers_batched,
             "ticks": ticks,
             "checksums": {
                 "created": stats.created,
@@ -663,6 +676,22 @@ def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object
         "detect_ticks_per_s",
         {"scenario": "rwp-10k", "nodes": int(scale["world_nodes"]),
          "ticks": int(scale["world_ticks"])})
+
+    # the routers phase isolated: the same 10k scenario with only the SoA
+    # sweep disabled (per-router skip-scan baseline; sharded detection,
+    # batched movement and the flat tick stay on) against the full current
+    # configuration, gated on routers-phase throughput.  Reuses
+    # world_current as the current half, so the pair shares one
+    # measurement of the vectorized run.
+    benchmarks["router_sweep"] = _paired(
+        "router_sweep",
+        bench_world_tick(scale, seed, reference=False,
+                         extra_overrides={"router_soa": False}),
+        world_current,
+        "router_ticks_per_s",
+        {"scenario": "rwp-10k", "nodes": int(scale["world_nodes"]),
+         "ticks": int(scale["world_ticks"]),
+         "baseline": "router_soa=False (per-router skip-scan)"})
 
     # the same two runs gate a second claim: whole-tick throughput of the
     # flattened pipeline (skip-list + batched links + O(active) transfers)

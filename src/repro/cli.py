@@ -271,6 +271,13 @@ def cmd_run(args) -> int:
                 rates.append(f"{name} {samples / seconds:,.0f}")
         if rates:
             print(f"tick phase throughput (ticks/s): {'  '.join(rates)}")
+    if any(r.routers_ticked or r.routers_skipped or r.routers_batched
+           for r in result.reports):
+        runs = len(result.reports)
+        print("router sweep (mean per run): "
+              f"ticked {sum(r.routers_ticked for r in result.reports) / runs:,.0f}  "
+              f"skipped {sum(r.routers_skipped for r in result.reports) / runs:,.0f}  "
+              f"batched {sum(r.routers_batched for r in result.reports) / runs:,.0f}")
     return 0
 
 

@@ -255,13 +255,14 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         world: World = TraceReplayWorld(
             simulator, trace, update_interval=config.update_interval,
             stats=stats, router_skiplist=config.router_skiplist,
-            flat_tick=config.flat_tick)
+            flat_tick=config.flat_tick, router_soa=config.router_soa)
     else:
         world = World(simulator, update_interval=config.update_interval,
                       stats=stats, detector=build_detector(config),
                       batch_movement=config.batch_movement,
                       router_skiplist=config.router_skiplist,
-                      flat_tick=config.flat_tick)
+                      flat_tick=config.flat_tick,
+                      router_soa=config.router_soa)
 
     interface = Interface(transmit_range=config.transmit_range,
                           transmit_speed=config.transmit_speed)

@@ -122,6 +122,14 @@ class ScenarioConfig:
     #: half of the world-tick benchmarks (requires router_skiplist=False);
     #: bit-identical simulation outcomes either way
     flat_tick: bool = True
+    #: resolve the routers phase through the struct-of-arrays sweep
+    #: (RouterStateStore): the idle-router skip predicate evaluates as
+    #: vectorized masks over columnar per-router state, and provably no-op
+    #: ticks of batch-capable protocols resolve without executing.  False
+    #: pins the per-router skip-scan as the benchmark baseline (requires
+    #: router_skiplist=True when on); bit-identical simulation outcomes
+    #: either way, see DESIGN.md "Struct-of-arrays router state"
+    router_soa: bool = True
 
     # traffic
     message_interval: Tuple[float, float] = (25.0, 35.0)
@@ -184,6 +192,11 @@ class ScenarioConfig:
             raise ValueError(
                 "flat_tick=False (the historical reference tick) requires "
                 "router_skiplist=False")
+        if self.router_soa and not self.router_skiplist:
+            raise ValueError(
+                "router_skiplist=False (the per-router reference loop) "
+                "requires router_soa=False (the SoA sweep is a vectorized "
+                "evaluation of the skip predicate)")
         if self.record_mode is not None and self.record_mode not in (
                 "off", "lists", "columnar"):
             raise ValueError(

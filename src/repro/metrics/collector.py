@@ -133,6 +133,13 @@ class StatsCollector:
         # the deterministic metric comparisons
         self.tick_phase_seconds: Dict[str, float] = {}
         self.tick_phase_samples: Dict[str, int] = {}
+        # routers-phase outcome split (see World._update_routers): real
+        # Router.update calls run, provably idle routers skipped, and awake
+        # no-ops the SoA sweep resolved in batch.  Mode-dependent meters
+        # like the phase timings, excluded from deterministic comparisons
+        self.routers_ticked = 0
+        self.routers_skipped = 0
+        self.routers_batched = 0
         self.latency_sum = 0.0
         self.hop_count_sum = 0
 
@@ -422,6 +429,19 @@ class StatsCollector:
         self.tick_phase_seconds[name] = (
             self.tick_phase_seconds.get(name, 0.0) + float(seconds))
         self.tick_phase_samples[name] = self.tick_phase_samples.get(name, 0) + 1
+
+    def router_sweep(self, ticked: int, skipped: int, batched: int = 0) -> None:
+        """Record one routers-phase outcome split.
+
+        Called once per world update by ``World._update_routers`` in every
+        mode (reference loop, per-router skip-scan, SoA sweep); the three
+        counts sum to the node count per tick.  Observability like
+        :meth:`tick_phase` — the split depends on the tick mode, so it is
+        excluded from deterministic result comparisons.
+        """
+        self.routers_ticked += int(ticked)
+        self.routers_skipped += int(skipped)
+        self.routers_batched += int(batched)
 
     # ------------------------------------------------------------------ query
     def is_delivered(self, message_id: str) -> bool:

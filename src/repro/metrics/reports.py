@@ -48,6 +48,15 @@ class SimulationReport:
     community_detection_seconds: float = 0.0
     community_reassignments: int = 0
 
+    # routers-phase outcome split: Router.update calls run / provably idle
+    # skipped / awake no-ops resolved in batch by the SoA sweep.  The split
+    # depends on the tick mode (reference loop vs skip-scan vs SoA), so —
+    # like the phase timings — it is excluded from the canonical
+    # serialisation by default.
+    routers_ticked: int = 0
+    routers_skipped: int = 0
+    routers_batched: int = 0
+
     latency_percentiles: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
@@ -74,6 +83,9 @@ class SimulationReport:
         if not include_timings:
             payload.pop("tick_phase_seconds")
             payload.pop("tick_phase_samples")
+            payload.pop("routers_ticked")
+            payload.pop("routers_skipped")
+            payload.pop("routers_batched")
         return payload
 
     def phase_ticks_per_second(self) -> Dict[str, float]:
@@ -138,6 +150,9 @@ def build_report(collector: StatsCollector, *, protocol: str, num_nodes: int,
         community_detections=collector.community_detections,
         community_detection_seconds=collector.community_detection_seconds,
         community_reassignments=collector.community_reassignments,
+        routers_ticked=collector.routers_ticked,
+        routers_skipped=collector.routers_skipped,
+        routers_batched=collector.routers_batched,
         latency_percentiles=_latency_percentiles(collector),
         extra=dict(extra or {}),
         tick_phase_seconds=dict(collector.tick_phase_seconds),

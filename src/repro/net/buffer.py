@@ -84,6 +84,13 @@ class MessageBuffer:
         this to O(evictions), not O(n log n) per add).
     """
 
+    # struct-of-arrays mirror binding (see repro.routing.soa): when a world
+    # registers this buffer's node, every mutation marks the node's row
+    # dirty so the sweep re-reads count/occupancy/next-expiry exactly once.
+    # Class-level defaults keep unbound buffers (and old pickles) inert.
+    _mirror_store = None
+    _mirror_row = -1
+
     def __init__(self, capacity: float = float("inf"),
                  drop_policy: DropPolicy = DropPolicy.OLDEST_RECEIVED,
                  protected: Optional[Callable[[Message], bool]] = None) -> None:
@@ -260,6 +267,8 @@ class MessageBuffer:
         self._messages[message.message_id] = message
         self._occupancy += message.size
         self._index(message)
+        if self._mirror_store is not None:
+            self._mirror_store.mark_dirty(self._mirror_row)
         return evicted
 
     def remove(self, message_id: str) -> Optional[Message]:
@@ -274,6 +283,8 @@ class MessageBuffer:
                 if not bucket:
                     del self._by_destination[message.destination]
             self._compact_heaps()
+            if self._mirror_store is not None:
+                self._mirror_store.mark_dirty(self._mirror_row)
         return message
 
     def drop_expired(self, now: float) -> List[Message]:
@@ -322,6 +333,8 @@ class MessageBuffer:
         self._evict_heap.clear()
         self._expiry_heap.clear()
         self._by_destination.clear()
+        if self._mirror_store is not None:
+            self._mirror_store.mark_dirty(self._mirror_row)
 
 
 class ReferenceMessageBuffer:
@@ -331,6 +344,11 @@ class ReferenceMessageBuffer:
     errors, same ordering); kept as the oracle for the randomized parity
     tests and as the pure-Python baseline of ``python -m repro bench``.
     """
+
+    # same SoA mirror seam as MessageBuffer, so either implementation can
+    # back a node without the store caring which one it is
+    _mirror_store = None
+    _mirror_row = -1
 
     def __init__(self, capacity: float = float("inf"),
                  drop_policy: DropPolicy = DropPolicy.OLDEST_RECEIVED,
@@ -423,6 +441,8 @@ class ReferenceMessageBuffer:
                     "buffer cannot make enough room for incoming message")
         self._messages[message.message_id] = message
         self._occupancy += message.size
+        if self._mirror_store is not None:
+            self._mirror_store.mark_dirty(self._mirror_row)
         return evicted
 
     def remove(self, message_id: str) -> Optional[Message]:
@@ -430,6 +450,8 @@ class ReferenceMessageBuffer:
         message = self._messages.pop(message_id, None)
         if message is not None:
             self._occupancy -= message.size
+            if self._mirror_store is not None:
+                self._mirror_store.mark_dirty(self._mirror_row)
         return message
 
     def drop_expired(self, now: float) -> List[Message]:
@@ -449,6 +471,8 @@ class ReferenceMessageBuffer:
         """Drop everything."""
         self._messages.clear()
         self._occupancy = 0
+        if self._mirror_store is not None:
+            self._mirror_store.mark_dirty(self._mirror_row)
 
 
 class BufferFullError(RuntimeError):

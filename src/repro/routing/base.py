@@ -48,6 +48,39 @@ class Router:
     #: every update regardless of the skip-list setting.
     idle_skip_safe = True
 
+    #: Whether the struct-of-arrays routers sweep (``routing/soa.py``) may
+    #: resolve this router's awake-but-empty ticks in batch instead of
+    #: calling :meth:`update`.  Declaring ``True`` asserts: *an ``update``
+    #: call with an empty buffer has no observable effect* — no stats, no
+    #: sends, no per-contact state changes — so skipping it is invisible.
+    #: Two tiers, selected by :attr:`batch_update_gated`:
+    #:
+    #: * stateless (``batch_update_gated = False``): the assertion holds
+    #:   unconditionally, link events included (direct, epidemic — their
+    #:   ``on_update`` early-outs before touching per-contact state);
+    #: * gated (``batch_update_gated = True``): the empty update still
+    #:   consumes per-contact evaluation gates (:meth:`is_first_evaluation`),
+    #:   so it is a no-op only on event-free ticks after the router has run
+    #:   at least once since each contact came up (first-contact,
+    #:   spray-and-wait — the world executes every event tick, which
+    #:   consumes the gates of all live contacts).
+    #:
+    #: Deliberately **not inherited**: a subclass must redeclare it (see
+    #: ``__init_subclass__``), because any override of ``on_update`` /
+    #: ``update`` can invalidate the no-op proof.  Mirrors how
+    #: ``MovementEngine`` gates ``supports_batch_advance``.
+    supports_batch_update = False
+    #: see :attr:`supports_batch_update`; consulted only where that is True
+    batch_update_gated = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if "supports_batch_update" not in cls.__dict__:
+            # batchability is a per-class proof, not an inheritable trait:
+            # a subclass overriding on_update (e.g. a test double logging
+            # tick times) silently falls back to the exact per-router loop
+            cls.supports_batch_update = False
+
     def __init__(self) -> None:
         self.node: Optional["DTNNode"] = None
         self.world: Optional["World"] = None
@@ -70,6 +103,12 @@ class Router:
         self.world = world
         node.set_router(self)
         self.on_attach()
+        # keep the SoA router columns honest across mid-run router swaps:
+        # worlds refresh the node's row (no-op before registration, and for
+        # test doubles that stand in for a world)
+        rebound = getattr(world, "router_rebound", None)
+        if rebound is not None:
+            rebound(node)
 
     def on_attach(self) -> None:
         """Hook invoked after :meth:`attach`; override to size per-network state."""

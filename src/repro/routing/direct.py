@@ -10,6 +10,12 @@ class DirectDeliveryRouter(Router):
 
     name = "direct"
 
+    #: stateless tier: the empty-buffer early-out below touches no
+    #: per-contact state, so an awake-but-empty tick batches away even on
+    #: link-event ticks (see Router.supports_batch_update)
+    supports_batch_update = True
+    batch_update_gated = False
+
     def on_update(self, now: float) -> None:
         if not len(self.buffer):
             # nothing buffered means nothing deliverable on any link; skip

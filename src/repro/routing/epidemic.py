@@ -16,7 +16,20 @@ class EpidemicRouter(Router):
 
     name = "epidemic"
 
+    #: stateless tier: with the empty-buffer early-out below, an empty
+    #: update touches no per-contact state (the considered-set for a contact
+    #: is only materialized once there are messages to flood), so
+    #: awake-but-empty ticks batch away even on link-event ticks
+    supports_batch_update = True
+    batch_update_gated = False
+
     def on_update(self, now: float) -> None:
+        if not len(self.buffer):
+            # nothing buffered means nothing deliverable and nothing to
+            # flood on any link; skip the per-connection scan (a
+            # woken-but-empty router is the common case under the world's
+            # idle skip-list)
+            return
         for connection in self.connections():
             self.send_deliverable(connection)
             peer = connection.other(self.node)

@@ -15,12 +15,27 @@ class FirstContactRouter(Router):
 
     name = "first-contact"
 
+    #: gated tier: an empty update still consumes the one-decision-per-
+    #: meeting gates (preserved by the early-out below), so it is a no-op
+    #: only on event-free ticks once the gates of all live contacts are
+    #: consumed (see Router.supports_batch_update)
+    supports_batch_update = True
+    batch_update_gated = True
+
     def _queued_anywhere(self, message_id: str) -> bool:
         assert self.node is not None
         return any(conn.is_transferring(message_id)
                    for conn in self.node.connections.values())
 
     def on_update(self, now: float) -> None:
+        if not len(self.buffer):
+            # empty-buffer early-out: nothing deliverable and nothing to
+            # forward, but the per-meeting gates must still burn exactly as
+            # the full loop would burn them — a later tick of this contact
+            # must not re-run the forwarding decision
+            for connection in self.connections():
+                self.is_first_evaluation(connection)
+            return
         for connection in self.connections():
             self.send_deliverable(connection)
             if not self.is_first_evaluation(connection):

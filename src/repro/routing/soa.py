@@ -1,0 +1,300 @@
+"""Struct-of-arrays router state: the vectorized routers-phase sweep.
+
+PR6's idle-router skip-list bounded *how many* routers run per tick, but the
+proof that a router may sleep was still evaluated by per-router Python — an
+O(nodes) scan per tick that dominates the routers phase at 100k nodes where
+~83% of routers are asleep.  :class:`RouterStateStore` moves the state that
+scan reads into columnar NumPy arrays (one row per node, registration
+order), so the whole wake predicate becomes a handful of vectorized masks:
+
+``awake``
+    exactly the skip-list predicate of ``World._update_routers``: a router
+    wakes on a link event this tick, when it opts out of skipping
+    (``Router.idle_skip_safe`` False), when it holds messages and has live
+    contacts or a TTL due, or when it is the endpoint of a connection with
+    queued transfers.
+``noop``
+    awake rows whose ``update`` call is *provably* without observable
+    effect, resolved in batch (counted as ``routers_batched``) instead of
+    executed.  The proof rests on the :attr:`~repro.routing.base.Router.
+    supports_batch_update` contract: an empty-buffer update of a batchable
+    router is a no-op — unconditionally for the stateless tier (direct,
+    epidemic), and on event-free ticks once the per-contact gates are
+    consumed for the gated tier (first-contact, spray-and-wait).  A freshly
+    (re)attached gated router may still hold unconsumed gates, so its row
+    carries a ``fresh`` bit that forces Python execution until its first
+    real update.
+
+Everything not provably a no-op runs through the exact per-router
+``Router.update`` in ascending row (= registration) order, which is the
+serial loop's iteration order — so the event stream, and therefore every
+report byte, is identical to the reference.  Mid-sweep wakes are honoured
+the same way the serial loop honours them: when an executed router enqueues
+the first transfer onto a previously idle connection (announced through
+``Connection.activity_sink``), any *later* row among the endpoints is woken
+— classified as batched when its no-op proof holds, otherwise merged into
+the execution order through a min-heap.
+
+Synchronisation seams (no polling, no per-tick rebuild):
+
+* buffers push a dirty-row mark on every mutation
+  (``MessageBuffer._mirror_store``); dirty rows are re-read once at sweep
+  start, which is exact because buffers are static between the transfers
+  phase and the routers phase;
+* live-connection counts are maintained incrementally by the world's
+  ``_establish_link`` / ``_teardown_link``;
+* router-derived columns (skip safety, batchability tier) refresh on
+  ``Router.attach`` through ``World.router_rebound``.
+
+The store pickles with the world and is covered by the resume-equality
+contract (see ``repro.checkpoint``): its arrays, dirty set and row maps are
+plain state, and the buffer mirrors survive the round trip because they are
+ordinary attributes on the buffer objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.world.node import DTNNode
+    from repro.world.world import World
+
+__all__ = ["RouterStateStore"]
+
+#: initial rows per column; doubled on demand
+_INITIAL_CAPACITY = 64
+
+
+class RouterStateStore:
+    """Columnar per-router state driving the vectorized routers phase.
+
+    One row per registered node, in registration order — the same order the
+    serial router loop iterates, which is what makes ascending-row execution
+    of the non-batchable remainder bit-exact.
+    """
+
+    def __init__(self) -> None:
+        #: node id -> row index
+        self._row: Dict[int, int] = {}
+        #: row index -> node (same objects the world owns)
+        self._nodes: List["DTNNode"] = []
+        capacity = _INITIAL_CAPACITY
+        #: buffered replica count (mirrors ``len(node.buffer)``)
+        self._count = np.zeros(capacity, dtype=np.int64)
+        #: buffered bytes (mirrors ``node.buffer.occupancy``)
+        self._occupancy = np.zeros(capacity, dtype=np.int64)
+        #: earliest TTL deadline of any buffered replica (inf when empty)
+        self._expiry = np.full(capacity, np.inf)
+        #: live connection count (maintained by the world's link bookkeeping)
+        self._conns = np.zeros(capacity, dtype=np.int32)
+        #: Router.idle_skip_safe
+        self._idle_safe = np.ones(capacity, dtype=bool)
+        #: Router.supports_batch_update
+        self._batchable = np.zeros(capacity, dtype=bool)
+        #: Router.batch_update_gated (meaningful only where batchable)
+        self._gated = np.zeros(capacity, dtype=bool)
+        #: row has never executed a Python update since its router was
+        #: (re)attached: per-contact gates may be unconsumed, so the gated
+        #: no-op proof does not apply yet
+        self._fresh = np.zeros(capacity, dtype=bool)
+        #: rows whose buffer mutated since the last sweep refresh
+        self._dirty: set = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ---------------------------------------------------------- registration
+    def _grow(self) -> None:
+        capacity = max(2 * len(self._count), _INITIAL_CAPACITY)
+        for name in ("_count", "_occupancy", "_expiry", "_conns",
+                     "_idle_safe", "_batchable", "_gated", "_fresh"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            if name == "_expiry":
+                grown[:] = np.inf
+            elif name == "_idle_safe":
+                grown[:] = True
+            grown[:len(old)] = old
+            setattr(self, name, grown)
+
+    def register(self, node: "DTNNode") -> int:
+        """Add *node* as the next row; bind its buffer's dirty-mark mirror."""
+        node_id = node.node_id
+        if node_id in self._row:
+            raise ValueError(f"node {node_id} is already registered")
+        row = len(self._nodes)
+        if row == len(self._count):
+            self._grow()
+        self._nodes.append(node)
+        self._row[node_id] = row
+        buffer = node.buffer
+        buffer._mirror_store = self
+        buffer._mirror_row = row
+        stored = len(buffer)
+        self._count[row] = stored
+        self._occupancy[row] = buffer.occupancy
+        self._expiry[row] = buffer.next_expiry() if stored else np.inf
+        self._conns[row] = len(node.connections)
+        self._refresh_router(row, node.router)
+        return row
+
+    def _refresh_router(self, row: int, router) -> None:
+        self._idle_safe[row] = bool(router.idle_skip_safe)
+        self._batchable[row] = bool(
+            getattr(router, "supports_batch_update", False))
+        self._gated[row] = bool(getattr(router, "batch_update_gated", False))
+        self._fresh[row] = True
+
+    def rebind(self, node: "DTNNode") -> None:
+        """Refresh router-derived columns after a router (re)attach.
+
+        No-op for unregistered nodes: the scenario builders attach routers
+        *before* ``World.add_node`` registers the row.
+        """
+        row = self._row.get(node.node_id)
+        if row is not None:
+            self._refresh_router(row, node.router)
+
+    # -------------------------------------------------------------- sync seams
+    def mark_dirty(self, row: int) -> None:
+        """Buffer mutation hook: re-read this row's buffer columns next sweep."""
+        self._dirty.add(row)
+
+    def link_delta(self, id_a: int, id_b: int, delta: int) -> None:
+        """Apply a live-connection count change to both endpoints."""
+        row = self._row.get(id_a)
+        if row is not None:
+            self._conns[row] += delta
+        row = self._row.get(id_b)
+        if row is not None:
+            self._conns[row] += delta
+
+    def _refresh_dirty(self) -> None:
+        if not self._dirty:
+            return
+        nodes = self._nodes
+        count = self._count
+        occupancy = self._occupancy
+        expiry = self._expiry
+        for row in self._dirty:
+            buffer = nodes[row].buffer
+            stored = len(buffer)
+            count[row] = stored
+            occupancy[row] = buffer.occupancy
+            expiry[row] = buffer.next_expiry() if stored else np.inf
+        self._dirty.clear()
+
+    # -------------------------------------------------------------- the sweep
+    def sweep(self, world: "World", now: float) -> Tuple[int, int, int]:
+        """Run one routers phase; returns ``(ticked, batched, skipped)``.
+
+        ``ticked`` rows executed a real ``Router.update``; ``batched`` rows
+        were awake but resolved as provable no-ops by the masks; ``skipped``
+        rows slept under the exact PR6 skip predicate.  The three always sum
+        to the node count.
+        """
+        n = len(self._nodes)
+        if n == 0:
+            return 0, 0, 0
+        self._refresh_dirty()
+        count = self._count[:n]
+        expiry = self._expiry[:n]
+        conns = self._conns[:n]
+        idle_safe = self._idle_safe[:n]
+        batchable = self._batchable[:n]
+        gated = self._gated[:n]
+        fresh = self._fresh[:n]
+        empty = count == 0
+
+        event = np.zeros(n, dtype=bool)
+        if world._router_events:
+            row_of = self._row
+            for node_id in world._router_events:
+                row = row_of.get(node_id)
+                if row is not None:
+                    event[row] = True
+
+        # endpoints of connections with queued transfers: the serial
+        # predicate's defensive wake for empty-buffer routers.  Every such
+        # connection is registered in the active set or announced itself
+        # through activity_sink (the flat tick's invariant), so this is the
+        # complete set — stale registrations are filtered exactly like the
+        # transfers phase filters them.
+        queued = np.zeros(n, dtype=bool)
+        newly = world._newly_active
+        active = world._active_transfers
+        if active or newly:
+            row_of = self._row
+            for seq, connection in active.items():
+                if (connection.established_seq == seq and connection.is_up
+                        and connection.has_queued):
+                    row = row_of.get(connection.node_a.node_id)
+                    if row is not None:
+                        queued[row] = True
+                    row = row_of.get(connection.node_b.node_id)
+                    if row is not None:
+                        queued[row] = True
+            for connection in newly:
+                if connection.is_up and connection.has_queued:
+                    row = row_of.get(connection.node_a.node_id)
+                    if row is not None:
+                        queued[row] = True
+                    row = row_of.get(connection.node_b.node_id)
+                    if row is not None:
+                        queued[row] = True
+
+        awake = (event | ~idle_safe
+                 | (~empty & ((conns > 0) | (expiry <= now)))
+                 | (empty & queued))
+        # the no-op proof: stateless batchable rows need only an empty
+        # buffer; gated rows additionally need an event-free tick and
+        # consumed gates (~fresh)
+        noop = awake & empty & batchable & (~gated | (~event & ~fresh))
+        batched = int(np.count_nonzero(noop))
+        run_rows = np.flatnonzero(awake & ~noop).tolist()
+
+        nodes = self._nodes
+        row_of = self._row
+        ticked = 0
+        late: List[int] = []
+        run_idx = 0
+        run_len = len(run_rows)
+        seen_newly = len(newly)
+        while run_idx < run_len or late:
+            if late and (run_idx >= run_len or late[0] < run_rows[run_idx]):
+                row = heapq.heappop(late)
+            else:
+                row = run_rows[run_idx]
+                run_idx += 1
+            node = nodes[row]
+            assert node.router is not None
+            node.router.update(now)
+            fresh[row] = False
+            ticked += 1
+            if len(newly) != seen_newly:
+                # this router enqueued the first transfer(s) onto previously
+                # idle connection(s): later rows among the endpoints wake,
+                # exactly as the serial loop would observe when it reaches
+                # them (earlier rows were already decided and stay decided)
+                for connection in newly[seen_newly:]:
+                    for endpoint in (connection.node_a, connection.node_b):
+                        other = row_of.get(endpoint.node_id)
+                        if other is None or other <= row or awake[other]:
+                            continue
+                        if count[other] != 0:
+                            # loaded rows wake on contacts/TTL only; a
+                            # loaded endpoint of a live link is awake
+                            # already, so this is purely defensive
+                            continue
+                        awake[other] = True
+                        if batchable[other] and (
+                                not gated[other] or not fresh[other]):
+                            batched += 1
+                        else:
+                            heapq.heappush(late, other)
+                seen_newly = len(newly)
+        return ticked, batched, n - ticked - batched

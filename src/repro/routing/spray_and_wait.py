@@ -24,6 +24,15 @@ class SprayAndWaitRouter(Router):
 
     name = "spray-and-wait"
 
+    #: gated tier: on_update consumes the one-decision-per-meeting gates of
+    #: every live contact whatever the buffer holds, so an empty update is a
+    #: no-op only on event-free ticks with all gates consumed (see
+    #: Router.supports_batch_update).  Note SprayAndFocusRouter overrides
+    #: on_update and does *not* redeclare the flag, so it falls back to the
+    #: exact per-router loop automatically.
+    supports_batch_update = True
+    batch_update_gated = True
+
     def __init__(self, binary: bool = True) -> None:
         super().__init__()
         self.binary = bool(binary)

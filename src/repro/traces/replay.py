@@ -44,10 +44,11 @@ class TraceReplayWorld(World):
                  update_interval: float = 1.0,
                  stats: Optional[StatsCollector] = None,
                  router_skiplist: bool = True,
-                 flat_tick: bool = True) -> None:
+                 flat_tick: bool = True,
+                 router_soa: bool = True) -> None:
         super().__init__(simulator, update_interval=update_interval,
                          stats=stats, router_skiplist=router_skiplist,
-                         flat_tick=flat_tick)
+                         flat_tick=flat_tick, router_soa=router_soa)
         self.trace = trace
         # pre-sort events once; replay walks them with an index
         self._events = trace.events
@@ -94,6 +95,7 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
                       router_params: Optional[dict] = None,
                       router_skiplist: bool = True,
                       flat_tick: bool = True,
+                      router_soa: bool = True,
                       ) -> Tuple[Simulator, TraceReplayWorld]:
     """Build a simulator + trace-replay world with one router per trace node.
 
@@ -126,7 +128,7 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
         Optional node -> community mapping (required by the CR protocol).
     router_params:
         Extra keyword arguments for the router factory.
-    router_skiplist, flat_tick:
+    router_skiplist, flat_tick, router_soa:
         World tick-structure flags, passed through to
         :class:`TraceReplayWorld` (see :class:`~repro.world.world.World`);
         the defaults match the scenario pipeline.
@@ -145,7 +147,7 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
     simulator = Simulator(seed=seed)
     world = TraceReplayWorld(simulator, trace, update_interval=update_interval,
                              router_skiplist=router_skiplist,
-                             flat_tick=flat_tick)
+                             flat_tick=flat_tick, router_soa=router_soa)
     trace_ids = trace.node_ids()
     highest = max(trace_ids) if trace_ids else -1
     count = num_nodes if num_nodes is not None else highest + 1

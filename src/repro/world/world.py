@@ -40,6 +40,7 @@ from repro.metrics.collector import StatsCollector
 from repro.mobility.engine import MovementEngine
 from repro.net.connection import Connection, Transfer
 from repro.net.message import Message
+from repro.routing.soa import RouterStateStore
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.world.connectivity import ConnectivityDetector, KDTreeConnectivity
@@ -115,6 +116,16 @@ class World:
         skipping (``Router.idle_skip_safe``).  ``False`` pins the historical
         tick-every-router loop; both settings are bit-identical by
         construction, pinned by report-equality tests.
+    router_soa:
+        ``True`` (the default) resolves the ``routers`` phase through the
+        struct-of-arrays sweep (see DESIGN.md, "Struct-of-arrays router
+        state"): the skip predicate evaluates as vectorized masks over
+        columnar per-router state, provable no-op ticks of batch-capable
+        protocols (``Router.supports_batch_update``) resolve without
+        executing, and the remainder runs the exact per-router loop in the
+        same order.  ``False`` pins the PR6 per-router skip-scan as the
+        benchmark baseline; bit-identical simulation outcomes either way.
+        Requires ``router_skiplist`` (the sweep *is* the skip predicate).
     """
 
     def __init__(self, simulator: Simulator, update_interval: float = 1.0,
@@ -122,7 +133,8 @@ class World:
                  detector: Optional[ConnectivityDetector] = None,
                  batch_movement: bool = True,
                  router_skiplist: bool = True,
-                 flat_tick: bool = True) -> None:
+                 flat_tick: bool = True,
+                 router_soa: bool = True) -> None:
         if update_interval <= 0:
             raise ValueError("update_interval must be positive")
         if router_skiplist and not flat_tick:
@@ -130,11 +142,17 @@ class World:
             # flattened tick's activity-sink registrations; the historical
             # tick never populates them
             raise ValueError("router_skiplist requires flat_tick")
+        if router_soa and not router_skiplist:
+            # the SoA sweep is a vectorized evaluation of the skip
+            # predicate; without the skip-list there is no predicate to
+            # vectorize (the reference loop ticks every router)
+            raise ValueError("router_soa requires router_skiplist")
         self.simulator = simulator
         self.update_interval = float(update_interval)
         self.stats = stats if stats is not None else StatsCollector()
         self.detector = detector if detector is not None else KDTreeConnectivity()
         self.router_skiplist = bool(router_skiplist)
+        self.router_soa = bool(router_soa)
         #: False pins the historical tick structure — per-event contact
         #: stats, a fresh Connection per establishment (no pooling) and the
         #: O(live links) transfer scan — as the reference half of the
@@ -168,9 +186,16 @@ class World:
         #: queued transfers; the transfers phase walks this instead of every
         #: live link
         self._active_transfers: Dict[int, Connection] = {}
-        # skip-list observability (surfaced by the CI smoke and benchmarks)
+        # skip-list/sweep observability (surfaced on SimulationReport, the
+        # CI smoke and the benchmarks): ticked = real Router.update calls,
+        # skipped = provably asleep, batched = awake no-ops the SoA sweep
+        # resolved without executing
         self.routers_ticked = 0
         self.routers_skipped = 0
+        self.routers_batched = 0
+        #: columnar per-router state behind the vectorized routers phase
+        #: (None when router_soa is off; see repro.routing.soa)
+        self.router_store = RouterStateStore() if self.router_soa else None
         #: per-node caches rebuilt lazily after node registration
         self._ranges_cache: Optional[np.ndarray] = None
         self._ids_cache: Optional[np.ndarray] = None
@@ -212,6 +237,10 @@ class World:
         self.movement.register(node.follower)
         self._nodes[node.node_id] = node
         self._node_order.append(node)
+        if self.router_store is not None:
+            # SoA rows are appended in registration order, so store row
+            # index == _node_order index == the serial loop's visit order
+            self.router_store.register(node)
         self._ranges_cache = None
         self._ids_cache = None
         return node
@@ -421,6 +450,8 @@ class World:
         self._connections[key] = connection
         node_a.connections[node_b.node_id] = connection
         node_b.connections[node_a.node_id] = connection
+        if self.router_store is not None:
+            self.router_store.link_delta(key[0], key[1], 1)
         return connection
 
     def _teardown_link(self, key: Tuple[int, int], now: float) -> Connection:
@@ -438,6 +469,8 @@ class World:
         node_b = connection.node_b
         node_a.connections.pop(node_b.node_id, None)
         node_b.connections.pop(node_a.node_id, None)
+        if self.router_store is not None:
+            self.router_store.link_delta(key[0], key[1], -1)
         if self.flat_tick:
             self._released_connections.append(connection)
         else:
@@ -512,13 +545,34 @@ class World:
         if accepted:
             sender.router.transfer_completed(transfer)
 
+    def router_rebound(self, node: DTNNode) -> None:
+        """Notification that a router was (re)attached to *node*.
+
+        Called by :meth:`~repro.routing.base.Router.attach`; refreshes the
+        node's SoA row so router-derived columns (skip safety, batch
+        capability) never go stale across mid-run router swaps.  No-op when
+        the SoA store is off or the node is not registered yet (the
+        builders attach routers before ``add_node``).
+        """
+        if self.router_store is not None:
+            self.router_store.rebind(node)
+
     def _update_routers(self, now: float) -> None:
         events = self._router_events
+        if self.router_store is not None:
+            ticked, batched, skipped = self.router_store.sweep(self, now)
+            self.routers_ticked += ticked
+            self.routers_batched += batched
+            self.routers_skipped += skipped
+            self.stats.router_sweep(ticked, skipped, batched)
+            events.clear()
+            return
         if not self.router_skiplist:
             for node in self._node_order:
                 assert node.router is not None
                 node.router.update(now)
             self.routers_ticked += len(self._node_order)
+            self.stats.router_sweep(len(self._node_order), 0, 0)
             events.clear()
             return
         ticked = 0
@@ -550,6 +604,7 @@ class World:
             ticked += 1
         self.routers_ticked += ticked
         self.routers_skipped += len(self._node_order) - ticked
+        self.stats.router_sweep(ticked, len(self._node_order) - ticked, 0)
         events.clear()
 
     # ------------------------------------------------------------ checkpoints

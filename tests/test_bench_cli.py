@@ -22,7 +22,7 @@ def test_payload_shape_and_checksums(smoke_payload):
     assert names == {"encounter_pipeline", "buffer_churn",
                      "collector_ingest", "scenario_eer",
                      "community_detection", "world_tick_10k",
-                     "world_tick_100k"}
+                     "router_sweep", "world_tick_100k"}
     for name, entry in payload["benchmarks"].items():
         assert entry["checksums_match"], (
             f"{name}: vectorized path diverged from the reference")

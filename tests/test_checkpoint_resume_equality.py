@@ -43,7 +43,8 @@ def test_resume_equality_at_every_admissible_boundary():
 
 def test_resume_equality_historical_flat_tick_off():
     assert_resume_equality(
-        bench("epidemic", flat_tick=False, router_skiplist=False),
+        bench("epidemic", flat_tick=False, router_skiplist=False,
+              router_soa=False),
         checkpoint_times=[180.0])
 
 

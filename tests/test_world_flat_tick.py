@@ -128,7 +128,8 @@ def test_idle_loaded_router_wakes_exactly_at_ttl_expiry():
 
 def test_ttl_expiry_outcomes_match_always_tick_reference():
     skiplist, _ = run_ttl_expiry_world()
-    reference, _ = run_ttl_expiry_world(router_skiplist=False)
+    reference, _ = run_ttl_expiry_world(router_skiplist=False,
+                                        router_soa=False)
     assert reference.routers_skipped == 0
     assert_same_outcomes(skiplist, reference)
 
@@ -172,7 +173,8 @@ def test_receiver_stays_hot_mid_transfer_and_sleeps_after_abort():
 
 def test_mid_transfer_abort_outcomes_match_always_tick_reference():
     skiplist, _ = run_mid_transfer_abort_world()
-    reference, _ = run_mid_transfer_abort_world(router_skiplist=False)
+    reference, _ = run_mid_transfer_abort_world(router_skiplist=False,
+                                                router_soa=False)
     assert reference.routers_skipped == 0
     assert_same_outcomes(skiplist, reference)
     # identical delivery time, not just identical counts
@@ -181,9 +183,11 @@ def test_mid_transfer_abort_outcomes_match_always_tick_reference():
 
 
 def test_historical_tick_matches_flat_tick_on_traces():
-    flat, _ = run_mid_transfer_abort_world(router_skiplist=False)
+    flat, _ = run_mid_transfer_abort_world(router_skiplist=False,
+                                           router_soa=False)
     historical, _ = run_mid_transfer_abort_world(router_skiplist=False,
-                                                 flat_tick=False)
+                                                 flat_tick=False,
+                                                 router_soa=False)
     assert_same_outcomes(flat, historical)
 
 
@@ -254,26 +258,30 @@ def full_run_payload(**overrides):
 
 
 def test_skiplist_report_byte_identical_to_always_tick():
-    assert full_run_payload() == full_run_payload(router_skiplist=False)
+    assert full_run_payload() == full_run_payload(router_skiplist=False,
+                                                  router_soa=False)
 
 
 def test_skiplist_report_byte_identical_for_unsafe_router():
     # prophet opts out of skipping (idle_skip_safe=False): the skip-list run
     # must still dispatch every router every tick and reproduce the report
     assert full_run_payload(protocol="prophet") \
-        == full_run_payload(protocol="prophet", router_skiplist=False)
+        == full_run_payload(protocol="prophet", router_skiplist=False,
+                            router_soa=False)
 
 
 def test_flat_tick_report_byte_identical_to_historical_reference():
     """Acceptance pin: the flattened tick == the pre-flattening structure."""
-    historical = full_run_payload(router_skiplist=False, flat_tick=False)
+    historical = full_run_payload(router_skiplist=False, flat_tick=False,
+                                  router_soa=False)
     assert full_run_payload() == historical
 
 
 def test_process_pool_report_byte_identical_to_serial_reference():
     """Acceptance pin: process-pool sharded world == serial reference."""
     serial = full_run_payload(detector="kdtree", batch_movement=False,
-                              router_skiplist=False, flat_tick=False)
+                              router_skiplist=False, flat_tick=False,
+                              router_soa=False)
     process = full_run_payload(detector="sharded", world_workers=2,
                                world_workers_mode="process")
     assert serial == process
@@ -359,7 +367,7 @@ def test_released_connections_are_recycled_on_the_next_diff():
 def test_historical_tick_allocates_fresh_connections():
     simulator, world = build_trace_world(make_trace([]), num_nodes=3,
                                          router_skiplist=False,
-                                         flat_tick=False)
+                                         flat_tick=False, router_soa=False)
     world._link_up((0, 1), 0.0)
     first = world._connections[(0, 1)]
     world._link_down((0, 1), 1.0)
@@ -373,10 +381,24 @@ def test_router_skiplist_requires_flat_tick():
     with pytest.raises(ValueError):
         World(Simulator(seed=1), router_skiplist=True, flat_tick=False)
     with pytest.raises(ValueError):
-        ScenarioConfig(name="x", flat_tick=False)
+        ScenarioConfig(name="x", flat_tick=False, router_soa=False)
     # the historical reference pairing is valid
-    config = ScenarioConfig(name="x", flat_tick=False, router_skiplist=False)
+    config = ScenarioConfig(name="x", flat_tick=False, router_skiplist=False,
+                            router_soa=False)
     assert not config.flat_tick
+
+
+def test_router_soa_requires_skiplist():
+    # the SoA sweep is a vectorized evaluation of the skip predicate: it
+    # cannot back the tick-every-router reference loop
+    with pytest.raises(ValueError):
+        World(Simulator(seed=1), router_skiplist=False, flat_tick=True,
+              router_soa=True)
+    with pytest.raises(ValueError):
+        ScenarioConfig(name="x", router_skiplist=False, router_soa=True)
+    # the PR6 benchmark baseline pairing is valid: skip-scan without SoA
+    config = ScenarioConfig(name="x", router_soa=False)
+    assert config.router_skiplist and not config.router_soa
 
 
 def test_world_workers_mode_validation():
