@@ -41,8 +41,17 @@ the paper's contributions on top of them:
     experiment drivers.
 ``repro.analysis``
     Series assembly, summary statistics and text rendering of figures.
+``repro.store``
+    Append-only SQLite results store keyed by the canonical
+    ``(scenario, protocol, seed, config_hash)`` identity, plus the spool-
+    directory experiment service behind ``repro serve``.
+``repro.api``
+    The stable public facade: blessed entry points (``run``,
+    ``run_averaged``, ``sweep``, ``figure``, ``open_store``, ...) that stay
+    put across refactors of the packages above.
 ``repro.cli``
-    The ``python -m repro`` command line (list/run/sweep/figure).
+    The ``python -m repro`` command line
+    (list/run/sweep/figure/serve/bench).
 """
 
 from repro.version import __version__

@@ -70,6 +70,7 @@ by default).  See docs/performance.md for the JSON schema and CI wiring.
 
 from __future__ import annotations
 
+import datetime
 import json
 import platform
 import sys
@@ -717,6 +718,11 @@ def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object
         "seed": seed,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # provenance, aligned with the results store's per-row fields: when
+        # and on what platform this trajectory point was measured
+        "created_utc": datetime.datetime.now(datetime.timezone.utc)
+                       .isoformat(timespec="seconds"),
+        "platform": platform.platform(),
         "peak_rss_mb": peak_rss_mb(),
         "benchmarks": benchmarks,
     }

@@ -223,10 +223,14 @@ _TUPLE_FIELDS = ("stop_wait", "message_interval", "trace_window")
 
 
 def config_to_payload(config: Any) -> Dict[str, Any]:
-    """JSON-friendly dict of a :class:`ScenarioConfig` (for the manifest)."""
-    payload = dataclasses.asdict(config)
-    payload["mobility"] = config.mobility.value
-    return payload
+    """JSON-friendly dict of a :class:`ScenarioConfig` (for the manifest).
+
+    Delegates to :meth:`ScenarioConfig.canonical_payload` — the one
+    canonicalization shared with the results store, so a manifest's
+    embedded config and a store row serialise a given scenario
+    identically.
+    """
+    return config.canonical_payload()
 
 
 def config_from_payload(payload: Dict[str, Any]) -> Any:
@@ -293,6 +297,10 @@ def save_checkpoint_bytes(world: Any, *, config: Any = None,
         "state_sha256": _sha256(state),
         "arrays_sha256": digest.hexdigest(),
         "config": config_to_payload(config) if config is not None else None,
+        # the canonical scenario identity hash (defaults dropped, name/seed
+        # excluded) — the same digest the results store dedupes on, so a
+        # snapshot can be matched against store rows without re-hashing
+        "config_hash": config.config_hash() if config is not None else None,
         "user": metadata or {},
     }
     stream = io.BytesIO()

@@ -1,24 +1,31 @@
 """The ``python -m repro`` command-line interface.
 
-Five subcommands expose the scenario catalog and the experiment drivers
-without writing any Python:
+Six subcommands expose the scenario catalog, the experiment drivers and the
+results store without writing any Python:
 
 ``list``
     Show every registered scenario and routing protocol.
 ``run``
     Run one named scenario (averaged over seeds, optionally in parallel).
 ``sweep``
-    Run a scenario across a parameter grid.
+    Run a scenario across a parameter grid; with ``--store`` the grid is
+    resumable and dedupes against everything already computed.
 ``figure``
-    Regenerate one of the paper's figures or ablations.
+    Regenerate one of the paper's figures or ablations — or all of them
+    (``figure all``); with ``--from-store`` only missing cells simulate.
+``serve``
+    Drain a spool directory of queued run requests into a results store,
+    streaming one progress line per resolved cell.
 ``bench``
     Run the paired performance benchmarks (vectorized hot path vs the
     in-tree pure-Python reference implementations), write a ``BENCH_*.json``
     trajectory point and optionally gate against a committed baseline.
 
-Every subcommand takes ``--json`` for machine-readable output; the default is
-a human-aligned text table.  See ``docs/cli.md`` for the full reference with
-copy-paste examples and ``docs/performance.md`` for the bench workflow.
+Output flags are uniform: **every** subcommand takes ``--json`` (the payload
+on stdout; the default is a human-aligned text rendering) and ``--output
+FILE`` (the same payload written to a file, combinable with either stdout
+mode).  See ``docs/cli.md`` for the full reference with copy-paste examples
+and ``docs/results-store.md`` for the store workflow.
 """
 
 from __future__ import annotations
@@ -33,17 +40,11 @@ from repro.experiments.catalog import (
     make_scenario,
     scenario_entries,
 )
-from repro.experiments.figures import (
-    ablation_alpha,
-    ablation_buffer,
-    ablation_ttl,
-    figure2_comparison,
-    figure3_lambda_eer,
-    figure4_lambda_cr,
-)
+from repro.experiments.figures import FIGURE_NAMES
+from repro.experiments import figures as figure_drivers
 from repro.checkpoint import CheckpointError
+from repro.experiments.results import AveragedResult
 from repro.experiments.runner import (
-    AveragedResult,
     resume_scenario,
     run_averaged,
     run_scenario_checkpointed,
@@ -55,10 +56,7 @@ from repro.experiments.tables import (
     format_report_table,
 )
 from repro.routing.registry import available_routers, router_summary
-
-#: figure names accepted by ``python -m repro figure``
-FIGURE_NAMES = ("fig2", "fig3", "fig4",
-                "ablation-alpha", "ablation-ttl", "ablation-buffer")
+from repro.store import StoreError, open_store, serve
 
 _HEADLINE_METRICS = ("delivery_ratio", "latency", "goodput", "overhead_ratio")
 
@@ -137,8 +135,26 @@ def _csv_names(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+# --------------------------------------------------------------- output flags
 def _emit(payload: object) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def emit_payload(args, payload: object) -> bool:
+    """Apply the uniform output contract to a subcommand's JSON payload.
+
+    Writes *payload* to ``--output FILE`` when given (announced on stderr)
+    and prints it to stdout with ``--json``.  Returns whether stdout was
+    consumed — when False the caller renders its human text instead.
+    """
+    if getattr(args, "output", None):
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.json:
+        _emit(payload)
+        return True
+    return False
 
 
 def _check_protocol(name: Optional[str]) -> None:
@@ -156,14 +172,36 @@ def _scenario_config(args) -> ScenarioConfig:
     return make_scenario(args.scenario, overrides)
 
 
+# --------------------------------------------------------------- store plumbing
+class _StoreProgress:
+    """Stream one stderr line per resolved cell; count the cached/computed
+    split for the ``store:`` summary line (what the CI smoke asserts on)."""
+
+    def __init__(self) -> None:
+        self.cached = 0
+        self.computed = 0
+
+    def __call__(self, event: Dict[str, object]) -> None:
+        if event.get("status") == "cached":
+            self.cached += 1
+        else:
+            self.computed += 1
+        print(f"cell {int(event['index']) + 1}/{event['total']} "
+              f"{event['status']:<8s} {event['scenario']}/{event['protocol']} "
+              f"seed={event['seed']}", file=sys.stderr)
+
+    def summary(self, path: str) -> str:
+        return (f"store: reused {self.cached} cells, computed {self.computed} "
+                f"({path})")
+
+
 # ----------------------------------------------------------------- subcommands
 def cmd_list(args) -> int:
     """``list``: show the scenario catalog and the protocol registry."""
     scenarios = [entry.describe() for entry in scenario_entries()]
     protocols = [{"name": name, "summary": router_summary(name)}
                  for name in available_routers()]
-    if args.json:
-        _emit({"scenarios": scenarios, "protocols": protocols})
+    if emit_payload(args, {"scenarios": scenarios, "protocols": protocols}):
         return 0
     print(f"Scenarios ({len(scenarios)}):")
     width = max(len(s["name"]) for s in scenarios)
@@ -206,7 +244,8 @@ def _run_checkpointed(args) -> "tuple[AveragedResult, List[str]]":
             config, args.checkpoint_every, directory=args.checkpoint_dir)
     result = AveragedResult(protocol=config.protocol,
                             num_nodes=config.num_nodes,
-                            seeds=[config.seed], reports=[report])
+                            seeds=[config.seed], reports=[report],
+                            config=config)
     return result, written
 
 
@@ -214,8 +253,11 @@ def cmd_run(args) -> int:
     """``run``: run one scenario averaged over seeds."""
     written: List[str] = []
     if args.resume or args.checkpoint_every:
+        if args.store:
+            raise ValueError(
+                "--store does not combine with --checkpoint-every/--resume; "
+                "record the finished run into a store with a plain run")
         result, written = _run_checkpointed(args)
-        config = None
         protocol = result.protocol
         for path in written:
             print(f"wrote checkpoint {path}", file=sys.stderr)
@@ -223,21 +265,28 @@ def cmd_run(args) -> int:
         config = _scenario_config(args)
         protocol = config.protocol
         seeds = parse_seeds(args.seeds)
-        result = run_averaged(config, seeds, backend=args.backend)
-    if args.json:
-        _emit({
-            "scenario": args.scenario,
-            "protocol": protocol,
-            "backend": args.backend or "serial",
-            "checkpoints": written,
-            "resumed_from": args.resume,
-            "summary": result.as_dict(),
-            # timings stay in the JSON payload: the CI smoke uploads this as
-            # the per-phase breakdown artifact (wall seconds + tick samples
-            # per pipeline phase; excluded from determinism comparisons)
-            "reports": [report.as_dict(include_timings=True)
-                        for report in result.reports],
-        })
+        if args.store:
+            progress = _StoreProgress()
+            with open_store(args.store) as store:
+                result = run_averaged(config, seeds, backend=args.backend,
+                                      store=store, progress=progress)
+            print(progress.summary(args.store), file=sys.stderr)
+        else:
+            result = run_averaged(config, seeds, backend=args.backend)
+    payload = {
+        "scenario": args.scenario,
+        "protocol": protocol,
+        "backend": args.backend or "serial",
+        "checkpoints": written,
+        "resumed_from": args.resume,
+        "summary": result.as_dict(),
+        # timings stay in the JSON payload: the CI smoke uploads this as
+        # the per-phase breakdown artifact (wall seconds + tick samples
+        # per pipeline phase; excluded from determinism comparisons)
+        "reports": [report.as_dict(include_timings=True)
+                    for report in result.reports],
+    }
+    if emit_payload(args, payload):
         return 0
     print(f"scenario {args.scenario!r} protocol {protocol!r} "
           f"seeds {result.seeds} backend {args.backend or 'serial'}")
@@ -290,7 +339,7 @@ def _sweep_resumed(args, grid):
     the snapshot fresh and runs forward to its own horizon, which turns an
     N-cell warmup-heavy sweep into one warmup plus N cheap continuations.
     """
-    from repro.experiments.sweep import SweepPoint
+    from repro.experiments.results import SweepPoint
 
     unsupported = set(grid) - {"sim_time"}
     if unsupported or getattr(args, "protocol", None) or args.set:
@@ -303,7 +352,8 @@ def _sweep_resumed(args, grid):
         report, config, _ = resume_scenario(args.resume, sim_time=value)
         result = AveragedResult(protocol=config.protocol,
                                 num_nodes=config.num_nodes,
-                                seeds=[config.seed], reports=[report])
+                                seeds=[config.seed], reports=[report],
+                                config=config)
         points.append(SweepPoint(overrides={"sim_time": value}, result=result))
     return points
 
@@ -312,21 +362,33 @@ def cmd_sweep(args) -> int:
     """``sweep``: run a scenario across a parameter grid."""
     grid = parse_grid(args.grid)
     if args.resume:
+        if args.store:
+            raise ValueError(
+                "--store does not combine with --resume (snapshot-forked "
+                "cells bypass the cell-identity dedupe)")
         points = _sweep_resumed(args, grid)
         seeds = points[0].result.seeds if points else []
     else:
         config = _scenario_config(args)
         seeds = parse_seeds(args.seeds)
-        points = run_sweep(config, grid, seeds=seeds, backend=args.backend)
+        if args.store:
+            progress = _StoreProgress()
+            with open_store(args.store) as store:
+                points = run_sweep(config, grid, seeds=seeds,
+                                   backend=args.backend, store=store,
+                                   progress=progress)
+            print(progress.summary(args.store), file=sys.stderr)
+        else:
+            points = run_sweep(config, grid, seeds=seeds, backend=args.backend)
     rows = [{"overrides": point.overrides,
              "delivery_ratio": point.value("delivery_ratio"),
              "latency": point.value("average_latency"),
              "goodput": point.value("goodput"),
              "overhead_ratio": point.value("overhead_ratio")}
             for point in points]
-    if args.json:
-        _emit({"scenario": args.scenario, "grid": grid, "seeds": seeds,
-               "points": rows})
+    payload = {"scenario": args.scenario, "grid": grid, "seeds": seeds,
+               "points": rows}
+    if emit_payload(args, payload):
         return 0
     keys = list(grid)
     header = keys + ["delivery_ratio", "latency", "goodput", "overhead_ratio"]
@@ -352,19 +414,24 @@ def cmd_bench(args) -> int:
     """``bench``: run the paired benchmarks, write/compare BENCH JSON."""
     from repro import bench
 
-    if args.quick and args.scale is not None and args.scale != "quick":
-        raise ValueError(
-            f"--quick contradicts --scale {args.scale}; pass one of them")
+    if args.quick:
+        # deprecated spelling: warn and forward (it predates --scale)
+        print("warning: --quick is deprecated; use --scale quick",
+              file=sys.stderr)
+        if args.scale is not None and args.scale != "quick":
+            raise ValueError(
+                f"--quick contradicts --scale {args.scale}; pass one of them")
     scale = args.scale or "quick"
     payload = bench.run_benchmarks(scale_name=scale, seed=args.seed)
     if args.output:
+        # BENCH artifacts keep their established trailing-newline format
         bench.write_payload(payload, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
+    status = 0
     if args.json:
         _emit(payload)
     else:
         print(bench.format_summary(payload))
-    status = 0
     mismatched = [name for name, entry in payload["benchmarks"].items()
                   if not entry["checksums_match"]]
     if mismatched:
@@ -386,8 +453,26 @@ def cmd_bench(args) -> int:
     return status
 
 
+def _figure_kwargs(name: str, args) -> Dict[str, object]:
+    """Driver-specific keyword arguments for one figure, from the CLI args."""
+    if name == "fig2":
+        return {"node_counts": args.nodes,
+                "protocols": _csv_names(args.protocols)}
+    if name in ("fig3", "fig4"):
+        return {"node_counts": args.nodes, "lambdas": args.lambdas}
+    defaults = {"ablation-alpha": ("alphas", "0.1,0.28,0.5,1.0"),
+                "ablation-ttl": ("ttls", "300,600,1200,2400"),
+                "ablation-buffer": ("buffers",
+                                    "262144,524288,1048576,2097152")}
+    keyword, fallback = defaults[name]
+    # --values carries ablation sweep values; for `figure all` every
+    # ablation uses its own defaults (one shared list cannot fit all three)
+    values = args.values if args.figure != "all" else None
+    return {keyword: _csv_floats(values or fallback)}
+
+
 def cmd_figure(args) -> int:
-    """``figure``: regenerate one paper figure / ablation."""
+    """``figure``: regenerate one paper figure / ablation — or all of them."""
     if args.scale == "paper":
         base = ScenarioConfig.paper_scale()
     else:
@@ -396,41 +481,80 @@ def cmd_figure(args) -> int:
     if overrides:
         base = apply_overrides(base, overrides)
     seeds = parse_seeds(args.seeds)
-    common = dict(seeds=seeds, base=base, backend=args.backend)
-    name = args.figure
-    if name == "fig2":
-        figure = figure2_comparison(
-            node_counts=args.nodes, protocols=_csv_names(args.protocols),
-            **common)
-    elif name == "fig3":
-        figure = figure3_lambda_eer(node_counts=args.nodes,
-                                    lambdas=args.lambdas, **common)
-    elif name == "fig4":
-        figure = figure4_lambda_cr(node_counts=args.nodes,
-                                   lambdas=args.lambdas, **common)
-    elif name == "ablation-alpha":
-        figure = ablation_alpha(alphas=_csv_floats(args.values or "0.1,0.28,0.5,1.0"),
-                                **common)
-    elif name == "ablation-ttl":
-        figure = ablation_ttl(ttls=_csv_floats(args.values or "300,600,1200,2400"),
-                              **common)
+    names = FIGURE_NAMES if args.figure == "all" else (args.figure,)
+    progress = _StoreProgress() if args.store else None
+    store = open_store(args.store) if args.store else None
+    try:
+        rendered = {
+            name: figure_drivers.figure(
+                name, seeds=seeds, base=base, backend=args.backend,
+                store=store, progress=progress, **_figure_kwargs(name, args))
+            for name in names}
+    finally:
+        if store is not None:
+            store.close()
+    if progress is not None:
+        print(progress.summary(args.store), file=sys.stderr)
+    if args.figure == "all":
+        payload: Dict[str, object] = {
+            "figures": {name: fig.as_dict()
+                        for name, fig in rendered.items()}}
     else:
-        figure = ablation_buffer(
-            buffers=_csv_floats(args.values or "262144,524288,1048576,2097152"),
-            **common)
-    payload = figure.as_dict()
-    if args.output:
-        with open(args.output, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-        print(f"wrote {args.output}", file=sys.stderr)
-    if args.json:
-        _emit(payload)
-    else:
-        print(format_figure(figure))
+        payload = rendered[args.figure].as_dict()
+    if emit_payload(args, payload):
+        return 0
+    for name in names:
+        print(format_figure(rendered[name]))
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``serve``: drain a spool of run requests into a results store."""
+
+    def emit(event: Dict[str, object]) -> None:
+        if args.json:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        elif event.get("event") == "cell":
+            print(f"[{event['request']}] cell {int(event['index']) + 1}/"
+                  f"{event['total']} {event['status']} "
+                  f"{event['scenario']}/{event['protocol']} "
+                  f"seed={event['seed']}", flush=True)
+        elif event.get("status") == "failed":
+            print(f"[{event['request']}] failed: {event['error']}", flush=True)
+        else:
+            print(f"[{event['request']}] done "
+                  f"(computed {event['cells_computed']}, "
+                  f"cached {event['cells_cached']})", flush=True)
+
+    with open_store(args.store) as store:
+        summary = serve(args.spool, store, once=args.once, poll=args.poll,
+                        backend=args.backend, emit=emit,
+                        max_requests=args.max_requests)
+    payload = {"spool": args.spool, "store": args.store, **summary}
+    if args.json:
+        print(json.dumps({"event": "summary", **payload}, sort_keys=True),
+              flush=True)
+    if getattr(args, "output", None):
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if not args.json:
+        print(f"serve: {summary['requests_done']} done, "
+              f"{summary['requests_failed']} failed; "
+              f"cells computed {summary['cells_computed']}, "
+              f"cached {summary['cells_cached']}")
+    return 0 if summary["requests_failed"] == 0 else 1
+
+
 # ---------------------------------------------------------------------- parser
+def _add_output_flags(p) -> None:
+    """The uniform output contract: every subcommand has these two."""
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable payload on stdout")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the JSON payload to FILE")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -442,8 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = sub.add_parser(
         "list", help="list registered scenarios and protocols")
-    list_parser.add_argument("--json", action="store_true",
-                             help="machine-readable output")
+    _add_output_flags(list_parser)
     list_parser.set_defaults(func=cmd_list)
 
     def add_common(p, scenario: bool = True):
@@ -461,12 +584,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--set", action="append", metavar="KEY=VALUE",
                        help="override a scenario field (repeatable; "
                             "router.NAME goes to router_params)")
-        p.add_argument("--json", action="store_true",
-                       help="machine-readable output")
+        _add_output_flags(p)
 
     run_parser = sub.add_parser(
         "run", help="run one scenario, averaged over seeds")
     add_common(run_parser)
+    run_parser.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="results store: serve already-recorded seeds from it, append "
+             "fresh ones (see docs/results-store.md)")
     run_parser.add_argument(
         "--checkpoint-every", type=float, default=None, metavar="SECONDS",
         help="snapshot the world every SECONDS of simulated time (single "
@@ -487,15 +613,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", action="append", required=True, metavar="KEY=V1,V2,...",
         help="one grid axis (repeatable; crossed as a Cartesian product)")
     sweep_parser.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="results store: skip cells already in it, append fresh cells "
+             "as they complete — an interrupted sweep resumes for free")
+    sweep_parser.add_argument(
         "--resume", default=None, metavar="FILE",
         help="fork every cell from a warmed-up snapshot (sim_time axis only)")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     figure_parser = sub.add_parser(
-        "figure", help="regenerate a paper figure or ablation")
-    figure_parser.add_argument("figure", choices=FIGURE_NAMES,
+        "figure", help="regenerate paper figures / ablations")
+    figure_parser.add_argument("figure", choices=FIGURE_NAMES + ("all",),
                                metavar="FIGURE",
-                               help=f"one of: {', '.join(FIGURE_NAMES)}")
+                               help=f"one of: {', '.join(FIGURE_NAMES)}, all")
     figure_parser.add_argument("--scale", choices=("bench", "paper"),
                                default="bench",
                                help="base scenario scale (default: bench)")
@@ -511,11 +641,40 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="P1,P2,...",
                                help="protocols for fig2")
     figure_parser.add_argument("--values", default=None, metavar="V1,V2,...",
-                               help="sweep values for the ablations")
-    figure_parser.add_argument("--output", default=None, metavar="FILE",
-                               help="also write the figure JSON to FILE")
+                               help="sweep values for a single ablation "
+                                    "(ignored by 'all': each ablation keeps "
+                                    "its defaults)")
+    figure_parser.add_argument("--store", "--from-store", dest="store",
+                               default=None, metavar="FILE",
+                               help="render from a results store, simulating "
+                                    "only the missing cells (--from-store is "
+                                    "an alias)")
     add_common(figure_parser, scenario=False)
     figure_parser.set_defaults(func=cmd_figure)
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve queued run requests from a spool directory")
+    serve_parser.add_argument("spool", metavar="SPOOL_DIR",
+                              help="directory watched for *.json run "
+                                   "requests (see docs/results-store.md)")
+    serve_parser.add_argument("--store", required=True, metavar="FILE",
+                              help="results store every cell resolves "
+                                   "through")
+    serve_parser.add_argument("--once", action="store_true",
+                              help="drain the queued requests, then exit "
+                                   "(default: keep polling)")
+    serve_parser.add_argument("--poll", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="idle poll interval (default: 2.0)")
+    serve_parser.add_argument("--max-requests", type=int, default=None,
+                              metavar="N",
+                              help="stop after N processed requests")
+    serve_parser.add_argument("--backend", choices=("serial", "process"),
+                              default=None,
+                              help="execution backend per request "
+                                   "(default: serial)")
+    _add_output_flags(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
 
     bench_parser = sub.add_parser(
         "bench", help="run the paired performance benchmarks")
@@ -523,12 +682,10 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="benchmark scale (default: quick)")
     bench_parser.add_argument("--quick", action="store_true",
-                              help="shorthand for --scale quick (rejected "
-                                   "alongside a different --scale)")
+                              help="deprecated spelling of --scale quick "
+                                   "(warns and forwards)")
     bench_parser.add_argument("--seed", type=int, default=1,
                               help="workload seed (default: 1)")
-    bench_parser.add_argument("--output", default=None, metavar="FILE",
-                              help="write the BENCH JSON payload to FILE")
     bench_parser.add_argument("--compare", default=None, metavar="FILE",
                               help="fail when a paired speedup regresses vs "
                                    "a committed BENCH_*.json")
@@ -536,8 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="FRACTION",
                               help="allowed speedup drop for --compare "
                                    "(default: 0.25)")
-    bench_parser.add_argument("--json", action="store_true",
-                              help="machine-readable output")
+    _add_output_flags(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
     return parser
 
@@ -548,7 +704,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (KeyError, ValueError, TypeError, OSError, CheckpointError) as error:
+    except (KeyError, ValueError, TypeError, OSError, CheckpointError,
+            StoreError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2

@@ -16,14 +16,16 @@ from repro.experiments.backend import (
     resolve_backend,
 )
 from repro.experiments.builder import build_scenario, BuiltScenario
+from repro.experiments.results import AveragedResult, SweepPoint
 from repro.experiments.runner import (
     run_scenario,
     run_averaged,
     run_many_averaged,
-    AveragedResult,
 )
-from repro.experiments.sweep import sweep, SweepPoint
+from repro.experiments.sweep import sweep, sweep_grid
 from repro.experiments.figures import (
+    figure,
+    figure_set,
     figure2_comparison,
     figure3_lambda_eer,
     figure4_lambda_cr,
@@ -31,6 +33,7 @@ from repro.experiments.figures import (
     ablation_ttl,
     ablation_buffer,
     FigureResult,
+    FIGURE_NAMES,
 )
 from repro.experiments.tables import (
     format_series_table,
@@ -59,7 +62,11 @@ __all__ = [
     "ProcessPoolBackend",
     "resolve_backend",
     "sweep",
+    "sweep_grid",
     "SweepPoint",
+    "figure",
+    "figure_set",
+    "FIGURE_NAMES",
     "figure2_comparison",
     "figure3_lambda_eer",
     "figure4_lambda_cr",

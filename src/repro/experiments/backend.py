@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -41,6 +41,18 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply *fn* to every item, returning results in input order."""
+
+    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        """Like :meth:`map`, but yield results (still in input order) as
+        they become available.
+
+        The store-backed experiment drivers consume this so every finished
+        cell is persisted the moment it completes — a crashed sweep keeps
+        everything already computed.  The default delegates to :meth:`map`
+        (all results at once); backends override it with a genuinely
+        incremental implementation where they can.
+        """
+        return iter(self.map(fn, items))
 
     def close(self) -> None:
         """Release any held workers (idempotent)."""
@@ -62,6 +74,9 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
+
+    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        return (fn(item) for item in items)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -99,6 +114,14 @@ class ProcessPoolBackend(ExecutionBackend):
         executor = self._ensure_executor()
         chunksize = max(1, len(items) // (4 * (self.max_workers or os.cpu_count() or 1)))
         return list(executor.map(fn, items, chunksize=chunksize))
+
+    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return (fn(item) for item in items)
+        # chunksize 1: executor.map yields each result as its run finishes
+        # (in input order), so the consumer can persist cells incrementally
+        return iter(self._ensure_executor().map(fn, items, chunksize=1))
 
     def close(self) -> None:
         if self._executor is not None:

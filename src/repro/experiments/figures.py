@@ -107,7 +107,8 @@ def figure2_comparison(node_counts: Sequence[int] = (40, 80, 120),
                        seeds: Sequence[int] = (1,),
                        base: Optional[ScenarioConfig] = None,
                        copies: int = 10,
-                       backend: BackendLike = None) -> FigureResult:
+                       backend: BackendLike = None, *, store=None,
+                       progress=None) -> FigureResult:
     """Figure 2: protocol comparison vs. number of nodes.
 
     Delivery ratio (a), latency (b) and goodput (c) for EER, CR and the four
@@ -143,7 +144,8 @@ def figure2_comparison(node_counts: Sequence[int] = (40, 80, 120),
     configs = [config.with_overrides(protocol=protocol, num_nodes=int(n),
                                      message_copies=copies)
                for protocol, n in points]
-    results = run_many_averaged(configs, seeds, backend=backend)
+    results = run_many_averaged(configs, seeds, backend=backend,
+                                store=store, progress=progress)
     for (protocol, n), result in zip(points, results):
         _record_run(figure, protocol, float(n), result)
     return figure
@@ -153,7 +155,8 @@ def figure2_comparison(node_counts: Sequence[int] = (40, 80, 120),
 def _lambda_sweep(figure_id: str, protocol: str, node_counts: Sequence[int],
                   lambdas: Sequence[int], seeds: Sequence[int],
                   base: Optional[ScenarioConfig],
-                  backend: BackendLike = None) -> FigureResult:
+                  backend: BackendLike = None, store=None,
+                  progress=None) -> FigureResult:
     config = _base_config(base)
     figure = FigureResult(figure_id,
                           f"Effect of lambda on {protocol.upper()}", "num_nodes")
@@ -161,7 +164,8 @@ def _lambda_sweep(figure_id: str, protocol: str, node_counts: Sequence[int],
     configs = [config.with_overrides(protocol=protocol, num_nodes=int(n),
                                      message_copies=int(lam))
                for lam, n in points]
-    results = run_many_averaged(configs, seeds, backend=backend)
+    results = run_many_averaged(configs, seeds, backend=backend,
+                                store=store, progress=progress)
     for (lam, n), result in zip(points, results):
         _record_run(figure, f"lambda={lam}", float(n), result)
     return figure
@@ -171,7 +175,8 @@ def figure3_lambda_eer(node_counts: Sequence[int] = (40, 80, 120),
                        lambdas: Sequence[int] = (6, 8, 10, 12),
                        seeds: Sequence[int] = (1,),
                        base: Optional[ScenarioConfig] = None,
-                       backend: BackendLike = None) -> FigureResult:
+                       backend: BackendLike = None, *, store=None,
+                       progress=None) -> FigureResult:
     """Figure 3: effect of the initial replica count lambda on EER.
 
     Parameters
@@ -188,14 +193,15 @@ def figure3_lambda_eer(node_counts: Sequence[int] = (40, 80, 120),
     FigureResult
     """
     return _lambda_sweep("fig3", "eer", node_counts, lambdas, seeds, base,
-                         backend=backend)
+                         backend=backend, store=store, progress=progress)
 
 
 def figure4_lambda_cr(node_counts: Sequence[int] = (40, 80, 120),
                       lambdas: Sequence[int] = (6, 8, 10, 12),
                       seeds: Sequence[int] = (1,),
                       base: Optional[ScenarioConfig] = None,
-                      backend: BackendLike = None) -> FigureResult:
+                      backend: BackendLike = None, *, store=None,
+                      progress=None) -> FigureResult:
     """Figure 4: effect of the initial replica count lambda on CR.
 
     Parameters
@@ -212,7 +218,7 @@ def figure4_lambda_cr(node_counts: Sequence[int] = (40, 80, 120),
     FigureResult
     """
     return _lambda_sweep("fig4", "cr", node_counts, lambdas, seeds, base,
-                         backend=backend)
+                         backend=backend, store=store, progress=progress)
 
 
 # ------------------------------------------------------------------------- Ablations
@@ -220,7 +226,8 @@ def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
                    protocol: str = "eer", num_nodes: int = 60,
                    seeds: Sequence[int] = (1,),
                    base: Optional[ScenarioConfig] = None,
-                   backend: BackendLike = None) -> FigureResult:
+                   backend: BackendLike = None, *, store=None,
+                   progress=None) -> FigureResult:
     """Ablation A1: effect of the horizon scaling parameter alpha.
 
     The paper fixes alpha = 0.28 "indicated to be a reasonable value from the
@@ -248,7 +255,8 @@ def ablation_alpha(alphas: Sequence[float] = (0.1, 0.28, 0.5, 1.0),
         protocol=protocol, num_nodes=num_nodes,
         router_params={**config.router_params, "alpha": float(alpha)})
         for alpha in alphas]
-    results = run_many_averaged(configs, seeds, backend=backend)
+    results = run_many_averaged(configs, seeds, backend=backend,
+                                store=store, progress=progress)
     for alpha, result in zip(alphas, results):
         _record_run(figure, protocol, float(alpha), result)
     return figure
@@ -258,7 +266,8 @@ def ablation_ttl(ttls: Sequence[float] = (300.0, 600.0, 1200.0, 2400.0),
                  protocol: str = "eer", num_nodes: int = 60,
                  seeds: Sequence[int] = (1,),
                  base: Optional[ScenarioConfig] = None,
-                 backend: BackendLike = None) -> FigureResult:
+                 backend: BackendLike = None, *, store=None,
+                 progress=None) -> FigureResult:
     """Ablation A2: effect of the message TTL.
 
     Parameters
@@ -277,7 +286,8 @@ def ablation_ttl(ttls: Sequence[float] = (300.0, 600.0, 1200.0, 2400.0),
                           "ttl_seconds")
     configs = [config.with_overrides(protocol=protocol, num_nodes=num_nodes,
                                      message_ttl=float(ttl)) for ttl in ttls]
-    results = run_many_averaged(configs, seeds, backend=backend)
+    results = run_many_averaged(configs, seeds, backend=backend,
+                                store=store, progress=progress)
     for ttl, result in zip(ttls, results):
         _record_run(figure, protocol, float(ttl), result)
     return figure
@@ -288,7 +298,8 @@ def ablation_buffer(buffers: Sequence[float] = (256 * 1024, 512 * 1024,
                     protocol: str = "eer", num_nodes: int = 60,
                     seeds: Sequence[int] = (1,),
                     base: Optional[ScenarioConfig] = None,
-                    backend: BackendLike = None) -> FigureResult:
+                    backend: BackendLike = None, *, store=None,
+                    progress=None) -> FigureResult:
     """Ablation A3: effect of the per-node buffer capacity.
 
     Parameters
@@ -308,7 +319,67 @@ def ablation_buffer(buffers: Sequence[float] = (256 * 1024, 512 * 1024,
     configs = [config.with_overrides(protocol=protocol, num_nodes=num_nodes,
                                      buffer_capacity=float(capacity))
                for capacity in buffers]
-    results = run_many_averaged(configs, seeds, backend=backend)
+    results = run_many_averaged(configs, seeds, backend=backend,
+                                store=store, progress=progress)
     for capacity, result in zip(buffers, results):
         _record_run(figure, protocol, float(capacity), result)
     return figure
+
+
+# ------------------------------------------------------------------ dispatch
+#: every renderable figure/ablation, in presentation order (the CLI's
+#: ``figure`` choices; ``figure_set`` renders them all)
+FIGURE_NAMES: Tuple[str, ...] = (
+    "fig2", "fig3", "fig4",
+    "ablation-alpha", "ablation-ttl", "ablation-buffer")
+
+_DRIVERS = {
+    "fig2": figure2_comparison,
+    "fig3": figure3_lambda_eer,
+    "fig4": figure4_lambda_cr,
+    "ablation-alpha": ablation_alpha,
+    "ablation-ttl": ablation_ttl,
+    "ablation-buffer": ablation_buffer,
+}
+
+
+def figure(name: str, *, seeds: Sequence[int] = (1,),
+           base: Optional[ScenarioConfig] = None,
+           backend: BackendLike = None, store=None, progress=None,
+           **kwargs) -> FigureResult:
+    """Render one figure/ablation by name (the ``repro.api`` entry point).
+
+    Parameters
+    ----------
+    name:
+        One of :data:`FIGURE_NAMES`.
+    seeds, base, backend, store, progress:
+        Shared driver parameters; with a *store* every already-recorded cell
+        renders without simulating.
+    kwargs:
+        Driver-specific knobs (``node_counts``/``protocols`` for fig2,
+        ``lambdas`` for fig3/fig4, ``alphas``/``ttls``/``buffers`` for the
+        ablations), forwarded verbatim.
+    """
+    try:
+        driver = _DRIVERS[name]
+    except KeyError:
+        raise KeyError(f"unknown figure {name!r}; known: "
+                       f"{', '.join(FIGURE_NAMES)}") from None
+    return driver(seeds=seeds, base=base, backend=backend, store=store,
+                  progress=progress, **kwargs)
+
+
+def figure_set(names: Sequence[str] = FIGURE_NAMES, *,
+               seeds: Sequence[int] = (1,),
+               base: Optional[ScenarioConfig] = None,
+               backend: BackendLike = None, store=None,
+               progress=None) -> Dict[str, FigureResult]:
+    """Render every named figure (default: all of them), in order.
+
+    With a populated results store this regenerates the whole paper figure
+    set without running a single simulation — the "one cheap command"
+    behind ``repro figure all --from-store`` and its CI artifact.
+    """
+    return {name: figure(name, seeds=seeds, base=base, backend=backend,
+                         store=store, progress=progress) for name in names}

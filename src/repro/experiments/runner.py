@@ -11,16 +11,30 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+import time
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.backend import BackendLike, resolve_backend
 from repro.experiments.builder import build_scenario
+from repro.experiments.results import AveragedResult as _AveragedResult
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.collector import StatsCollector
 from repro.metrics.reports import SimulationReport, build_report
+
+#: progress callback: receives one dict per resolved cell (see
+#: run_many_averaged's ``progress`` parameter)
+ProgressCallback = Callable[[Dict[str, object]], None]
+
+
+def __getattr__(name: str):
+    if name == "AveragedResult":
+        warnings.warn(
+            "importing AveragedResult from repro.experiments.runner is "
+            "deprecated; import it from repro.experiments (or repro.api)",
+            DeprecationWarning, stacklevel=2)
+        return _AveragedResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def finalize_report(stats: StatsCollector,
@@ -148,61 +162,80 @@ def resume_scenario(
     return finalize_report(world.stats, config), config, written
 
 
-@dataclass
-class AveragedResult:
-    """Mean metrics over several seeds of the same scenario."""
+def _timed_run(config: ScenarioConfig) -> Tuple[SimulationReport, float]:
+    """Picklable top-level wrapper: one run plus its wall-clock seconds.
 
-    protocol: str
-    num_nodes: int
-    seeds: List[int]
-    reports: List[SimulationReport] = field(default_factory=list)
+    The elapsed time is store provenance only — the report is untouched, so
+    stored and fresh results stay byte-identical.
+    """
+    start = time.perf_counter()
+    report = run_scenario(config)
+    return report, time.perf_counter() - start
 
-    def mean(self, metric: str) -> float:
-        """Mean of *metric* over the seed runs."""
-        values = [report.metric(metric) for report in self.reports]
-        finite = [v for v in values if np.isfinite(v)]
-        if not finite:
-            return float("nan")
-        return float(np.mean(finite))
 
-    def std(self, metric: str) -> float:
-        """Sample standard deviation of *metric* over the seed runs."""
-        values = [report.metric(metric) for report in self.reports]
-        finite = [v for v in values if np.isfinite(v)]
-        if len(finite) < 2:
-            return 0.0
-        return float(np.std(finite, ddof=1))
+def _progress_event(status: str, index: int, total: int,
+                    config: ScenarioConfig) -> Dict[str, object]:
+    return {
+        "event": "cell",
+        "status": status,
+        "index": index,
+        "total": total,
+        "scenario": config.name,
+        "protocol": config.protocol,
+        "seed": config.seed,
+        "config_hash": config.config_hash(),
+    }
 
-    def as_dict(self) -> Dict[str, object]:
-        """JSON-friendly summary (means of the headline metrics)."""
-        return {
-            "protocol": self.protocol,
-            "num_nodes": self.num_nodes,
-            "seeds": list(self.seeds),
-            "delivery_ratio": self.mean("delivery_ratio"),
-            "latency": self.mean("average_latency"),
-            "goodput": self.mean("goodput"),
-            "overhead_ratio": self.mean("overhead_ratio"),
-            "control_rows_exchanged": self.mean("control_rows_exchanged"),
-            "community_detections": self.mean("community_detections"),
-            "community_detection_seconds": self.mean("community_detection_seconds"),
-        }
+
+def _run_with_store(run_configs: Sequence[ScenarioConfig], executor, store,
+                    progress: Optional[ProgressCallback]
+                    ) -> List[SimulationReport]:
+    """Resolve every run config through *store*, computing only the misses.
+
+    Cached cells load without simulating; missing cells fan out over
+    *executor* and are persisted **as each one completes** (the incremental
+    :meth:`~repro.experiments.backend.ExecutionBackend.imap` seam), so an
+    interrupted sweep resumes from exactly the cells it finished.
+    """
+    total = len(run_configs)
+    reports: List[Optional[SimulationReport]] = store.get_many(run_configs)
+    missing = [i for i, report in enumerate(reports) if report is None]
+    if progress is not None:
+        for index, report in enumerate(reports):
+            if report is not None:
+                progress(_progress_event("cached", index, total,
+                                         run_configs[index]))
+    outcomes = executor.imap(_timed_run, [run_configs[i] for i in missing])
+    for index, (report, elapsed) in zip(missing, outcomes):
+        store.put(run_configs[index], report, wall_seconds=elapsed)
+        reports[index] = report
+        if progress is not None:
+            progress(_progress_event("computed", index, total,
+                                     run_configs[index]))
+    return reports  # type: ignore[return-value]
 
 
 def run_averaged(config: ScenarioConfig, seeds: Sequence[int],
-                 backend: BackendLike = None) -> AveragedResult:
+                 backend: BackendLike = None, *, store=None,
+                 progress: Optional[ProgressCallback] = None
+                 ) -> _AveragedResult:
     """Run *config* once per seed and collect the reports.
 
     The paper averages every plotted point over 10 simulation runs; the
     benchmark harness defaults to fewer seeds (see the benchmark modules).
     Seed runs are independent, so they fan out across *backend*; the report
-    list is merged in seed order regardless of completion order.
+    list is merged in seed order regardless of completion order.  With a
+    *store*, already-recorded seeds are served from it instead of rerunning
+    (see :func:`run_many_averaged`).
     """
-    return run_many_averaged([config], seeds, backend=backend)[0]
+    return run_many_averaged([config], seeds, backend=backend, store=store,
+                             progress=progress)[0]
 
 
 def run_many_averaged(configs: Sequence[ScenarioConfig], seeds: Sequence[int],
-                      backend: BackendLike = None) -> List[AveragedResult]:
+                      backend: BackendLike = None, *, store=None,
+                      progress: Optional[ProgressCallback] = None
+                      ) -> List[_AveragedResult]:
     """Run every config × seed combination and average per config.
 
     This is the fan-out point for the figure drivers and sweeps: the full
@@ -210,6 +243,22 @@ def run_many_averaged(configs: Sequence[ScenarioConfig], seeds: Sequence[int],
     order-preserving :meth:`~repro.experiments.backend.ExecutionBackend.map`
     call, then regrouped into one :class:`AveragedResult` per config, in
     config order with reports in seed order — deterministic by construction.
+
+    Parameters
+    ----------
+    configs, seeds, backend:
+        As before (the grid is ``configs × seeds``).
+    store:
+        Optional :class:`repro.store.ResultsStore`.  Every cell already in
+        the store is loaded instead of simulated (exact dedupe on the
+        canonical identity key); every freshly computed cell is appended the
+        moment it finishes, so an interrupted grid resumes for free.  Stored
+        and fresh reports are byte-identical in their canonical form, so the
+        merged results do not depend on which cells were cached.
+    progress:
+        Optional callable receiving one dict per resolved cell
+        (``status`` ``"cached"``/``"computed"``, grid ``index``/``total``
+        and the cell identity); the CLI streams these as progress lines.
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -218,16 +267,19 @@ def run_many_averaged(configs: Sequence[ScenarioConfig], seeds: Sequence[int],
     run_configs = [config.with_overrides(seed=seed)
                    for config in configs for seed in seed_list]
     try:
-        reports = executor.map(run_scenario, run_configs)
+        if store is None:
+            reports = executor.map(run_scenario, run_configs)
+        else:
+            reports = _run_with_store(run_configs, executor, store, progress)
     finally:
         if executor is not backend:
             # we resolved a name/None into a fresh backend: release its
             # workers here instead of leaking them to the garbage collector
             executor.close()
-    results: List[AveragedResult] = []
+    results: List[_AveragedResult] = []
     for index, config in enumerate(configs):
         chunk = reports[index * len(seed_list):(index + 1) * len(seed_list)]
-        results.append(AveragedResult(
+        results.append(_AveragedResult(
             protocol=config.protocol, num_nodes=config.num_nodes,
-            seeds=list(seed_list), reports=list(chunk)))
+            seeds=list(seed_list), reports=list(chunk), config=config))
     return results

@@ -16,7 +16,10 @@ the routing protocol under test.  Two preset factories are provided:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -261,6 +264,61 @@ class ScenarioConfig:
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **overrides)
 
+    # -------------------------------------------------------- canonical identity
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-ready dict of every field, in a normalised form.
+
+        Enums become their values and tuples become lists (recursively), so
+        the payload survives a JSON round trip unchanged.  This is the same
+        normalisation checkpoint manifests embed (see
+        :func:`repro.checkpoint.config_to_payload`).
+        """
+        payload = dataclasses.asdict(self)
+        payload["mobility"] = self.mobility.value
+        return {key: _jsonify(value) for key, value in payload.items()}
+
+    def identity_payload(self) -> Dict[str, object]:
+        """The fields that define this scenario's *physics*, canonically.
+
+        Three normalisations make the result a stable hashing basis:
+
+        * ``name`` and ``seed`` are dropped — they are separate columns of
+          the results-store identity key, not part of the configuration
+          (two labels of the same physics share a hash; every seed of one
+          cell shares a hash).
+        * fields holding their dataclass default are dropped, so a config
+          written before a new default-valued field existed hashes the same
+          as one written after (stores and manifests stay valid across
+          repro versions).
+        * values are JSON-normalised as in :meth:`canonical_payload` and
+          keys are emitted sorted, so field ordering never matters.
+        """
+        defaults = _field_defaults()
+        payload = self.canonical_payload()
+        identity: Dict[str, object] = {}
+        for key in sorted(payload):
+            if key in ("name", "seed"):
+                continue
+            if key in defaults and payload[key] == defaults[key]:
+                continue
+            identity[key] = payload[key]
+        return identity
+
+    def config_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`identity_payload`.
+
+        Stable across field ordering, default-valued fields and JSON round
+        trips; this is the dedupe key of :class:`repro.store.ResultsStore`
+        and the ``config_hash`` field of checkpoint manifests.
+        """
+        data = json.dumps(self.identity_payload(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(data).hexdigest()
+
+    def identity_key(self) -> Tuple[str, str, int, str]:
+        """The results-store identity ``(name, protocol, seed, config_hash)``."""
+        return (self.name, self.protocol, int(self.seed), self.config_hash())
+
     @property
     def effective_traffic_end(self) -> float:
         """When traffic generation stops (defaults to the whole run, as in the
@@ -268,6 +326,33 @@ class ScenarioConfig:
         if self.traffic_end is not None:
             return self.traffic_end
         return self.sim_time
+
+
+def _jsonify(value: object) -> object:
+    """Normalise *value* so it round-trips through JSON unchanged."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    return value
+
+
+_FIELD_DEFAULTS: Optional[Dict[str, object]] = None
+
+
+def _field_defaults() -> Dict[str, object]:
+    """Normalised default value per ScenarioConfig field (memoised).
+
+    Built from a default-constructed instance so ``default_factory`` fields
+    (the parameter dicts) are covered too.  ``__post_init__`` requires no
+    field combination the defaults violate, so plain construction is safe.
+    """
+    global _FIELD_DEFAULTS
+    if _FIELD_DEFAULTS is None:
+        _FIELD_DEFAULTS = ScenarioConfig().canonical_payload()
+    return _FIELD_DEFAULTS
 
 
 def apply_overrides(config: ScenarioConfig,

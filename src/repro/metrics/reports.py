@@ -8,6 +8,7 @@ exchange volume, drops, contacts).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, asdict
 from typing import Dict, Optional
 
@@ -87,6 +88,27 @@ class SimulationReport:
             payload.pop("routers_skipped")
             payload.pop("routers_batched")
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationReport":
+        """Rebuild a report from an :meth:`as_dict` payload.
+
+        Accepts both the canonical payload (timings dropped — what the
+        results store persists) and the ``include_timings=True`` form;
+        missing fields fall back to their dataclass defaults, so payloads
+        written before a field existed still load.
+
+        ``from_dict(json.loads(json.dumps(report.as_dict())))`` reproduces
+        the canonical payload byte for byte — floats survive a JSON round
+        trip exactly — which is what makes store-served sweep results
+        byte-identical to freshly simulated ones.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"report payload has unknown fields: {sorted(unknown)}")
+        return cls(**{key: value for key, value in payload.items()})
 
     def phase_ticks_per_second(self) -> Dict[str, float]:
         """Per-phase throughput (ticks per wall-second), from the timings."""

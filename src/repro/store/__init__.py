@@ -1,0 +1,32 @@
+"""Results store and experiment service.
+
+:mod:`repro.store.results` holds the append-only SQLite results store keyed
+by the canonical ``(scenario_name, protocol, seed, config_hash)`` identity;
+:mod:`repro.store.service` turns a spool directory of queued run requests
+into a job queue draining into one store (``repro serve``).  See
+``docs/results-store.md``.
+"""
+
+from repro.store.results import (
+    SCHEMA_VERSION,
+    ResultsStore,
+    StoreError,
+    canonical_report_json,
+    open_store,
+)
+from repro.store.service import (
+    RunRequest,
+    process_request,
+    serve,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultsStore",
+    "StoreError",
+    "canonical_report_json",
+    "open_store",
+    "RunRequest",
+    "process_request",
+    "serve",
+]

@@ -1,0 +1,247 @@
+"""The experiment service: queued run requests against one results store.
+
+``repro serve SPOOL --store PATH`` turns the experiment layer into a small
+job-queue worker: JSON request files dropped into a *spool directory* are
+picked up (oldest name first), executed cell by cell against the shared
+results store, and answered with a result file — with one progress line
+streamed per resolved cell.  Because every cell goes through the store,
+requests dedupe against each other and against past sweeps: re-queueing a
+finished request costs nothing, and a worker killed mid-grid resumes from
+exactly the cells it completed.
+
+Request file format (``<spool>/<name>.json``)::
+
+    {
+      "scenario":  "bench",              # catalog name (required)
+      "overrides": {"sim_time": 600},    # optional, --set semantics
+      "seeds":     [1, 2, 3],            # optional, default [1]
+      "grid":      {"message_copies": [4, 8]}   # optional: makes it a sweep
+    }
+
+Lifecycle: a processed request moves to ``<spool>/done/`` next to a
+``<name>.result.json`` payload; a failed one moves to ``<spool>/failed/``
+next to a ``<name>.error.json``.  Files are claimed by renaming into
+``<spool>/work/`` first, so several workers can drain one spool without
+double-running a request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.backend import BackendLike
+from repro.experiments.catalog import make_scenario
+from repro.experiments.runner import run_many_averaged
+from repro.experiments.scenario import ScenarioConfig, apply_overrides
+from repro.experiments.sweep import sweep_grid
+from repro.store.results import ResultsStore
+
+#: an emit callback: one dict per event (progress line / request lifecycle)
+EmitCallback = Callable[[Dict[str, object]], None]
+
+
+@dataclass
+class RunRequest:
+    """One queued request: a scenario, overrides, seeds and optional grid."""
+
+    request_id: str
+    scenario: str
+    overrides: Dict[str, object] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [1])
+    grid: Optional[Dict[str, List[object]]] = None
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object], *,
+                     request_id: str) -> "RunRequest":
+        """Validate and build a request from a spool file's JSON payload."""
+        if not isinstance(payload, dict):
+            raise ValueError("request payload must be a JSON object")
+        unknown = set(payload) - {"scenario", "overrides", "seeds", "grid",
+                                  "id"}
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        scenario = payload.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise ValueError("request needs a 'scenario' catalog name")
+        seeds = payload.get("seeds", [1])
+        if (not isinstance(seeds, list) or not seeds
+                or not all(isinstance(seed, int) for seed in seeds)):
+            raise ValueError("'seeds' must be a non-empty list of ints")
+        overrides = payload.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ValueError("'overrides' must be an object")
+        grid = payload.get("grid")
+        if grid is not None and (
+                not isinstance(grid, dict)
+                or not all(isinstance(values, list) and values
+                           for values in grid.values())):
+            raise ValueError("'grid' must map fields to non-empty lists")
+        return cls(request_id=str(payload.get("id", request_id)),
+                   scenario=scenario, overrides=dict(overrides),
+                   seeds=list(seeds), grid=grid)
+
+    def base_config(self) -> ScenarioConfig:
+        """The request's base scenario with its overrides applied."""
+        return make_scenario(self.scenario, self.overrides)
+
+    def cell_configs(self) -> List[ScenarioConfig]:
+        """Every grid cell's config (one, for a plain run), seeds excluded."""
+        base = self.base_config()
+        if self.grid is None:
+            return [base]
+        return [apply_overrides(base, overrides)
+                for overrides in sweep_grid(base, self.grid)]
+
+
+def process_request(request: RunRequest, store: ResultsStore, *,
+                    backend: BackendLike = None,
+                    emit: Optional[EmitCallback] = None) -> Dict[str, object]:
+    """Execute one request against *store*; returns the result payload.
+
+    Every config × seed cell resolves through the store (cached cells are
+    served, missing ones simulated and appended as they finish); *emit*
+    receives one progress event per cell, tagged with the request id.
+    """
+    counts = {"cached": 0, "computed": 0}
+
+    def progress(event: Dict[str, object]) -> None:
+        counts[str(event["status"])] += 1
+        if emit is not None:
+            emit({"request": request.request_id, **event})
+
+    results = run_many_averaged(request.cell_configs(), request.seeds,
+                                backend=backend, store=store,
+                                progress=progress)
+    if request.grid is None:
+        points = [{"overrides": {}, "summary": results[0].as_dict()}]
+    else:
+        points = [{"overrides": overrides, "summary": result.as_dict()}
+                  for overrides, result in
+                  zip(sweep_grid(request.base_config(), request.grid),
+                      results)]
+    return {
+        "request": request.request_id,
+        "scenario": request.scenario,
+        "seeds": list(request.seeds),
+        "grid": request.grid,
+        "cells_cached": counts["cached"],
+        "cells_computed": counts["computed"],
+        "points": points,
+    }
+
+
+def _spool_requests(spool: str) -> List[str]:
+    """Unclaimed request files in the spool root, oldest name first."""
+    try:
+        names = os.listdir(spool)
+    except FileNotFoundError:
+        raise ValueError(f"spool directory {spool!r} does not exist") from None
+    return sorted(name for name in names
+                  if name.endswith(".json")
+                  and os.path.isfile(os.path.join(spool, name)))
+
+
+def _claim(spool: str, name: str) -> Optional[str]:
+    """Atomically move a request into ``work/``; None if another worker won."""
+    os.makedirs(os.path.join(spool, "work"), exist_ok=True)
+    claimed = os.path.join(spool, "work", name)
+    try:
+        os.rename(os.path.join(spool, name), claimed)
+    except (FileNotFoundError, PermissionError):
+        return None
+    return claimed
+
+
+def _finish(spool: str, claimed: str, outcome: str,
+            payload: Dict[str, object]) -> None:
+    """Move a claimed request to ``done/``/``failed/`` with its payload."""
+    name = os.path.basename(claimed)
+    directory = os.path.join(spool, outcome)
+    os.makedirs(directory, exist_ok=True)
+    stem = name[:-len(".json")]
+    suffix = "result" if outcome == "done" else "error"
+    with open(os.path.join(directory, f"{stem}.{suffix}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(claimed, os.path.join(directory, name))
+
+
+def serve(spool: str, store: ResultsStore, *, once: bool = False,
+          poll: float = 2.0, backend: BackendLike = None,
+          emit: Optional[EmitCallback] = None,
+          max_requests: Optional[int] = None) -> Dict[str, object]:
+    """Drain (and optionally keep watching) a spool of run requests.
+
+    Parameters
+    ----------
+    spool:
+        Spool directory; ``*.json`` files in its root are requests.
+    store:
+        The shared results store every cell resolves through.
+    once:
+        Drain the requests currently queued, then return (the CI/test
+        mode).  Otherwise poll every *poll* seconds until interrupted.
+    backend:
+        Execution backend for each request's cells.
+    emit:
+        Receives per-cell progress events and per-request lifecycle events
+        (``event: "request"`` with ``status`` ``"done"``/``"failed"``).
+    max_requests:
+        Stop after this many processed requests (mainly for tests).
+
+    Returns the service summary (requests processed/failed, cell counts).
+    """
+    if poll <= 0:
+        raise ValueError("poll interval must be positive")
+    summary = {"requests_done": 0, "requests_failed": 0,
+               "cells_cached": 0, "cells_computed": 0}
+
+    def finished() -> bool:
+        total = summary["requests_done"] + summary["requests_failed"]
+        return max_requests is not None and total >= max_requests
+
+    try:
+        while True:
+            names = _spool_requests(spool)
+            for name in names:
+                if finished():
+                    return summary
+                claimed = _claim(spool, name)
+                if claimed is None:
+                    continue
+                try:
+                    with open(claimed) as handle:
+                        payload = json.load(handle)
+                    request = RunRequest.from_payload(
+                        payload, request_id=name[:-len(".json")])
+                    result = process_request(request, store, backend=backend,
+                                             emit=emit)
+                except (KeyError, ValueError, TypeError,
+                        json.JSONDecodeError) as error:
+                    summary["requests_failed"] += 1
+                    message = error.args[0] if error.args else str(error)
+                    _finish(spool, claimed, "failed",
+                            {"request": name[:-len(".json")],
+                             "error": str(message)})
+                    if emit is not None:
+                        emit({"event": "request", "status": "failed",
+                              "request": name[:-len(".json")],
+                              "error": str(message)})
+                else:
+                    summary["requests_done"] += 1
+                    summary["cells_cached"] += int(result["cells_cached"])
+                    summary["cells_computed"] += int(result["cells_computed"])
+                    _finish(spool, claimed, "done", result)
+                    if emit is not None:
+                        emit({"event": "request", "status": "done",
+                              "request": request.request_id,
+                              "cells_cached": result["cells_cached"],
+                              "cells_computed": result["cells_computed"]})
+            if once or finished():
+                return summary
+            time.sleep(poll)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode only
+        return summary

@@ -114,3 +114,21 @@ def test_cli_bench_fails_on_regression(tmp_path, smoke_payload, monkeypatch,
 def test_unknown_scale_rejected():
     with pytest.raises(KeyError):
         bench.run_benchmarks(scale_name="galactic")
+
+
+def test_cli_bench_quick_is_a_deprecated_spelling(smoke_payload, monkeypatch,
+                                                  capsys):
+    seen = {}
+
+    def record(scale_name, seed):
+        seen["scale"] = scale_name
+        return dict(smoke_payload)
+
+    monkeypatch.setattr(bench, "run_benchmarks", record)
+    assert main(["bench", "--quick"]) == 0
+    captured = capsys.readouterr()
+    assert "deprecated" in captured.err
+    assert seen["scale"] == "quick"  # warns, then forwards to --scale quick
+    # contradictory spellings are still rejected
+    assert main(["bench", "--quick", "--scale", "smoke"]) == 2
+    assert "contradicts" in capsys.readouterr().err

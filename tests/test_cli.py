@@ -215,3 +215,151 @@ def test_figure_json_smoke(capsys, tmp_path):
     assert payload["figure_id"] == "fig3"
     assert "delivery_ratio" in payload["metrics"]
     assert json.loads(output.read_text()) == payload
+
+
+# ------------------------------------------------------------ uniform output
+def test_every_subcommand_has_uniform_output_flags():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, __import__("argparse")
+                                    ._SubParsersAction))
+    for name, sub in subparsers.choices.items():
+        flags = {option for action in sub._actions
+                 for option in action.option_strings}
+        assert "--json" in flags, name
+        assert "--output" in flags, name
+
+
+def test_list_and_run_write_output_files(capsys, tmp_path):
+    listed = tmp_path / "list.json"
+    assert main(["list", "--output", str(listed)]) == 0
+    captured = capsys.readouterr()
+    assert f"wrote {listed}" in captured.err
+    assert "Scenarios" in captured.out  # human text still renders
+    assert "bench" in [s["name"] for s in
+                       json.loads(listed.read_text())["scenarios"]]
+
+    ran = tmp_path / "run.json"
+    assert main(["run", "trace-csv", "--seeds", "1", "--set", "sim_time=400",
+                 "--json", "--output", str(ran)]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(ran.read_text()) == json.loads(captured.out)
+
+
+# ------------------------------------------------------------- results store
+def test_sweep_store_dedupes_and_merges_byte_identically(capsys, tmp_path):
+    store = tmp_path / "results.sqlite"
+    first_out = tmp_path / "first.json"
+    second_out = tmp_path / "second.json"
+    args = ["sweep", "trace-csv", "--seeds", "1,2", "--set", "sim_time=400",
+            "--grid", "message_copies=2,6", "--store", str(store)]
+
+    assert main(args + ["--output", str(first_out)]) == 0
+    err = capsys.readouterr().err
+    assert "store: reused 0 cells, computed 4" in err
+    assert err.count("cell ") == 4
+
+    assert main(args + ["--output", str(second_out)]) == 0
+    err = capsys.readouterr().err
+    assert "store: reused 4 cells, computed 0" in err
+    # the merged grid is byte-identical to the freshly computed one
+    assert first_out.read_bytes() == second_out.read_bytes()
+
+
+def test_run_store_serves_recorded_seeds(capsys, tmp_path):
+    store = tmp_path / "results.sqlite"
+    args = ["run", "trace-csv", "--seeds", "1", "--set", "sim_time=400",
+            "--store", str(store), "--json"]
+    assert main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert "reused 1 cells, computed 0" in captured.err
+    assert json.loads(captured.out)["summary"] == first["summary"]
+
+
+def test_store_does_not_combine_with_checkpoints(capsys, tmp_path):
+    store = str(tmp_path / "r.sqlite")
+    code = main(["run", "trace-csv", "--store", store,
+                 "--checkpoint-every", "100"])
+    assert code == 2
+    assert "--store" in capsys.readouterr().err
+    code = main(["sweep", "trace-csv", "--store", store,
+                 "--resume", "x.ckpt", "--grid", "sim_time=100,200"])
+    assert code == 2
+    assert "--store" in capsys.readouterr().err
+
+
+def test_figure_from_store_does_not_simulate(capsys, tmp_path, monkeypatch):
+    store = tmp_path / "results.sqlite"
+    args = ["figure", "fig3", "--nodes", "8", "--lambdas", "2",
+            "--seeds", "1", "--set", "sim_time=200", "--json"]
+    assert main(args + ["--store", str(store)]) == 0
+    first = json.loads(capsys.readouterr().out)
+
+    # with every cell stored, rendering must not touch the simulator
+    def boom(config):
+        raise AssertionError("simulated a stored cell")
+
+    monkeypatch.setattr("repro.experiments.runner.run_scenario", boom)
+    assert main(args + ["--from-store", str(store)]) == 0
+    captured = capsys.readouterr()
+    assert "reused 1 cells, computed 0" in captured.err
+    assert json.loads(captured.out) == first
+
+
+def test_figure_all_renders_every_figure(capsys, tmp_path):
+    from repro.experiments.figures import FIGURE_NAMES
+
+    store = tmp_path / "results.sqlite"
+    code = main(["figure", "all", "--nodes", "8", "--lambdas", "2",
+                 "--protocols", "epidemic,direct", "--seeds", "1",
+                 "--set", "sim_time=100", "--store", str(store), "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["figures"]) == set(FIGURE_NAMES)
+    for name, figure in payload["figures"].items():
+        assert figure["figure_id"] == name
+
+
+# -------------------------------------------------------------------- serve
+def test_serve_once_cli(capsys, tmp_path):
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    (spool / "req.json").write_text(json.dumps(
+        {"scenario": "trace-csv", "overrides": {"sim_time": 400},
+         "seeds": [1]}))
+    store = tmp_path / "results.sqlite"
+    summary_file = tmp_path / "summary.json"
+    code = main(["serve", str(spool), "--store", str(store), "--once",
+                 "--output", str(summary_file)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "cell 1/1 computed" in captured.out
+    assert "serve: 1 done, 0 failed" in captured.out
+    summary = json.loads(summary_file.read_text())
+    assert summary["requests_done"] == 1
+    assert summary["cells_computed"] == 1
+    assert (spool / "done" / "req.result.json").exists()
+
+    # re-queueing the finished request costs nothing: served from the store
+    (spool / "req2.json").write_text(json.dumps(
+        {"scenario": "trace-csv", "overrides": {"sim_time": 400},
+         "seeds": [1]}))
+    code = main(["serve", str(spool), "--store", str(store), "--once",
+                 "--json"])
+    assert code == 0
+    events = [json.loads(line)
+              for line in capsys.readouterr().out.splitlines()]
+    assert events[0]["status"] == "cached"
+    assert events[-1]["event"] == "summary"
+    assert events[-1]["cells_computed"] == 0
+
+
+def test_serve_missing_spool_is_reported(capsys, tmp_path):
+    code = main(["serve", str(tmp_path / "nope"),
+                 "--store", str(tmp_path / "r.sqlite"), "--once"])
+    assert code == 2
+    assert "spool" in capsys.readouterr().err
