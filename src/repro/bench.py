@@ -75,6 +75,7 @@ import json
 import platform
 import sys
 import time
+import zlib
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -100,19 +101,25 @@ SCALES: Dict[str, Dict[str, float]] = {
                   scenario_time=200.0, scenario_repeats=1,
                   detect_nodes=60, detect_contacts=4_000, detect_rounds=3,
                   world_nodes=1_500, world_ticks=15, world_repeats=1,
-                  world100k_nodes=2_000, world100k_ticks=5),
+                  world100k_nodes=2_000, world100k_ticks=5,
+                  traffic_nodes=1_500, traffic_ticks=60, traffic_repeats=1,
+                  traffic_rate=20.0),
     "quick": dict(nodes=1000, encounters=600, memd_every=8, memd_batch=4,
                   buffer_ops=20_000, collector_events=200_000,
                   scenario_time=600.0, scenario_repeats=3,
                   detect_nodes=200, detect_contacts=30_000, detect_rounds=5,
                   world_nodes=10_000, world_ticks=40, world_repeats=3,
-                  world100k_nodes=100_000, world100k_ticks=6),
+                  world100k_nodes=100_000, world100k_ticks=6,
+                  traffic_nodes=10_000, traffic_ticks=60, traffic_repeats=3,
+                  traffic_rate=50.0),
     "full": dict(nodes=1000, encounters=2_400, memd_every=8, memd_batch=4,
                  buffer_ops=100_000, collector_events=1_000_000,
                  scenario_time=2_000.0, scenario_repeats=3,
                  detect_nodes=300, detect_contacts=100_000, detect_rounds=8,
                  world_nodes=10_000, world_ticks=120, world_repeats=3,
-                 world100k_nodes=100_000, world100k_ticks=12),
+                 world100k_nodes=100_000, world100k_ticks=12,
+                 traffic_nodes=10_000, traffic_ticks=180, traffic_repeats=3,
+                 traffic_rate=50.0),
 }
 
 
@@ -364,6 +371,7 @@ def bench_world_tick(scale: Dict[str, float], seed: int, reference: bool,
         overrides["router_skiplist"] = False
         overrides["flat_tick"] = False
         overrides["router_soa"] = False
+        overrides["transfer_engine"] = False
     if extra_overrides:
         overrides.update(extra_overrides)
     config = make_scenario("rwp-10k", overrides)
@@ -440,7 +448,7 @@ def bench_world_tick_100k_run(scale: Dict[str, float],
         if reference:
             overrides.update(detector="kdtree", batch_movement=False,
                              router_skiplist=False, flat_tick=False,
-                             router_soa=False)
+                             router_soa=False, transfer_engine=False)
         config = make_scenario("rwp-100k", overrides)
         built = build_scenario(config)
         start = time.perf_counter()
@@ -487,6 +495,102 @@ def bench_world_tick_100k_run(scale: Dict[str, float],
             if float(reference["ticks_per_s"]) else None),
         "reference_checksums_match":
             current["checksums"] == reference["checksums"],
+    }
+
+
+# ------------------------------------------------------------ transfer churn
+def _records_crc(records, fields) -> int:
+    """Chained CRC-32 over the given *fields* of every record, in order.
+
+    ``repr`` of each field keeps floats exact (``repr(float)`` is the
+    shortest round-tripping form), so a single diverging byte count or
+    completion time anywhere in the run changes the checksum.
+    """
+    crc = 0
+    for record in records:
+        line = ":".join(repr(getattr(record, field)) for field in fields)
+        crc = zlib.crc32(line.encode(), crc)
+    return crc
+
+
+def bench_transfer_churn(scale: Dict[str, float], seed: int,
+                         reference: bool) -> Dict[str, object]:
+    """The ``rwp-10k-traffic`` scenario through one transfers-phase mode.
+
+    Reference: the per-connection ``Connection.advance`` loop over the
+    active set (``transfer_engine=False``; everything else — sharded
+    detection, batched movement, SoA routers — stays current, so the pair
+    isolates the transfers phase).  Current: the columnar
+    :class:`~repro.net.engine.TransferEngine` sweep.  Same seed, and the
+    checksums chain a CRC-32 over every relayed, delivered and aborted
+    record — field-exact completion times and byte counts — so the pair
+    fails if the engine reorders or mistimes a single completion.
+
+    The throughput key is ``transfer_bytes_per_s``: payload bytes moved to
+    completion per wall-second spent in the transfers phase
+    (best-of-repeats, like the other world benchmarks).
+    """
+    overrides: Dict[str, object] = {
+        "num_nodes": int(scale["traffic_nodes"]),
+        "sim_time": float(scale["traffic_ticks"]),
+        # denser arrivals than the catalogued scenario so thousands of
+        # links drain concurrently even over a short benchmark horizon
+        "traffic_rate": float(scale["traffic_rate"]),
+        "seed": seed,
+    }
+    if reference:
+        overrides["transfer_engine"] = False
+    config = make_scenario("rwp-10k-traffic", overrides)
+    seconds = float("inf")
+    best_phases: Dict[str, float] = {}
+    for _ in range(int(scale.get("traffic_repeats", 1))):
+        built = build_scenario(config)
+        start = time.perf_counter()
+        built.run()
+        elapsed = time.perf_counter() - start
+        seconds = min(seconds, elapsed)
+        for name, value in built.stats.tick_phase_seconds.items():
+            if name not in best_phases or value < best_phases[name]:
+                best_phases[name] = value
+        built.world.stop()
+    stats = built.stats
+    world = built.world
+    ticks = max(1, world.updates)
+    transfers_seconds = max(best_phases.get("transfers", 0.0), 1e-9)
+    engine = world.transfer_engine
+    return {
+        "seconds": round(seconds, 4),
+        "ms_per_tick": round(1000.0 * seconds / ticks, 4),
+        "ticks_per_s": round(ticks / seconds, 2),
+        "transfers_phase_seconds": round(transfers_seconds, 4),
+        "transfer_bytes_per_s": round(
+            stats.bytes_delivered / transfers_seconds, 2),
+        "transfers_ticks_per_s": round(ticks / transfers_seconds, 2),
+        "phase_seconds": {name: round(value, 4)
+                          for name, value in sorted(best_phases.items())},
+        "engine_rows_attached": engine.rows_attached if engine else None,
+        "engine_rows_completed": engine.rows_completed if engine else None,
+        "ticks": ticks,
+        "checksums": {
+            "created": stats.created,
+            "delivered": stats.delivered,
+            "relayed": stats.relayed,
+            "dropped": stats.dropped,
+            "transfers_completed": stats.transfers_completed,
+            "transfers_aborted": stats.transfers_aborted,
+            "bytes_delivered": stats.bytes_delivered,
+            "delivery_ratio": stats.delivery_ratio,
+            "average_latency": stats.average_latency,
+            "relayed_crc": _records_crc(
+                stats.relayed_records,
+                ("message_id", "from_node", "to_node", "time", "copies")),
+            "delivered_crc": _records_crc(
+                stats.delivered_records,
+                ("message_id", "source", "destination", "delivered_at")),
+            "aborted_crc": _records_crc(
+                stats.aborted_records,
+                ("message_id", "from_node", "to_node", "time", "bytes_left")),
+        },
     }
 
 
@@ -677,6 +781,22 @@ def run_benchmarks(scale_name: str = "quick", seed: int = 1) -> Dict[str, object
         "detect_ticks_per_s",
         {"scenario": "rwp-10k", "nodes": int(scale["world_nodes"]),
          "ticks": int(scale["world_ticks"])})
+
+    # the transfers phase isolated: the rwp-10k-traffic workload (Poisson
+    # arrivals, 1 MiB payloads over a slow radio keep thousands of links
+    # draining at once) with only the columnar TransferEngine toggled;
+    # gated on payload bytes completed per wall-second of transfers phase.
+    # The CRC checksums chain every relayed/delivered/aborted record, so
+    # the pair also pins completion order and byte accounting
+    benchmarks["transfer_churn"] = _paired(
+        "transfer_churn",
+        bench_transfer_churn(scale, seed, reference=True),
+        bench_transfer_churn(scale, seed, reference=False),
+        "transfer_bytes_per_s",
+        {"scenario": "rwp-10k-traffic", "nodes": int(scale["traffic_nodes"]),
+         "ticks": int(scale["traffic_ticks"]),
+         "traffic_rate": float(scale["traffic_rate"]),
+         "baseline": "transfer_engine=False (per-connection advance loop)"})
 
     # the routers phase isolated: the same 10k scenario with only the SoA
     # sweep disabled (per-router skip-scan baseline; sharded detection,

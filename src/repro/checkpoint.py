@@ -3,7 +3,9 @@
 A checkpoint captures the *entire* reachable simulation state rooted at the
 :class:`~repro.world.world.World` — positions, movement mirrors, connectivity
 caches, live connections, router state, buffers, contact histories, community
-caches, RNG streams, the event queue and the in-flight stats collector — so a
+caches, RNG streams, the event queue, the in-flight stats collector and the
+columnar transfer engine (its rows pickle keyed by ``established_seq``, so
+mid-transfer byte counts and connection wiring survive a round trip) — so a
 long-horizon run can stop at any tick boundary and resume later (in the same
 or a fresh process) with **byte-identical** final reports.  The contract is
 pinned by the resume-equality harness in :mod:`repro.testing` and documented

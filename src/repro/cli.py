@@ -327,6 +327,15 @@ def cmd_run(args) -> int:
               f"ticked {sum(r.routers_ticked for r in result.reports) / runs:,.0f}  "
               f"skipped {sum(r.routers_skipped for r in result.reports) / runs:,.0f}  "
               f"batched {sum(r.routers_batched for r in result.reports) / runs:,.0f}")
+    if any(r.transfers_completed or r.transfers_aborted
+           for r in result.reports):
+        runs = len(result.reports)
+        delivered_mb = (sum(r.bytes_delivered for r in result.reports)
+                        / runs / (1024 * 1024))
+        print("transfers (mean per run): "
+              f"completed {sum(r.transfers_completed for r in result.reports) / runs:,.0f}  "
+              f"aborted {sum(r.transfers_aborted for r in result.reports) / runs:,.0f}  "
+              f"delivered {delivered_mb:,.1f} MB")
     return 0
 
 

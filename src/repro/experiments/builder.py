@@ -255,14 +255,16 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         world: World = TraceReplayWorld(
             simulator, trace, update_interval=config.update_interval,
             stats=stats, router_skiplist=config.router_skiplist,
-            flat_tick=config.flat_tick, router_soa=config.router_soa)
+            flat_tick=config.flat_tick, router_soa=config.router_soa,
+            transfer_engine=config.transfer_engine)
     else:
         world = World(simulator, update_interval=config.update_interval,
                       stats=stats, detector=build_detector(config),
                       batch_movement=config.batch_movement,
                       router_skiplist=config.router_skiplist,
                       flat_tick=config.flat_tick,
-                      router_soa=config.router_soa)
+                      router_soa=config.router_soa,
+                      transfer_engine=config.transfer_engine)
 
     interface = Interface(transmit_range=config.transmit_range,
                           transmit_speed=config.transmit_speed)
@@ -289,6 +291,10 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         copies=config.message_copies,
         start=config.traffic_start,
         end=config.effective_traffic_end,
+        model=config.traffic_model,
+        rate=config.traffic_rate,
+        burst_size=config.traffic_burst_size,
+        burst_spacing=config.traffic_burst_spacing,
     )
     traffic = MessageEventGenerator(simulator, world, spec)
     return BuiltScenario(config=config, simulator=simulator, world=world,

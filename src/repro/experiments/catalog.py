@@ -228,6 +228,30 @@ def _register_builtins() -> None:
                 "connectivity + batch movement (the scale tentpole)",
         provenance="ROADMAP sharded-worlds item; repro.world.sharded")
     register_scenario(
+        "rwp-10k-traffic",
+        lambda: ScenarioConfig.bench_scale(
+            protocol="epidemic", num_nodes=10_000).with_overrides(
+            name="rwp-10k-traffic", mobility=MobilityKind.RANDOM_WAYPOINT,
+            sim_time=600.0,
+            # sparse-DTN geometry (~1 neighbour per node, thousands of live
+            # links) but *saturated* links: Poisson arrivals at 2 msg/s of
+            # 1 MiB payloads over a 62.5 kB/s radio keep each busy link
+            # draining one head transfer for ~17 consecutive ticks — the
+            # transfers phase is the dominant cost, which is the regime the
+            # TransferEngine benchmark (transfer_churn) measures
+            map_width=6_000.0, map_height=4_500.0, transmit_range=30.0,
+            min_speed=0.5, max_speed=1.5, stop_wait=(0.0, 120.0),
+            traffic_model="poisson", traffic_rate=2.0,
+            message_size=1024 * 1024, message_ttl=900.0,
+            transmit_speed=62_500.0,
+            buffer_capacity=32 * 1024 * 1024,
+            detector="sharded",
+            record_mode="columnar"),
+        summary="10 000 pedestrians under Poisson traffic load that "
+                "saturates links (1 MiB messages, slow radio): the columnar "
+                "transfers-phase benchmark workload",
+        provenance="ISSUE 10 traffic workload; repro.net.engine")
+    register_scenario(
         "rwp-100k",
         lambda: ScenarioConfig.bench_scale(
             protocol="direct", num_nodes=100_000).with_overrides(

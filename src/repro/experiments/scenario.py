@@ -133,6 +133,13 @@ class ScenarioConfig:
     #: router_skiplist=True when on); bit-identical simulation outcomes
     #: either way, see DESIGN.md "Struct-of-arrays router state"
     router_soa: bool = True
+    #: resolve the transfers phase through the columnar TransferEngine:
+    #: in-flight head-of-queue bytes drain in one vectorized subtraction,
+    #: with an exact per-connection replay only for completed heads.  False
+    #: pins the per-connection Connection.advance loop as the benchmark
+    #: baseline (requires flat_tick=True when on); byte-identical reports
+    #: either way, see DESIGN.md "Columnar transfer accounting"
+    transfer_engine: bool = True
 
     # traffic
     message_interval: Tuple[float, float] = (25.0, 35.0)
@@ -141,6 +148,19 @@ class ScenarioConfig:
     message_copies: int = 10
     traffic_start: float = 0.0
     traffic_end: Optional[float] = None
+    #: arrival process for message creation: "uniform" draws inter-arrival
+    #: gaps from message_interval (the historical model), "poisson" draws
+    #: exponential gaps at traffic_rate messages/s, "bursty" emits bursts of
+    #: traffic_burst_size messages traffic_burst_spacing seconds apart with
+    #: exponential gaps between bursts (mean burst rate = traffic_rate).
+    #: All three are deterministic given the scenario seed
+    traffic_model: str = "uniform"
+    #: mean arrival rate in messages per second (poisson/bursty only)
+    traffic_rate: Optional[float] = None
+    #: messages per burst (bursty only)
+    traffic_burst_size: int = 20
+    #: seconds between messages inside one burst (bursty only)
+    traffic_burst_spacing: float = 0.0
 
     # bookkeeping
     contact_window: int = 20
@@ -200,6 +220,28 @@ class ScenarioConfig:
                 "router_skiplist=False (the per-router reference loop) "
                 "requires router_soa=False (the SoA sweep is a vectorized "
                 "evaluation of the skip predicate)")
+        if self.transfer_engine and not self.flat_tick:
+            raise ValueError(
+                "flat_tick=False (the historical reference tick) requires "
+                "transfer_engine=False (the engine's push seams only exist "
+                "on the flattened tick)")
+        if self.traffic_model not in ("uniform", "poisson", "bursty"):
+            raise ValueError(
+                f"traffic_model must be 'uniform', 'poisson' or 'bursty', "
+                f"got {self.traffic_model!r}")
+        if self.traffic_model == "uniform":
+            if self.traffic_rate is not None:
+                raise ValueError(
+                    "traffic_rate only applies to traffic_model "
+                    "'poisson'/'bursty' (uniform draws from message_interval)")
+        elif self.traffic_rate is None or self.traffic_rate <= 0:
+            raise ValueError(
+                f"traffic_model {self.traffic_model!r} requires a positive "
+                "traffic_rate (messages per second)")
+        if self.traffic_burst_size < 1:
+            raise ValueError("traffic_burst_size must be >= 1")
+        if self.traffic_burst_spacing < 0:
+            raise ValueError("traffic_burst_spacing must be non-negative")
         if self.record_mode is not None and self.record_mode not in (
                 "off", "lists", "columnar"):
             raise ValueError(

@@ -119,6 +119,13 @@ class StatsCollector:
         self.expired = 0
         self.aborted = 0
         self.transfers_started = 0
+        # transfers-phase outcome counters (deterministic, part of canonical
+        # reports): completed replica transfers and the payload bytes they
+        # moved.  transfers_completed tracks `relayed` today but is kept as
+        # its own counter so the transfers phase stays auditable if relay
+        # accounting ever diverges (e.g. control-plane transfers)
+        self.transfers_completed = 0
+        self.bytes_delivered = 0
         self.contacts = 0
         self.control_rows_exchanged = 0
         self.control_bytes_exchanged = 0
@@ -267,6 +274,16 @@ class StatsCollector:
     def transfer_started(self) -> None:
         """Record a transfer being enqueued on a connection."""
         self.transfers_started += 1
+
+    def transfer_completed(self, message: Message) -> None:
+        """Record a transfer draining to completion (payload fully moved)."""
+        self.transfers_completed += 1
+        self.bytes_delivered += int(message.size)
+
+    @property
+    def transfers_aborted(self) -> int:
+        """Alias of ``aborted`` under the transfers-phase naming."""
+        return self.aborted
 
     def message_relayed(self, message: Message, from_node: int, to_node: int,
                         time: float, copies: int, final_delivery: bool) -> None:

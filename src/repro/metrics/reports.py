@@ -43,6 +43,14 @@ class SimulationReport:
     control_rows_exchanged: int
     control_bytes_exchanged: int
 
+    # transfers-phase outcome counters.  Deterministic (identical whatever
+    # tick mode produced them — reference loop or TransferEngine — pinned by
+    # the engine parity tests), so they stay in the canonical serialisation,
+    # unlike the routers split below
+    transfers_completed: int = 0
+    transfers_aborted: int = 0
+    bytes_delivered: int = 0
+
     # online community-detection compute overhead (zero outside CR's
     # detected modes); seconds are wall-clock and therefore machine-specific
     community_detections: int = 0
@@ -169,6 +177,9 @@ def build_report(collector: StatsCollector, *, protocol: str, num_nodes: int,
         average_hop_count=collector.average_hop_count,
         control_rows_exchanged=collector.control_rows_exchanged,
         control_bytes_exchanged=collector.control_bytes_exchanged,
+        transfers_completed=collector.transfers_completed,
+        transfers_aborted=collector.transfers_aborted,
+        bytes_delivered=collector.bytes_delivered,
         community_detections=collector.community_detections,
         community_detection_seconds=collector.community_detection_seconds,
         community_reassignments=collector.community_reassignments,

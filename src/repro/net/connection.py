@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.engine import TransferEngine
     from repro.world.node import DTNNode
 
 
@@ -83,6 +84,12 @@ class Connection:
     def __init__(self, node_a: "DTNNode", node_b: "DTNNode", bitrate: float,
                  established_at: float) -> None:
         self._queue: Deque[Transfer] = deque()
+        #: reference counts of queued message ids and (message id, receiver)
+        #: pairs, kept in sync by enqueue/advance/tear_down so
+        #: ``is_transferring`` is O(1) instead of a queue scan (routers call
+        #: it once per candidate message per contact)
+        self._queued_ids: Dict[str, int] = {}
+        self._queued_pairs: Dict[Tuple[str, int], int] = {}
         #: world-assigned monotonic establishment number; sorting live
         #: connections by it reproduces the world's link-table insertion
         #: order exactly (the transfer-phase processing order)
@@ -90,6 +97,11 @@ class Connection:
         #: optional list the connection appends itself to when its queue goes
         #: empty -> non-empty (the world's O(active) transfer-phase feed)
         self.activity_sink: Optional[List["Connection"]] = None
+        #: the world's columnar transfer engine (None when the engine is
+        #: off); world-owned like ``activity_sink``, assigned at
+        #: establishment.  enqueue/tear_down push depth updates and row
+        #: detach through it — see repro.net.engine
+        self.engine: Optional["TransferEngine"] = None
         self.reset(node_a, node_b, bitrate, established_at)
 
     def reset(self, node_a: "DTNNode", node_b: "DTNNode", bitrate: float,
@@ -110,6 +122,8 @@ class Connection:
         self.is_up = True
         self.torn_down_at: Optional[float] = None
         self._queue.clear()
+        self._queued_ids.clear()
+        self._queued_pairs.clear()
         self.completed_transfers = 0
         self.aborted_transfers = 0
 
@@ -139,13 +153,38 @@ class Connection:
         return list(self._queue)
 
     def is_transferring(self, message_id: str, to_node_id: Optional[int] = None) -> bool:
-        """Whether *message_id* is already queued (optionally to a given node)."""
-        for transfer in self._queue:
-            if transfer.message.message_id != message_id:
-                continue
-            if to_node_id is None or transfer.receiver.node_id == to_node_id:
-                return True
-        return False
+        """Whether *message_id* is already queued (optionally to a given node).
+
+        O(1): answered from the reference-count index maintained by
+        ``enqueue``/``advance``/``tear_down``, not by scanning the queue.
+        """
+        if to_node_id is None:
+            return message_id in self._queued_ids
+        return (message_id, to_node_id) in self._queued_pairs
+
+    def _track(self, transfer: Transfer) -> None:
+        message_id = transfer.message.message_id
+        pair = (message_id, transfer.receiver.node_id)
+        ids = self._queued_ids
+        ids[message_id] = ids.get(message_id, 0) + 1
+        pairs = self._queued_pairs
+        pairs[pair] = pairs.get(pair, 0) + 1
+
+    def _untrack(self, transfer: Transfer) -> None:
+        message_id = transfer.message.message_id
+        pair = (message_id, transfer.receiver.node_id)
+        ids = self._queued_ids
+        count = ids[message_id] - 1
+        if count:
+            ids[message_id] = count
+        else:
+            del ids[message_id]
+        pairs = self._queued_pairs
+        count = pairs[pair] - 1
+        if count:
+            pairs[pair] = count
+        else:
+            del pairs[pair]
 
     @property
     def has_queued(self) -> bool:
@@ -161,6 +200,9 @@ class Connection:
         if not self._queue and self.activity_sink is not None:
             self.activity_sink.append(self)
         self._queue.append(transfer)
+        self._track(transfer)
+        if self.engine is not None:
+            self.engine.notify_enqueue(self)
         return transfer
 
     def advance(self, now: float, dt: float) -> List[Transfer]:
@@ -188,6 +230,7 @@ class Connection:
                 transfer.state = TransferState.COMPLETED
                 transfer.completed_at = now
                 self._queue.popleft()
+                self._untrack(transfer)
                 self.completed_transfers += 1
                 completed.append(transfer)
             else:
@@ -199,6 +242,11 @@ class Connection:
 
         Returns the aborted transfers so the world can notify routers/stats.
         """
+        if self.engine is not None:
+            # flush the head's authoritative byte count out of the engine
+            # columns *before* building the abort list: the stats record
+            # reads transfer.bytes_left
+            self.engine.detach(self)
         self.is_up = False
         self.torn_down_at = float(now)
         aborted = list(self._queue)
@@ -206,6 +254,8 @@ class Connection:
             transfer.state = TransferState.ABORTED
             self.aborted_transfers += 1
         self._queue.clear()
+        self._queued_ids.clear()
+        self._queued_pairs.clear()
         return aborted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -6,6 +6,21 @@ fixed size (25 KB), TTL (20 minutes) and an initial replica quota
 simulator's ``MessageEventGenerator``: creation events at intervals drawn
 uniformly from ``[min_interval, max_interval]``, with uniformly random
 distinct source/destination pairs.
+
+Beyond the paper's uniform process, :class:`TrafficSpec` supports two load
+models for the traffic benchmarks (``rwp-10k-traffic``) and the ROADMAP's
+city-scale workloads:
+
+``poisson``
+    memoryless arrivals — exponential inter-arrival gaps with mean
+    ``1 / rate``,
+``bursty``
+    bursts of ``burst_size`` messages spaced ``burst_spacing`` seconds
+    apart, with exponential gaps between bursts tuned so the long-run mean
+    rate is still ``rate`` messages per second.
+
+All models draw from the same seeded ``RandomStreams`` stream, so a given
+scenario seed produces the same workload on every run and platform.
 """
 
 from __future__ import annotations
@@ -27,7 +42,17 @@ class TrafficSpec:
     Attributes
     ----------
     interval:
-        ``(min, max)`` seconds between consecutive message creations.
+        ``(min, max)`` seconds between consecutive message creations
+        (``model="uniform"`` only).
+    model:
+        Arrival process: ``"uniform"`` (the paper's), ``"poisson"`` or
+        ``"bursty"``.
+    rate:
+        Mean arrivals per second (``poisson``/``bursty`` only).
+    burst_size:
+        Messages per burst (``bursty`` only).
+    burst_spacing:
+        Seconds between messages inside one burst (``bursty`` only).
     size:
         Message payload size in bytes (the paper uses 25 KB).
     ttl:
@@ -44,6 +69,10 @@ class TrafficSpec:
     """
 
     interval: tuple = (25.0, 35.0)
+    model: str = "uniform"
+    rate: Optional[float] = None
+    burst_size: int = 20
+    burst_spacing: float = 0.0
     size: int = 25 * 1024
     ttl: float = 20 * 60.0
     copies: int = 10
@@ -57,6 +86,17 @@ class TrafficSpec:
         lo, hi = self.interval
         if lo <= 0 or hi < lo:
             raise ValueError(f"invalid interval {self.interval!r}")
+        if self.model not in ("uniform", "poisson", "bursty"):
+            raise ValueError(
+                f"model must be 'uniform', 'poisson' or 'bursty', "
+                f"got {self.model!r}")
+        if self.model != "uniform" and (self.rate is None or self.rate <= 0):
+            raise ValueError(
+                f"model {self.model!r} requires a positive rate")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if self.burst_spacing < 0:
+            raise ValueError("burst_spacing must be non-negative")
         if self.size <= 0:
             raise ValueError("size must be positive")
         if self.ttl <= 0:
@@ -87,6 +127,9 @@ class MessageEventGenerator:
         self.spec = spec
         self._rng = simulator.random.python(stream)
         self._count = 0
+        #: messages still due in the current burst (bursty model only);
+        #: must exist before the first _next_interval draw below
+        self._burst_remaining = 0
         self.created: List[str] = []
         first = max(spec.start, simulator.now) + self._next_interval()
         if first <= spec.end:
@@ -94,7 +137,19 @@ class MessageEventGenerator:
 
     # ------------------------------------------------------------------ internals
     def _next_interval(self) -> float:
-        lo, hi = self.spec.interval
+        spec = self.spec
+        if spec.model == "poisson":
+            return self._rng.expovariate(spec.rate)
+        if spec.model == "bursty":
+            if self._burst_remaining > 0:
+                self._burst_remaining -= 1
+                return spec.burst_spacing
+            # gap to the next burst: exponential with the per-burst rate, so
+            # the long-run mean is still `rate` messages per second (the
+            # intra-burst spacings are a negligible, deterministic offset)
+            self._burst_remaining = spec.burst_size - 1
+            return self._rng.expovariate(spec.rate / spec.burst_size)
+        lo, hi = spec.interval
         return self._rng.uniform(lo, hi)
 
     def _pick_endpoints(self) -> tuple:

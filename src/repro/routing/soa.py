@@ -226,7 +226,22 @@ class RouterStateStore:
         # transfers phase filters them.
         queued = np.zeros(n, dtype=bool)
         newly = world._newly_active
-        active = world._active_transfers
+        engine = world.transfer_engine
+        if engine is not None:
+            # the engine's rows replace _active_transfers (which stays
+            # empty); every row is up with a non-empty queue by invariant
+            if len(engine):
+                row_of = self._row
+                for connection in engine.connections():
+                    row = row_of.get(connection.node_a.node_id)
+                    if row is not None:
+                        queued[row] = True
+                    row = row_of.get(connection.node_b.node_id)
+                    if row is not None:
+                        queued[row] = True
+            active = {}
+        else:
+            active = world._active_transfers
         if active or newly:
             row_of = self._row
             for seq, connection in active.items():

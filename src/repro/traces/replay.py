@@ -45,10 +45,12 @@ class TraceReplayWorld(World):
                  stats: Optional[StatsCollector] = None,
                  router_skiplist: bool = True,
                  flat_tick: bool = True,
-                 router_soa: bool = True) -> None:
+                 router_soa: bool = True,
+                 transfer_engine: bool = True) -> None:
         super().__init__(simulator, update_interval=update_interval,
                          stats=stats, router_skiplist=router_skiplist,
-                         flat_tick=flat_tick, router_soa=router_soa)
+                         flat_tick=flat_tick, router_soa=router_soa,
+                         transfer_engine=transfer_engine)
         self.trace = trace
         # pre-sort events once; replay walks them with an index
         self._events = trace.events
@@ -96,6 +98,7 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
                       router_skiplist: bool = True,
                       flat_tick: bool = True,
                       router_soa: bool = True,
+                      transfer_engine: bool = True,
                       ) -> Tuple[Simulator, TraceReplayWorld]:
     """Build a simulator + trace-replay world with one router per trace node.
 
@@ -128,7 +131,7 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
         Optional node -> community mapping (required by the CR protocol).
     router_params:
         Extra keyword arguments for the router factory.
-    router_skiplist, flat_tick, router_soa:
+    router_skiplist, flat_tick, router_soa, transfer_engine:
         World tick-structure flags, passed through to
         :class:`TraceReplayWorld` (see :class:`~repro.world.world.World`);
         the defaults match the scenario pipeline.
@@ -147,7 +150,8 @@ def build_trace_world(trace: ContactTrace, protocol: str = "epidemic",
     simulator = Simulator(seed=seed)
     world = TraceReplayWorld(simulator, trace, update_interval=update_interval,
                              router_skiplist=router_skiplist,
-                             flat_tick=flat_tick, router_soa=router_soa)
+                             flat_tick=flat_tick, router_soa=router_soa,
+                             transfer_engine=transfer_engine)
     trace_ids = trace.node_ids()
     highest = max(trace_ids) if trace_ids else -1
     count = num_nodes if num_nodes is not None else highest + 1

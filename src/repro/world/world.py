@@ -39,6 +39,7 @@ import numpy as np
 from repro.metrics.collector import StatsCollector
 from repro.mobility.engine import MovementEngine
 from repro.net.connection import Connection, Transfer
+from repro.net.engine import TransferEngine
 from repro.net.message import Message
 from repro.routing.soa import RouterStateStore
 from repro.sim.engine import Simulator
@@ -126,6 +127,17 @@ class World:
         same order.  ``False`` pins the PR6 per-router skip-scan as the
         benchmark baseline; bit-identical simulation outcomes either way.
         Requires ``router_skiplist`` (the sweep *is* the skip predicate).
+    transfer_engine:
+        ``True`` (the default) resolves the ``transfers`` phase through the
+        columnar :class:`~repro.net.engine.TransferEngine` (see DESIGN.md,
+        "Columnar transfer accounting"): in-flight head-of-queue bytes
+        drain in one vectorized subtraction over struct-of-arrays rows, and
+        only connections whose head transfer completed this tick replay the
+        exact reference drain (in ``established_seq`` order, so completion
+        dispatch is byte-identical).  ``False`` pins the per-connection
+        ``Connection.advance`` loop as the benchmark baseline.  Requires
+        ``flat_tick`` (the engine's push seams — activity sink,
+        ``established_seq`` — only exist there).
     """
 
     def __init__(self, simulator: Simulator, update_interval: float = 1.0,
@@ -134,7 +146,8 @@ class World:
                  batch_movement: bool = True,
                  router_skiplist: bool = True,
                  flat_tick: bool = True,
-                 router_soa: bool = True) -> None:
+                 router_soa: bool = True,
+                 transfer_engine: bool = True) -> None:
         if update_interval <= 0:
             raise ValueError("update_interval must be positive")
         if router_skiplist and not flat_tick:
@@ -147,6 +160,11 @@ class World:
             # predicate; without the skip-list there is no predicate to
             # vectorize (the reference loop ticks every router)
             raise ValueError("router_soa requires router_skiplist")
+        if transfer_engine and not flat_tick:
+            # engine rows key on established_seq and ingest from the
+            # activity sink — flat-tick machinery the historical tick
+            # never assigns
+            raise ValueError("transfer_engine requires flat_tick")
         self.simulator = simulator
         self.update_interval = float(update_interval)
         self.stats = stats if stats is not None else StatsCollector()
@@ -196,6 +214,11 @@ class World:
         #: columnar per-router state behind the vectorized routers phase
         #: (None when router_soa is off; see repro.routing.soa)
         self.router_store = RouterStateStore() if self.router_soa else None
+        #: columnar in-flight transfer state behind the vectorized transfers
+        #: phase (None when the engine is off; see repro.net.engine).  With
+        #: the engine on, ``_active_transfers`` stays empty — the engine's
+        #: rows *are* the active set
+        self.transfer_engine = TransferEngine() if transfer_engine else None
         #: per-node caches rebuilt lazily after node registration
         self._ranges_cache: Optional[np.ndarray] = None
         self._ids_cache: Optional[np.ndarray] = None
@@ -447,6 +470,7 @@ class World:
             self._conn_seq += 1
             connection.established_seq = self._conn_seq
             connection.activity_sink = self._newly_active
+            connection.engine = self.transfer_engine
         self._connections[key] = connection
         node_a.connections[node_b.node_id] = connection
         node_b.connections[node_a.node_id] = connection
@@ -505,6 +529,13 @@ class World:
                 for transfer in connection.advance(now, dt):
                     self._complete_transfer(transfer, now)
             return
+        engine = self.transfer_engine
+        if engine is not None:
+            # columnar path: one vectorized byte sweep, exact replay only
+            # for rows whose head completed (see repro.net.engine).  The
+            # engine's rows replace ``_active_transfers`` entirely
+            engine.sweep(self, now, dt)
+            return
         active = self._active_transfers
         pending = self._newly_active
         if pending:
@@ -537,6 +568,7 @@ class World:
         final = replica.destination == receiver.node_id
         self.stats.message_relayed(replica, sender.node_id, receiver.node_id,
                                    now, transfer.copies, final)
+        self.stats.transfer_completed(replica)
         # Only *accepted* arrivals at the destination count toward delivery
         # accounting; the collector dedupes repeat arrivals by message id
         # (first one is the delivery, later ones are duplicate_deliveries).
@@ -544,6 +576,20 @@ class World:
             self.stats.message_delivered(replica, now)
         if accepted:
             sender.router.transfer_completed(transfer)
+
+    def _no_queued_transfers(self) -> bool:
+        """Whether provably no connection anywhere holds a queued transfer.
+
+        The O(1) half of the skip-list wake predicate.  With the transfer
+        engine on the active set lives in the engine's rows
+        (``_active_transfers`` stays empty); either way an un-ingested
+        announcement in ``_newly_active`` counts as queued.
+        """
+        if self._newly_active:
+            return False
+        if self.transfer_engine is not None:
+            return not len(self.transfer_engine)
+        return not self._active_transfers
 
     def router_rebound(self, node: DTNNode) -> None:
         """Notification that a router was (re)attached to *node*.
@@ -593,8 +639,7 @@ class World:
                     # of O(neighbours) in the idle-world common case
                     conns = node.connections
                     if (not conns
-                            or (not self._active_transfers
-                                and not self._newly_active)
+                            or self._no_queued_transfers()
                             or not any(
                                 c.has_queued for c in conns.values())):
                         continue

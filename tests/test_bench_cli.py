@@ -22,7 +22,7 @@ def test_payload_shape_and_checksums(smoke_payload):
     assert names == {"encounter_pipeline", "buffer_churn",
                      "collector_ingest", "scenario_eer",
                      "community_detection", "world_tick_10k",
-                     "router_sweep", "world_tick_100k"}
+                     "router_sweep", "world_tick_100k", "transfer_churn"}
     for name, entry in payload["benchmarks"].items():
         assert entry["checksums_match"], (
             f"{name}: vectorized path diverged from the reference")
@@ -56,6 +56,16 @@ def test_payload_shape_and_checksums(smoke_payload):
     scale_100k = flat["scale_100k"]
     assert scale_100k["reference_checksums_match"]
     assert scale_100k["current"]["ticks"] > 0
+    # the transfers-phase pair: the columnar engine must reproduce every
+    # relayed/delivered/aborted record (chained CRCs) and actually move
+    # payload through the engine's rows
+    churn = payload["benchmarks"]["transfer_churn"]
+    assert churn["throughput_key"] == "transfer_bytes_per_s"
+    assert churn["baseline"]["checksums"] == churn["current"]["checksums"]
+    assert churn["current"]["checksums"]["bytes_delivered"] > 0
+    assert churn["current"]["checksums"]["relayed_crc"] != 0
+    assert churn["current"]["engine_rows_completed"] > 0
+    assert churn["baseline"]["engine_rows_completed"] is None
     # payload is JSON-serialisable as-is
     json.dumps(payload)
 

@@ -44,7 +44,7 @@ def test_resume_equality_at_every_admissible_boundary():
 def test_resume_equality_historical_flat_tick_off():
     assert_resume_equality(
         bench("epidemic", flat_tick=False, router_skiplist=False,
-              router_soa=False),
+              router_soa=False, transfer_engine=False),
         checkpoint_times=[180.0])
 
 

@@ -363,3 +363,13 @@ def test_serve_missing_spool_is_reported(capsys, tmp_path):
                  "--store", str(tmp_path / "r.sqlite"), "--once"])
     assert code == 2
     assert "spool" in capsys.readouterr().err
+
+
+def test_run_human_output_includes_transfers_line(capsys):
+    code = main(["run", "trace-csv", "--protocol", "epidemic", "--seeds", "1",
+                 "--set", "sim_time=600"])
+    assert code == 0
+    out = capsys.readouterr().out
+    # any relayed message is a completed transfer, so the summary line shows
+    assert "transfers (mean per run):" in out
+    assert "completed" in out and "aborted" in out and "delivered" in out

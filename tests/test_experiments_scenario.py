@@ -88,3 +88,41 @@ def test_apply_overrides_routes_router_params():
     assert changed.router_params == {"alpha": 0.4}
     assert changed.num_nodes == 10
     assert config.router_params == {}
+
+
+def test_traffic_model_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(traffic_model="fractal")
+    with pytest.raises(ValueError):
+        ScenarioConfig(traffic_model="poisson")  # needs a rate
+    with pytest.raises(ValueError):
+        ScenarioConfig(traffic_model="bursty", traffic_rate=-1.0)
+    with pytest.raises(ValueError):
+        # uniform draws from message_interval; a rate would be silently dead
+        ScenarioConfig(traffic_model="uniform", traffic_rate=2.0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(traffic_model="bursty", traffic_rate=1.0,
+                       traffic_burst_size=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(traffic_model="bursty", traffic_rate=1.0,
+                       traffic_burst_spacing=-0.5)
+    config = ScenarioConfig(traffic_model="poisson", traffic_rate=2.0)
+    assert config.traffic_rate == 2.0
+
+
+def test_transfer_engine_requires_flat_tick():
+    with pytest.raises(ValueError):
+        ScenarioConfig(flat_tick=False, router_skiplist=False,
+                       router_soa=False, transfer_engine=True)
+    config = ScenarioConfig(flat_tick=False, router_skiplist=False,
+                            router_soa=False, transfer_engine=False)
+    assert config.transfer_engine is False
+
+
+def test_new_defaults_keep_scenario_identity_stable():
+    """The new traffic/transfer fields default to values that drop out of the
+    identity payload, so pre-PR10 store keys keep resolving."""
+    payload = ScenarioConfig(name="x").identity_payload()
+    for field in ("traffic_model", "traffic_rate", "traffic_burst_size",
+                  "traffic_burst_spacing", "transfer_engine"):
+        assert field not in payload

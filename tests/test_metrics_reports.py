@@ -80,3 +80,24 @@ def test_phase_ticks_per_second():
     stripped = report.as_dict()
     assert "tick_phase_samples" not in stripped
     assert "tick_phase_seconds" not in stripped
+
+
+def test_transfer_counters_are_canonical():
+    """The transfer counters ride the canonical report: present with
+    ``include_timings=False`` (the resume-equality surface) and wired from
+    the collector aggregates."""
+    stats = populated_collector()
+    for i in range(2):
+        message = Message(f"M{i}", 0, 1, 4096, float(i), 500.0)
+        stats.transfer_completed(message.replicate(1, receiver=1, now=50.0))
+    stats.transfer_aborted(Message("M9", 0, 1, 4096, 0.0, 500.0),
+                           0, 1, 60.0, 123.0)
+    report = build_report(stats, protocol="epidemic", num_nodes=10,
+                          sim_time=1000.0, seed=3)
+    assert report.transfers_completed == 2
+    assert report.transfers_aborted == 1
+    assert report.bytes_delivered == 2 * 4096
+    data = report.as_dict(include_timings=False)
+    assert data["transfers_completed"] == 2
+    assert data["transfers_aborted"] == 1
+    assert data["bytes_delivered"] == 2 * 4096

@@ -187,7 +187,8 @@ def test_historical_tick_matches_flat_tick_on_traces():
                                            router_soa=False)
     historical, _ = run_mid_transfer_abort_world(router_skiplist=False,
                                                  flat_tick=False,
-                                                 router_soa=False)
+                                                 router_soa=False,
+                                                 transfer_engine=False)
     assert_same_outcomes(flat, historical)
 
 
@@ -273,7 +274,7 @@ def test_skiplist_report_byte_identical_for_unsafe_router():
 def test_flat_tick_report_byte_identical_to_historical_reference():
     """Acceptance pin: the flattened tick == the pre-flattening structure."""
     historical = full_run_payload(router_skiplist=False, flat_tick=False,
-                                  router_soa=False)
+                                  router_soa=False, transfer_engine=False)
     assert full_run_payload() == historical
 
 
@@ -281,7 +282,7 @@ def test_process_pool_report_byte_identical_to_serial_reference():
     """Acceptance pin: process-pool sharded world == serial reference."""
     serial = full_run_payload(detector="kdtree", batch_movement=False,
                               router_skiplist=False, flat_tick=False,
-                              router_soa=False)
+                              router_soa=False, transfer_engine=False)
     process = full_run_payload(detector="sharded", world_workers=2,
                                world_workers_mode="process")
     assert serial == process
@@ -367,7 +368,8 @@ def test_released_connections_are_recycled_on_the_next_diff():
 def test_historical_tick_allocates_fresh_connections():
     simulator, world = build_trace_world(make_trace([]), num_nodes=3,
                                          router_skiplist=False,
-                                         flat_tick=False, router_soa=False)
+                                         flat_tick=False, router_soa=False,
+                                         transfer_engine=False)
     world._link_up((0, 1), 0.0)
     first = world._connections[(0, 1)]
     world._link_down((0, 1), 1.0)
@@ -384,7 +386,7 @@ def test_router_skiplist_requires_flat_tick():
         ScenarioConfig(name="x", flat_tick=False, router_soa=False)
     # the historical reference pairing is valid
     config = ScenarioConfig(name="x", flat_tick=False, router_skiplist=False,
-                            router_soa=False)
+                            router_soa=False, transfer_engine=False)
     assert not config.flat_tick
 
 
